@@ -1,0 +1,96 @@
+// Command wardbench regenerates the paper's quantitative artefacts (E1–E10
+// plus ablations) and prints them as aligned tables, optionally emitting CSV
+// files per experiment.
+//
+// Usage:
+//
+//	wardbench                 # run everything
+//	wardbench -exp e1,e8      # run a subset
+//	wardbench -csv out/       # also write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wardrop/internal/experiments"
+	"wardrop/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wardbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wardbench", flag.ContinueOnError)
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (e1..e12, ablation) or 'all'")
+	csvDir := fs.String("csv", "", "directory to write per-experiment CSV files (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]func() (*report.Table, error){
+		"e1":  func() (*report.Table, error) { return experiments.RunE1(experiments.DefaultE1Params()) },
+		"e2":  func() (*report.Table, error) { return experiments.RunE2(experiments.DefaultE2Params()) },
+		"e3":  func() (*report.Table, error) { return experiments.RunE3(experiments.DefaultE3Params()) },
+		"e4":  func() (*report.Table, error) { return experiments.RunE4(experiments.DefaultE4Params()) },
+		"e5":  func() (*report.Table, error) { return experiments.RunE5(experiments.DefaultE5Params()) },
+		"e6":  func() (*report.Table, error) { return experiments.RunE6(experiments.DefaultE6Params()) },
+		"e7":  func() (*report.Table, error) { return experiments.RunE7(experiments.DefaultE7Params()) },
+		"e8":  func() (*report.Table, error) { return experiments.RunE8(experiments.DefaultE8Params()) },
+		"e9":  func() (*report.Table, error) { return experiments.RunE9(experiments.DefaultE9Params()) },
+		"e10": func() (*report.Table, error) { return experiments.RunE10(experiments.DefaultE10Params()) },
+		"e11": func() (*report.Table, error) { return experiments.RunE11(experiments.DefaultE11Params()) },
+		"e12": func() (*report.Table, error) { return experiments.RunE12(experiments.DefaultE12Params()) },
+		"ablation": func() (*report.Table, error) {
+			return experiments.RunAblationStep(experiments.DefaultAblationStepParams())
+		},
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "ablation"}
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if _, ok := runners[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s, all)", id, strings.Join(order, ", "))
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		tbl, err := runners[id]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(tbl.Render())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := tbl.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "e99"}); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestRunSingleExperimentAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "e1,e2", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "e2"} {
+		data, err := os.ReadFile(filepath.Join(dir, id+".csv"))
+		if err != nil {
+			t.Fatalf("%s.csv: %v", id, err)
+		}
+		if !strings.Contains(string(data), "beta") && !strings.Contains(string(data), "eps") {
+			t.Errorf("%s.csv missing header: %q", id, string(data[:50]))
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

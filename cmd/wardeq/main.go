@@ -1,0 +1,76 @@
+// Command wardeq solves the Wardrop equilibrium and social optimum of a
+// named topology with the reference Frank–Wolfe solver and prints flows,
+// potential, total latencies and the price of anarchy.
+//
+// Usage:
+//
+//	wardeq -topo braess
+//	wardeq -topo links -m 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wardrop"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wardeq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wardeq", flag.ContinueOnError)
+	topoName := fs.String("topo", "braess", "topology: pigou|braess|kink|links|grid|layered")
+	beta := fs.Float64("beta", 4, "kink slope (topo=kink)")
+	m := fs.Int("m", 8, "link count / grid side")
+	seed := fs.Uint64("seed", 1, "seed (topo=layered)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inst, err := buildTopo(*topoName, *beta, *m, *seed)
+	if err != nil {
+		return err
+	}
+
+	eq, err := wardrop.SolveEquilibrium(inst, wardrop.SolverOptions{})
+	if err != nil {
+		return fmt.Errorf("equilibrium: %w", err)
+	}
+	fmt.Printf("topology          : %s (paths=%d, D=%d, beta=%g, lmax=%g)\n",
+		*topoName, inst.NumPaths(), inst.MaxPathLen(), inst.Beta(), inst.LMax())
+	fmt.Printf("equilibrium flow  : %v\n", eq.Flow)
+	fmt.Printf("potential Φ*      : %.9g  (rel. gap %.2g, %d iters)\n", eq.Potential, eq.RelGap, eq.Iters)
+
+	poa, eqCost, optCost, err := wardrop.PriceOfAnarchy(inst, wardrop.SolverOptions{})
+	if err != nil {
+		return fmt.Errorf("price of anarchy: %w", err)
+	}
+	fmt.Printf("equilibrium cost L: %.9g\n", eqCost)
+	fmt.Printf("optimal cost      : %.9g\n", optCost)
+	fmt.Printf("price of anarchy  : %.6g\n", poa)
+	return nil
+}
+
+func buildTopo(name string, beta float64, m int, seed uint64) (*wardrop.Instance, error) {
+	switch name {
+	case "pigou":
+		return wardrop.Pigou()
+	case "braess":
+		return wardrop.Braess()
+	case "kink":
+		return wardrop.TwoLinkKink(beta)
+	case "links":
+		return wardrop.LinearParallelLinks(m)
+	case "grid":
+		return wardrop.GridNetwork(m)
+	case "layered":
+		return wardrop.LayeredRandom(3, m, seed)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}

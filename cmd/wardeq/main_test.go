@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunUnknownTopology(t *testing.T) {
+	if err := run([]string{"-topo", "klein-bottle"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestRunAllTopologies(t *testing.T) {
+	for _, topo := range []string{"pigou", "braess", "kink", "links", "grid", "layered"} {
+		args := []string{"-topo", topo, "-m", "3"}
+		if err := run(args); err != nil {
+			t.Errorf("%s: %v", topo, err)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,175 @@
+// Command wardsim runs one rerouting-dynamics simulation on a named topology
+// and emits the trajectory (time, potential, flows) as CSV on stdout.
+//
+// Usage:
+//
+//	wardsim -topo braess -policy replicator -T 0.1 -horizon 50
+//	wardsim -topo kink -beta 8 -policy bestresponse -T 0.5 -horizon 20
+//	wardsim -topo links -m 16 -policy uniform -T safe -horizon 100 -agents 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"wardrop"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wardsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wardsim", flag.ContinueOnError)
+	topoName := fs.String("topo", "braess", "topology: pigou|braess|kink|links|grid|layered")
+	instFile := fs.String("instance", "", "JSON instance file (overrides -topo)")
+	beta := fs.Float64("beta", 4, "kink slope (topo=kink)")
+	m := fs.Int("m", 8, "link count (topo=links) / grid side (topo=grid)")
+	seed := fs.Uint64("seed", 1, "seed (topo=layered, agent sim)")
+	policyName := fs.String("policy", "replicator", "policy: replicator|uniform|boltzmann|bestresponse")
+	c := fs.Float64("c", 4, "Boltzmann concentration (policy=boltzmann)")
+	period := fs.String("T", "safe", "bulletin-board period: a number, or 'safe'")
+	horizon := fs.Float64("horizon", 50, "simulated time")
+	every := fs.Int("every", 1, "record every k phases")
+	agentsN := fs.Int("agents", 0, "if > 0, run the finite-N stochastic simulator instead of the fluid limit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var inst *wardrop.Instance
+	var err error
+	if *instFile != "" {
+		f, ferr := os.Open(*instFile)
+		if ferr != nil {
+			return ferr
+		}
+		inst, err = wardrop.ParseInstance(f)
+		f.Close()
+	} else {
+		inst, err = buildTopo(*topoName, *beta, *m, *seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *policyName == "bestresponse" {
+		T, err := parsePeriod(*period, 0.5)
+		if err != nil {
+			return err
+		}
+		f1, _, _ := wardrop.TwoLinkOscillation(*beta, T, 0)
+		f0 := inst.UniformFlow()
+		if *topoName == "kink" {
+			f0 = wardrop.Flow{f1, 1 - f1}
+		}
+		res, err := wardrop.SimulateBestResponse(inst, wardrop.BestResponseConfig{
+			UpdatePeriod: T, Horizon: *horizon, RecordEvery: *every,
+		}, f0)
+		if err != nil {
+			return err
+		}
+		return emit(res)
+	}
+
+	pol, err := buildPolicy(*policyName, *c, inst)
+	if err != nil {
+		return err
+	}
+	safe, err := wardrop.SafeUpdatePeriodFor(pol, inst)
+	if err != nil {
+		return err
+	}
+	T, err := parsePeriod(*period, safe)
+	if err != nil {
+		return err
+	}
+
+	if *agentsN > 0 {
+		sim, err := wardrop.NewAgentSim(inst, wardrop.AgentConfig{
+			N: *agentsN, Policy: pol, UpdatePeriod: T, Horizon: *horizon,
+			Seed: *seed, RecordEvery: *every,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return err
+		}
+		return emit(res)
+	}
+
+	res, err := wardrop.Simulate(inst, wardrop.SimConfig{
+		Policy: pol, UpdatePeriod: T, Horizon: *horizon,
+		Integrator: wardrop.Uniformization, RecordEvery: *every,
+	}, inst.UniformFlow())
+	if err != nil {
+		return err
+	}
+	return emit(res)
+}
+
+func buildTopo(name string, beta float64, m int, seed uint64) (*wardrop.Instance, error) {
+	switch name {
+	case "pigou":
+		return wardrop.Pigou()
+	case "braess":
+		return wardrop.Braess()
+	case "kink":
+		return wardrop.TwoLinkKink(beta)
+	case "links":
+		return wardrop.LinearParallelLinks(m)
+	case "grid":
+		return wardrop.GridNetwork(m)
+	case "layered":
+		return wardrop.LayeredRandom(3, m, seed)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func buildPolicy(name string, c float64, inst *wardrop.Instance) (wardrop.Policy, error) {
+	switch name {
+	case "replicator":
+		return wardrop.Replicator(inst.LMax())
+	case "uniform":
+		return wardrop.UniformLinear(inst.LMax())
+	case "boltzmann":
+		lin, err := wardrop.NewLinearMigrator(inst.LMax())
+		if err != nil {
+			return wardrop.Policy{}, err
+		}
+		return wardrop.Policy{Sampler: wardrop.BoltzmannSampler{C: c}, Migrator: lin}, nil
+	default:
+		return wardrop.Policy{}, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func parsePeriod(s string, safe float64) (float64, error) {
+	if s == "safe" {
+		return safe, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("invalid period %q", s)
+	}
+	return v, nil
+}
+
+func emit(res *wardrop.SimResult) error {
+	fmt.Println("time,potential,flows...")
+	for _, s := range res.Trajectory {
+		fmt.Printf("%g,%g", s.Time, s.Potential)
+		for _, f := range s.Flow {
+			fmt.Printf(",%g", f)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("# phases=%d elapsed=%g finalPotential=%g\n", res.Phases, res.Elapsed, res.FinalPotential)
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "moebius"},
+		{"-policy", "psychic"},
+		{"-T", "-3"},
+		{"-T", "soon"},
+		{"-instance", "/nonexistent/file.json"},
+		{"-nonsense-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunFluidSmoke(t *testing.T) {
+	if err := run([]string{"-topo", "pigou", "-policy", "replicator", "-horizon", "2", "-every", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBestResponseSmoke(t *testing.T) {
+	if err := run([]string{"-topo", "kink", "-beta", "4", "-policy", "bestresponse", "-T", "0.5", "-horizon", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAgentsSmoke(t *testing.T) {
+	if err := run([]string{"-topo", "braess", "-policy", "uniform", "-horizon", "2", "-agents", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBoltzmannSmoke(t *testing.T) {
+	if err := run([]string{"-topo", "links", "-m", "4", "-policy", "boltzmann", "-c", "2", "-horizon", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInstanceFile(t *testing.T) {
+	doc := `{
+	  "nodes": ["s", "t"],
+	  "edges": [
+	    {"from": "s", "to": "t", "latency": {"kind": "linear", "slope": 1}},
+	    {"from": "s", "to": "t", "latency": {"kind": "constant", "c": 1}}
+	  ],
+	  "commodities": [{"source": "s", "sink": "t", "demand": 1}]
+	}`
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-instance", path, "-horizon", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Malformed file surfaces a spec error.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-instance", bad}); err == nil || !strings.Contains(err.Error(), "spec") {
+		t.Errorf("bad instance error = %v", err)
+	}
+}
+
+func TestParsePeriod(t *testing.T) {
+	if v, err := parsePeriod("safe", 0.25); err != nil || v != 0.25 {
+		t.Errorf("safe = %g, %v", v, err)
+	}
+	if v, err := parsePeriod("0.5", 0.25); err != nil || v != 0.5 {
+		t.Errorf("number = %g, %v", v, err)
+	}
+	if _, err := parsePeriod("0", 0.25); err == nil {
+		t.Error("zero period accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Multicommodity: two commodities sharing an edge, simulated both in the
+// fluid limit and with the finite-N stochastic agent simulator, showing that
+// the empirical flow tracks the ODE and both reach a common Wardrop
+// equilibrium.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wardrop"
+)
+
+func main() {
+	// a→c demand 0.6 (paths a→b→c and the direct a→c), b→c demand 0.4
+	// (single path b→c). Edge b→c is shared by both commodities.
+	inst, err := wardrop.TwoCommodityOverlap()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d commodities, %d paths, shared edge b→c couples them\n\n",
+		inst.NumCommodities(), inst.NumPaths())
+
+	pol, err := wardrop.Replicator(inst.LMax())
+	if err != nil {
+		log.Fatal(err)
+	}
+	T, err := wardrop.SafeUpdatePeriodFor(pol, inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fluid, err := wardrop.Simulate(inst, wardrop.SimConfig{
+		Policy: pol, UpdatePeriod: T, Horizon: 400, Integrator: wardrop.Uniformization,
+	}, inst.UniformFlow())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fluid limit      : flow = %v\n", short(fluid.Final))
+
+	for _, n := range []int{100, 1000, 10000} {
+		sim, err := wardrop.NewAgentSim(inst, wardrop.AgentConfig{
+			N: n, Policy: pol, UpdatePeriod: T, Horizon: 400, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("agents N=%-6d  : flow = %v  (sup err vs fluid %.4f)\n",
+			n, short(res.Final), res.Final.MaxAbsDiff(fluid.Final))
+	}
+
+	eq, err := wardrop.SolveEquilibrium(inst, wardrop.SolverOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference solver : flow = %v (Φ* = %.4f)\n", short(eq.Flow), eq.Potential)
+	fmt.Println("\nthe stochastic population tracks the fluid limit, and both agree with the solver.")
+}
+
+func short(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(int(x*1000+0.5)) / 1000
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Oscillation: reproduce §3.2 of the paper — best response under stale
+// information oscillates forever on two parallel links with latency
+// ℓ(x) = max{0, β(x−½)}, with closed-form period-2T orbit and amplitude,
+// while the smooth replicator on the exact same instance converges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"wardrop"
+)
+
+func main() {
+	const (
+		beta = 8.0
+		T    = 0.25
+	)
+	inst, err := wardrop.TwoLinkKink(beta)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's closed forms for this instance.
+	f1Start, amplitude, _ := wardrop.TwoLinkOscillation(beta, T, 0)
+	fmt.Printf("§3.2 closed forms (beta=%g, T=%g):\n", beta, T)
+	fmt.Printf("  periodic start   f1(0) = 1/(e^-T+1)        = %.6f\n", f1Start)
+	fmt.Printf("  latency amplitude X = β(1−e^-T)/(2e^-T+2)  = %.6f\n\n", amplitude)
+
+	// Best response: every activated agent adopts the board's shortest path.
+	fmt.Println("best response (board refreshed every T):")
+	f0 := wardrop.Flow{f1Start, 1 - f1Start}
+	_, err = wardrop.SimulateBestResponse(inst, wardrop.BestResponseConfig{
+		UpdatePeriod: T,
+		Horizon:      8 * T,
+		Hook: func(info wardrop.PhaseInfo) bool {
+			fmt.Printf("  phase %2d  t=%5.2f  f1=%.6f  maxLat=%.6f\n",
+				info.Index, info.Time, info.Flow[0],
+				math.Max(info.PathLatencies[0], info.PathLatencies[1]))
+			return false
+		},
+	}, f0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  -> the orbit returns to f1(0) every 2 phases and sustains latency %.6f forever\n\n", amplitude)
+
+	// The smooth replicator at the same T converges (T happens to be at most
+	// the safe period for this instance).
+	pol, err := wardrop.Replicator(inst.LMax())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tSafe, err := wardrop.SafeUpdatePeriodFor(pol, inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := wardrop.Simulate(inst, wardrop.SimConfig{
+		Policy: pol, UpdatePeriod: math.Min(T, tSafe), Horizon: 200,
+	}, f0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replicator at T=%.3g (safe %.3g): f1 -> %.6f (equilibrium 0.5), potential -> %.2g\n",
+		math.Min(T, tSafe), tSafe, res.Final[0], res.FinalPotential)
+	fmt.Println("verdict: the α-smooth policy converges where best response oscillates ✓")
+}

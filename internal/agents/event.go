@@ -1,0 +1,149 @@
+package agents
+
+import (
+	"math"
+
+	"wardrop/internal/board"
+	"wardrop/internal/dynamics"
+	"wardrop/internal/policy"
+)
+
+// RunEventDriven simulates the same finite-N bulletin-board system as Run,
+// but with an exact global event clock instead of per-phase Poisson
+// batching: the superposition of the N agents' rate-1 Poisson clocks is a
+// rate-N Poisson process, so the engine draws Exp(N) inter-activation gaps
+// and activates a uniformly random agent at each event, refreshing the board
+// whenever the clock crosses a multiple of T.
+//
+// Both engines sample the same process law (within a phase the board is
+// frozen, so the batched engine's per-agent Poisson counts are exactly the
+// thinned global process); this engine is the single-threaded reference for
+// the clock ablation and for workloads where activation-order detail
+// matters. It honours Config.Seed/Hook/RecordEvery; Workers is ignored.
+func (s *Sim) RunEventDriven() (*dynamics.Result, error) {
+	b, err := board.New(s.cfg.UpdatePeriod)
+	if err != nil {
+		return nil, err
+	}
+	rng := NewRNG(s.cfg.Seed ^ 0xd1b54a32d192ed03)
+
+	// Flatten the shards into one agent array with cumulative indexing.
+	var all []agentState
+	for _, shard := range s.shards {
+		all = append(all, shard...)
+	}
+	nAgents := len(all)
+	counts := make([]float64, s.inst.NumPaths())
+	for _, a := range all {
+		counts[s.inst.GlobalIndex(int(a.commodity), int(a.path))]++
+	}
+	empirical := func() []float64 {
+		f := make([]float64, len(counts))
+		for g, c := range counts {
+			f[g] = c * s.weights[s.inst.CommodityOf(g)]
+		}
+		return f
+	}
+
+	res := &dynamics.Result{}
+	nPaths := s.inst.NumPaths()
+	var fe, le []float64
+	pl := make([]float64, nPaths)
+	probTab := make([][]float64, s.inst.NumCommodities())
+	for i := range probTab {
+		n := s.inst.NumCommodityPaths(i)
+		probTab[i] = make([]float64, n*n)
+	}
+
+	post := func(t float64, phase int) (dynamics.PhaseInfo, board.Snapshot) {
+		f := empirical()
+		fe = s.inst.EdgeFlows(f, fe)
+		le = s.inst.EdgeLatencies(fe, le)
+		s.inst.PathLatenciesFromEdges(le, pl)
+		phi := s.inst.PotentialFromEdges(fe)
+		snap := board.Snapshot{
+			Time:          t,
+			EdgeLatencies: append([]float64(nil), le...),
+			PathLatencies: append([]float64(nil), pl...),
+			PathFlows:     f,
+		}
+		b.Post(snap)
+		for i := range probTab {
+			lo, hi := s.inst.CommodityRange(i)
+			n := hi - lo
+			for origin := 0; origin < n; origin++ {
+				s.cfg.Policy.Sampler.Probabilities(origin, snap.PathFlows[lo:hi], snap.PathLatencies[lo:hi],
+					probTab[i][origin*n:(origin+1)*n])
+			}
+		}
+		return dynamics.PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}, snap
+	}
+
+	t := 0.0
+	phase := 0
+	info, snap := post(t, phase)
+	if s.cfg.RecordEvery > 0 {
+		res.Trajectory = append(res.Trajectory, dynamics.Sample{Time: t, Potential: info.Potential, Flow: append([]float64(nil), info.Flow...)})
+	}
+	if s.cfg.Hook != nil && s.cfg.Hook(info) {
+		res.Stopped = true
+	}
+	nextBoard := s.cfg.UpdatePeriod
+	mig := s.cfg.Policy.Migrator
+	for !res.Stopped {
+		// Exp(N) inter-activation gap.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		gap := -math.Log(u) / float64(nAgents)
+		t += gap
+		if t >= s.cfg.Horizon {
+			t = s.cfg.Horizon
+			break
+		}
+		// Board refreshes strictly between activations (measure-zero ties).
+		for nextBoard <= t {
+			phase++
+			res.Phases++
+			var hinfo dynamics.PhaseInfo
+			hinfo, snap = post(nextBoard, phase)
+			if s.cfg.RecordEvery > 0 && phase%s.cfg.RecordEvery == 0 {
+				res.Trajectory = append(res.Trajectory, dynamics.Sample{
+					Time: nextBoard, Potential: hinfo.Potential, Flow: append([]float64(nil), hinfo.Flow...),
+				})
+			}
+			if s.cfg.Hook != nil && s.cfg.Hook(hinfo) {
+				res.Stopped = true
+				break
+			}
+			nextBoard += s.cfg.UpdatePeriod
+		}
+		if res.Stopped {
+			break
+		}
+		// Activate a uniformly random agent.
+		a := &all[rng.Uint64()%uint64(nAgents)]
+		i := int(a.commodity)
+		lo, _ := s.inst.CommodityRange(i)
+		n := s.inst.NumCommodityPaths(i)
+		lats := snap.PathLatencies[lo : lo+n]
+		origin := int(a.path)
+		row := probTab[i][origin*n : (origin+1)*n]
+		q := policy.SampleIndex(row, rng.Float64())
+		if q == origin {
+			continue
+		}
+		p := mig.Probability(lats[origin], lats[q])
+		if p > 0 && rng.Float64() < p {
+			counts[lo+origin]--
+			counts[lo+q]++
+			a.path = int32(q)
+		}
+	}
+	final := empirical()
+	res.Final = final
+	res.FinalPotential = s.inst.Potential(final)
+	res.Elapsed = math.Min(t, s.cfg.Horizon)
+	return res, nil
+}

@@ -1,0 +1,304 @@
+// Package agents implements the finite-population counterpart of the fluid
+// limit: N agents with independent Poisson activation clocks reroute against
+// a shared bulletin board. Within a phase every decision depends only on the
+// frozen board and the agent's own current path, so agents are simulated in
+// parallel shards (one goroutine each) with a barrier at phase boundaries —
+// an exact simulation of the bulletin-board model, not an approximation.
+// Comparing its empirical flows against the dynamics package validates that
+// the paper's ODE is the N→∞ limit (experiment E10).
+package agents
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"wardrop/internal/board"
+	"wardrop/internal/dynamics"
+	"wardrop/internal/flow"
+	"wardrop/internal/policy"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadConfig indicates an invalid simulation configuration.
+	ErrBadConfig = errors.New("agents: invalid config")
+)
+
+// Config parameterises a finite-N stochastic simulation.
+type Config struct {
+	// N is the total number of agents, split across commodities in
+	// proportion to demand (each commodity gets at least one agent). Each
+	// agent of commodity i carries weight r_i/n_i flow.
+	N int
+	// Policy is the rerouting policy.
+	Policy policy.Policy
+	// UpdatePeriod is the bulletin-board period T (> 0).
+	UpdatePeriod float64
+	// Horizon is the simulated time budget.
+	Horizon float64
+	// Seed makes runs reproducible. Runs are deterministic for a fixed
+	// (Seed, Workers) pair.
+	Seed uint64
+	// Workers is the number of simulation goroutines (default: GOMAXPROCS,
+	// capped by N).
+	Workers int
+	// RecordEvery records a sample every k phases (0 disables).
+	RecordEvery int
+	// Hook observes phase starts (with the empirical flow); returning true
+	// stops the run.
+	Hook dynamics.Hook
+	// InitialFlow, if non-nil, distributes each commodity's agents over its
+	// paths proportionally to this (feasible) flow vector instead of the
+	// default even spread. Rounding drift lands on the commodity's first
+	// path.
+	InitialFlow flow.Vector
+}
+
+// Sim is a configured simulation bound to an instance. Create with New, run
+// with Run.
+type Sim struct {
+	inst *flow.Instance
+	cfg  Config
+	// agent state, sharded: shard s owns agents[s]. Agents never move
+	// between shards; only their path index mutates.
+	shards [][]agentState
+	// weights[i] is the flow carried by one agent of commodity i.
+	weights []float64
+	// counts[s][g] is shard s's number of agents on global path g.
+	counts [][]float64
+}
+
+type agentState struct {
+	commodity int32
+	path      int32 // commodity-local path index
+}
+
+// New validates the configuration and distributes agents over shards.
+func New(inst *flow.Instance, cfg Config) (*Sim, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("%w: N=%d", ErrBadConfig, cfg.N)
+	}
+	if cfg.UpdatePeriod <= 0 {
+		return nil, fmt.Errorf("%w: update period %g", ErrBadConfig, cfg.UpdatePeriod)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("%w: horizon %g", ErrBadConfig, cfg.Horizon)
+	}
+	if cfg.Policy.Sampler == nil || cfg.Policy.Migrator == nil {
+		return nil, fmt.Errorf("%w: policy requires sampler and migrator", ErrBadConfig)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.N {
+		cfg.Workers = cfg.N
+	}
+
+	s := &Sim{inst: inst, cfg: cfg}
+	total := inst.TotalDemand()
+	// Per-commodity agent counts proportional to demand, ≥ 1 each.
+	perComm := make([]int, inst.NumCommodities())
+	assigned := 0
+	for i := range perComm {
+		ni := int(math.Round(float64(cfg.N) * inst.Commodity(i).Demand / total))
+		if ni < 1 {
+			ni = 1
+		}
+		perComm[i] = ni
+		assigned += ni
+	}
+	// Adjust the largest commodity for rounding drift.
+	largest := 0
+	for i := range perComm {
+		if perComm[i] > perComm[largest] {
+			largest = i
+		}
+	}
+	perComm[largest] += cfg.N - assigned
+	if perComm[largest] < 1 {
+		return nil, fmt.Errorf("%w: N=%d too small for %d commodities", ErrBadConfig, cfg.N, inst.NumCommodities())
+	}
+
+	if cfg.InitialFlow != nil {
+		if err := inst.Feasible(cfg.InitialFlow, 1e-9); err != nil {
+			return nil, fmt.Errorf("%w: initial flow: %v", ErrBadConfig, err)
+		}
+	}
+	s.weights = make([]float64, inst.NumCommodities())
+	var all []agentState
+	for i := range perComm {
+		s.weights[i] = inst.Commodity(i).Demand / float64(perComm[i])
+		np := inst.NumCommodityPaths(i)
+		if cfg.InitialFlow == nil {
+			// Spread each commodity's agents evenly over its paths (matching
+			// the fluid runs' uniform initial flow as closely as integrality
+			// allows).
+			for a := 0; a < perComm[i]; a++ {
+				all = append(all, agentState{commodity: int32(i), path: int32(a % np)})
+			}
+			continue
+		}
+		// Proportional placement: floor per path, drift onto the first path.
+		lo, _ := inst.CommodityRange(i)
+		demand := inst.Commodity(i).Demand
+		placed := 0
+		for p := 0; p < np; p++ {
+			n := int(math.Floor(cfg.InitialFlow[lo+p] / demand * float64(perComm[i])))
+			for a := 0; a < n && placed < perComm[i]; a++ {
+				all = append(all, agentState{commodity: int32(i), path: int32(p)})
+				placed++
+			}
+		}
+		for ; placed < perComm[i]; placed++ {
+			all = append(all, agentState{commodity: int32(i), path: 0})
+		}
+	}
+	// Round-robin deal to shards so every shard holds a commodity mix.
+	s.shards = make([][]agentState, cfg.Workers)
+	for idx, a := range all {
+		w := idx % cfg.Workers
+		s.shards[w] = append(s.shards[w], a)
+	}
+	s.counts = make([][]float64, cfg.Workers)
+	for w := range s.counts {
+		s.counts[w] = make([]float64, inst.NumPaths())
+		for _, a := range s.shards[w] {
+			g := inst.GlobalIndex(int(a.commodity), int(a.path))
+			s.counts[w][g]++
+		}
+	}
+	return s, nil
+}
+
+// EmpiricalFlow returns the current empirical flow vector (agent counts
+// times agent weights).
+func (s *Sim) EmpiricalFlow() flow.Vector {
+	f := make(flow.Vector, s.inst.NumPaths())
+	for w := range s.counts {
+		for g, c := range s.counts[w] {
+			if c != 0 {
+				f[g] += c * s.weights[s.inst.CommodityOf(g)]
+			}
+		}
+	}
+	return f
+}
+
+// Run simulates until the horizon (or a hook stop) and returns the result.
+// The Result's Phases/Trajectory semantics match the dynamics package.
+func (s *Sim) Run() (*dynamics.Result, error) {
+	b, err := board.New(s.cfg.UpdatePeriod)
+	if err != nil {
+		return nil, fmt.Errorf("agents: %w", err)
+	}
+	res := &dynamics.Result{}
+	nPaths := s.inst.NumPaths()
+	var fe, le []float64
+	pl := make([]float64, nPaths)
+
+	// Per-phase sampler probability tables: probTab[i] is an n_i×n_i
+	// row-major table, row = origin. Computed once per phase (board frozen),
+	// shared read-only by all workers.
+	probTab := make([][]float64, s.inst.NumCommodities())
+	for i := range probTab {
+		n := s.inst.NumCommodityPaths(i)
+		probTab[i] = make([]float64, n*n)
+	}
+
+	rngs := make([]*RNG, s.cfg.Workers)
+	for w := range rngs {
+		rngs[w] = NewRNG(s.cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(w+1)))
+	}
+
+	t := 0.0
+	for phase := 0; t < s.cfg.Horizon-1e-12; phase++ {
+		f := s.EmpiricalFlow()
+		fe = s.inst.EdgeFlows(f, fe)
+		le = s.inst.EdgeLatencies(fe, le)
+		s.inst.PathLatenciesFromEdges(le, pl)
+		phi := s.inst.PotentialFromEdges(fe)
+		b.Post(board.Snapshot{
+			Time:          t,
+			EdgeLatencies: append([]float64(nil), le...),
+			PathLatencies: append([]float64(nil), pl...),
+			PathFlows:     f,
+		})
+
+		info := dynamics.PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
+		if s.cfg.RecordEvery > 0 && phase%s.cfg.RecordEvery == 0 {
+			res.Trajectory = append(res.Trajectory, dynamics.Sample{Time: t, Potential: phi, Flow: f.Clone()})
+		}
+		if s.cfg.Hook != nil && s.cfg.Hook(info) {
+			res.Stopped = true
+			break
+		}
+
+		// Fill per-commodity sampling tables from the board.
+		snap, _ := b.Read()
+		for i := range probTab {
+			lo, hi := s.inst.CommodityRange(i)
+			n := hi - lo
+			flows := snap.PathFlows[lo:hi]
+			lats := snap.PathLatencies[lo:hi]
+			for origin := 0; origin < n; origin++ {
+				s.cfg.Policy.Sampler.Probabilities(origin, flows, lats, probTab[i][origin*n:(origin+1)*n])
+			}
+		}
+
+		tau := math.Min(s.cfg.UpdatePeriod, s.cfg.Horizon-t)
+		var wg sync.WaitGroup
+		for w := 0; w < s.cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s.runShard(w, rngs[w], snap, probTab, tau)
+			}(w)
+		}
+		wg.Wait()
+		t += tau
+		res.Phases++
+	}
+	final := s.EmpiricalFlow()
+	res.Final = final
+	res.FinalPotential = s.inst.Potential(final)
+	res.Elapsed = t
+	return res, nil
+}
+
+// runShard advances one shard through a phase of length tau against the
+// frozen board snapshot. Every agent activates Poisson(tau) times; each
+// activation samples a path from the board-derived table and migrates with
+// the policy's probability computed on board latencies.
+func (s *Sim) runShard(w int, rng *RNG, snap board.Snapshot, probTab [][]float64, tau float64) {
+	shard := s.shards[w]
+	counts := s.counts[w]
+	mig := s.cfg.Policy.Migrator
+	for idx := range shard {
+		a := &shard[idx]
+		k := rng.Poisson(tau)
+		if k == 0 {
+			continue
+		}
+		i := int(a.commodity)
+		lo, _ := s.inst.CommodityRange(i)
+		n := s.inst.NumCommodityPaths(i)
+		lats := snap.PathLatencies[lo : lo+n]
+		for act := 0; act < k; act++ {
+			origin := int(a.path)
+			row := probTab[i][origin*n : (origin+1)*n]
+			q := policy.SampleIndex(row, rng.Float64())
+			if q == origin {
+				continue
+			}
+			p := mig.Probability(lats[origin], lats[q])
+			if p > 0 && rng.Float64() < p {
+				counts[lo+origin]--
+				counts[lo+q]++
+				a.path = int32(q)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package board implements Mitzenmacher's bulletin-board model of stale
+// information: all latency information relevant to rerouting is posted at the
+// beginning of every phase of fixed length T and stays frozen until the next
+// update. Both the fluid-limit integrator and the stochastic agent simulator
+// read their decision inputs exclusively from a Board.
+package board
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ErrBadPeriod indicates a non-positive update period.
+var ErrBadPeriod = errors.New("board: update period must be positive")
+
+// Snapshot is the information posted on the bulletin board at the beginning
+// of a phase. Slices are treated as immutable once posted; readers must not
+// modify them.
+type Snapshot struct {
+	// Time is the posting time t̂ (the phase start).
+	Time float64
+	// Version counts postings, starting at 1 for the first Post.
+	Version int
+	// EdgeLatencies holds ℓ_e(f_e(t̂)) per edge.
+	EdgeLatencies []float64
+	// PathLatencies holds ℓ_P(f(t̂)) per global path index.
+	PathLatencies []float64
+	// PathFlows holds f_P(t̂) per global path index (needed by flow-dependent
+	// sampling rules such as proportional sampling).
+	PathFlows []float64
+}
+
+// Board stores the latest snapshot and the update period. It is safe for
+// concurrent use: the agent simulator's workers read while a coordinator
+// posts between phases.
+type Board struct {
+	mu     sync.RWMutex
+	period float64
+	snap   Snapshot
+	posted bool
+}
+
+// New creates a board with update period T > 0.
+func New(period float64) (*Board, error) {
+	if period <= 0 || math.IsNaN(period) {
+		return nil, fmt.Errorf("%w: %g", ErrBadPeriod, period)
+	}
+	return &Board{period: period}, nil
+}
+
+// Period returns the update period T.
+func (b *Board) Period() float64 {
+	return b.period
+}
+
+// Post publishes a new snapshot, bumping the version. The caller transfers
+// ownership of the snapshot's slices to the board.
+func (b *Board) Post(snap Snapshot) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	snap.Version = b.snap.Version + 1
+	b.snap = snap
+	b.posted = true
+}
+
+// Read returns the current snapshot. The second return is false if nothing
+// has been posted yet.
+func (b *Board) Read() (Snapshot, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.snap, b.posted
+}
+
+// Age returns t − t̂, the staleness of the posted information at time t, or
+// +Inf if nothing has been posted.
+func (b *Board) Age(t float64) float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if !b.posted {
+		return math.Inf(1)
+	}
+	return t - b.snap.Time
+}
+
+// Due reports whether a new posting is due at time t (age >= period, within
+// a small tolerance absorbing floating-point phase arithmetic).
+func (b *Board) Due(t float64) bool {
+	return b.Age(t) >= b.period-1e-12
+}
+
+// PhaseStart returns t̂ = ⌊t/T⌋·T, the beginning of the phase containing t.
+func PhaseStart(t, period float64) float64 {
+	return math.Floor(t/period) * period
+}
+
+// PhaseIndex returns ⌊t/T⌋.
+func PhaseIndex(t, period float64) int {
+	return int(math.Floor(t / period))
+}

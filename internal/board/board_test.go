@@ -1,0 +1,104 @@
+package board
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); !errors.Is(err, ErrBadPeriod) {
+		t.Errorf("period 0 error = %v", err)
+	}
+	if _, err := New(-1); !errors.Is(err, ErrBadPeriod) {
+		t.Errorf("negative period error = %v", err)
+	}
+	if _, err := New(math.NaN()); !errors.Is(err, ErrBadPeriod) {
+		t.Errorf("NaN period error = %v", err)
+	}
+	b, err := New(0.5)
+	if err != nil || b.Period() != 0.5 {
+		t.Fatalf("New(0.5) = %v, %v", b, err)
+	}
+}
+
+func TestPostReadVersioning(t *testing.T) {
+	b, _ := New(1)
+	if _, ok := b.Read(); ok {
+		t.Error("fresh board should have no snapshot")
+	}
+	b.Post(Snapshot{Time: 0, EdgeLatencies: []float64{1}})
+	s, ok := b.Read()
+	if !ok || s.Version != 1 || s.EdgeLatencies[0] != 1 {
+		t.Errorf("snapshot = %+v, ok=%v", s, ok)
+	}
+	b.Post(Snapshot{Time: 1})
+	s, _ = b.Read()
+	if s.Version != 2 || s.Time != 1 {
+		t.Errorf("second snapshot = %+v", s)
+	}
+}
+
+func TestAgeAndDue(t *testing.T) {
+	b, _ := New(0.5)
+	if !math.IsInf(b.Age(3), 1) {
+		t.Error("age before first post should be +Inf")
+	}
+	if !b.Due(0) {
+		t.Error("board with no posting should be due")
+	}
+	b.Post(Snapshot{Time: 1})
+	if got := b.Age(1.3); math.Abs(got-0.3) > 1e-15 {
+		t.Errorf("Age = %g, want 0.3", got)
+	}
+	if b.Due(1.2) {
+		t.Error("not due yet")
+	}
+	if !b.Due(1.5) {
+		t.Error("due at exactly one period")
+	}
+}
+
+func TestPhaseHelpers(t *testing.T) {
+	if PhaseStart(1.7, 0.5) != 1.5 {
+		t.Errorf("PhaseStart = %g", PhaseStart(1.7, 0.5))
+	}
+	if PhaseIndex(1.7, 0.5) != 3 {
+		t.Errorf("PhaseIndex = %d", PhaseIndex(1.7, 0.5))
+	}
+	if PhaseStart(0.2, 1) != 0 || PhaseIndex(0.2, 1) != 0 {
+		t.Error("phase 0 wrong")
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	b, _ := New(0.1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if s, ok := b.Read(); ok && len(s.EdgeLatencies) != 1 {
+					t.Error("torn snapshot")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		b.Post(Snapshot{Time: float64(i), EdgeLatencies: []float64{float64(i)}})
+	}
+	close(stop)
+	wg.Wait()
+	if s, _ := b.Read(); s.Version != 1000 {
+		t.Errorf("final version = %d", s.Version)
+	}
+}

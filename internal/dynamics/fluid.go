@@ -1,0 +1,189 @@
+package dynamics
+
+import (
+	"fmt"
+	"math"
+
+	"wardrop/internal/flow"
+)
+
+// Run integrates the stale-information dynamics (Eq. 3) from f0 under the
+// bulletin-board model: at each phase start the board is refreshed from the
+// true state, migration rates are frozen against the board for the whole
+// phase of length cfg.UpdatePeriod, and the linear within-phase system is
+// integrated with the configured scheme.
+func Run(inst *flow.Instance, cfg Config, f0 flow.Vector) (*Result, error) {
+	if err := cfg.validate(true); err != nil {
+		return nil, err
+	}
+	if err := inst.Feasible(f0, 1e-9); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInfeasibleStart, err)
+	}
+	f := f0.Clone()
+	rm := newRateMatrix(inst)
+	n := inst.NumPaths()
+	var (
+		fe, le []float64
+		pl     = make([]float64, n)
+		sc     = newRK4Scratch(n)
+		uA     = make([]float64, n)
+		uB     = make([]float64, n)
+		uC     = make([]float64, n)
+	)
+	res := &Result{}
+	streak := 0
+	t := 0.0
+	for phase := 0; t < cfg.Horizon-1e-12; phase++ {
+		fe = inst.EdgeFlows(f, fe)
+		le = inst.EdgeLatencies(fe, le)
+		inst.PathLatenciesFromEdges(le, pl)
+		phi := inst.PotentialFromEdges(fe)
+
+		info := PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
+		if cfg.Delta > 0 {
+			if cfg.Weak {
+				info.Unsatisfied = inst.WeakUnsatisfiedVolume(f, pl, cfg.Delta)
+			} else {
+				info.Unsatisfied = inst.UnsatisfiedVolume(f, pl, cfg.Delta)
+			}
+			info.AtEquilibrium = info.Unsatisfied <= cfg.Eps
+			if info.AtEquilibrium {
+				streak++
+			} else {
+				res.UnsatisfiedPhases++
+				streak = 0
+			}
+		}
+		if cfg.RecordEvery > 0 && phase%cfg.RecordEvery == 0 {
+			res.Trajectory = append(res.Trajectory, Sample{Time: t, Potential: phi, Flow: f.Clone()})
+		}
+		if cfg.Hook != nil && cfg.Hook(info) {
+			res.Stopped = true
+			break
+		}
+		if cfg.StopAfterSatisfiedStreak > 0 && streak >= cfg.StopAfterSatisfiedStreak {
+			res.Stopped = true
+			break
+		}
+
+		rm.fill(cfg.Policy, f, pl)
+		tau := math.Min(cfg.UpdatePeriod, cfg.Horizon-t)
+		switch cfg.Integrator {
+		case Euler:
+			integrateEuler(rm, f, tau, cfg.Step, uA)
+		case RK4:
+			integrateRK4(rm, f, tau, cfg.Step, sc)
+		case Uniformization:
+			integrateUniformization(rm, f, tau, uA, uB, uC)
+		}
+		inst.Project(f, 1e-9)
+		t += tau
+		res.Phases++
+	}
+	res.Final = f
+	res.FinalPotential = inst.Potential(f)
+	res.Elapsed = t
+	return res, nil
+}
+
+// RunFresh integrates the up-to-date-information dynamics (Eq. 1): migration
+// rates are recomputed from the true state at every derivative evaluation.
+// cfg.UpdatePeriod is ignored; cfg.Step is the reporting granularity and the
+// outer step size (each outer step is one "phase" for hooks and recording).
+// Uniformization is rejected — the fresh system is non-linear.
+func RunFresh(inst *flow.Instance, cfg Config, f0 flow.Vector) (*Result, error) {
+	if err := cfg.validate(false); err != nil {
+		return nil, err
+	}
+	if cfg.Integrator == Uniformization {
+		return nil, fmt.Errorf("%w: uniformization requires a frozen board", ErrBadConfig)
+	}
+	if err := inst.Feasible(f0, 1e-9); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInfeasibleStart, err)
+	}
+	f := f0.Clone()
+	rm := newRateMatrix(inst)
+	n := inst.NumPaths()
+	var (
+		fe, le []float64
+		pl     = make([]float64, n)
+		df     = make([]float64, n)
+		sc     = newRK4Scratch(n)
+	)
+	// fresh recomputes rates from the supplied state before differentiating.
+	fresh := func(state flow.Vector, out []float64) {
+		fe = inst.EdgeFlows(state, fe)
+		le = inst.EdgeLatencies(fe, le)
+		inst.PathLatenciesFromEdges(le, pl)
+		rm.fill(cfg.Policy, state, pl)
+		rm.derivative(state, out)
+	}
+	res := &Result{}
+	streak := 0
+	t := 0.0
+	for step := 0; t < cfg.Horizon-1e-12; step++ {
+		fe = inst.EdgeFlows(f, fe)
+		le = inst.EdgeLatencies(fe, le)
+		inst.PathLatenciesFromEdges(le, pl)
+		phi := inst.PotentialFromEdges(fe)
+		info := PhaseInfo{Index: step, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
+		if cfg.Delta > 0 {
+			if cfg.Weak {
+				info.Unsatisfied = inst.WeakUnsatisfiedVolume(f, pl, cfg.Delta)
+			} else {
+				info.Unsatisfied = inst.UnsatisfiedVolume(f, pl, cfg.Delta)
+			}
+			info.AtEquilibrium = info.Unsatisfied <= cfg.Eps
+			if info.AtEquilibrium {
+				streak++
+			} else {
+				res.UnsatisfiedPhases++
+				streak = 0
+			}
+		}
+		if cfg.RecordEvery > 0 && step%cfg.RecordEvery == 0 {
+			res.Trajectory = append(res.Trajectory, Sample{Time: t, Potential: phi, Flow: f.Clone()})
+		}
+		if cfg.Hook != nil && cfg.Hook(info) {
+			res.Stopped = true
+			break
+		}
+		if cfg.StopAfterSatisfiedStreak > 0 && streak >= cfg.StopAfterSatisfiedStreak {
+			res.Stopped = true
+			break
+		}
+
+		h := math.Min(cfg.Step, cfg.Horizon-t)
+		switch cfg.Integrator {
+		case Euler:
+			fresh(f, df)
+			for i := range f {
+				f[i] += h * df[i]
+			}
+		case RK4:
+			fresh(f, sc.k1)
+			for i := range f {
+				sc.mid[i] = f[i] + 0.5*h*sc.k1[i]
+			}
+			fresh(sc.mid, sc.k2)
+			for i := range f {
+				sc.mid[i] = f[i] + 0.5*h*sc.k2[i]
+			}
+			fresh(sc.mid, sc.k3)
+			for i := range f {
+				sc.mid[i] = f[i] + h*sc.k3[i]
+			}
+			fresh(sc.mid, sc.k4)
+			for i := range f {
+				f[i] += h / 6 * (sc.k1[i] + 2*sc.k2[i] + 2*sc.k3[i] + sc.k4[i])
+			}
+		}
+		inst.Project(f, 1e-9)
+		t += h
+		res.Phases++
+	}
+	res.Final = f
+	res.FinalPotential = inst.Potential(f)
+	res.Elapsed = t
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package dynamics
+
+import (
+	"wardrop/internal/flow"
+	"wardrop/internal/policy"
+)
+
+// rateMatrix holds, per commodity, the per-unit-flow migration rates
+// R[p][q] = σ_pq · µ(ℓ_p, ℓ_q) computed from a (board) state, plus row sums.
+// Indices p, q are commodity-local. The fluid ODE reads
+//
+//	ḟ_p = Σ_q f_q·R[q][p] − f_p·rowSum[p].
+type rateMatrix struct {
+	inst *flow.Instance
+	// rates[i] is an n_i×n_i matrix in row-major layout.
+	rates   [][]float64
+	rowSums [][]float64
+	// scratch per commodity for sampler probabilities.
+	probs [][]float64
+	// maxRate is the largest row sum over all commodities (≤ 1 for
+	// probability-valued policies); used by the uniformization integrator.
+	maxRate float64
+}
+
+func newRateMatrix(inst *flow.Instance) *rateMatrix {
+	rm := &rateMatrix{inst: inst}
+	for i := 0; i < inst.NumCommodities(); i++ {
+		n := inst.NumCommodityPaths(i)
+		rm.rates = append(rm.rates, make([]float64, n*n))
+		rm.rowSums = append(rm.rowSums, make([]float64, n))
+		rm.probs = append(rm.probs, make([]float64, n))
+	}
+	return rm
+}
+
+// fill computes rates from the board state (flows and path latencies indexed
+// globally).
+func (rm *rateMatrix) fill(pol policy.Policy, boardFlows flow.Vector, boardLats []float64) {
+	rm.maxRate = 0
+	for i := 0; i < rm.inst.NumCommodities(); i++ {
+		lo, hi := rm.inst.CommodityRange(i)
+		n := hi - lo
+		rates := rm.rates[i]
+		sums := rm.rowSums[i]
+		probs := rm.probs[i]
+		flows := boardFlows[lo:hi]
+		lats := boardLats[lo:hi]
+		for p := 0; p < n; p++ {
+			pol.Sampler.Probabilities(p, flows, lats, probs)
+			row := rates[p*n : (p+1)*n]
+			sum := 0.0
+			for q := 0; q < n; q++ {
+				if q == p {
+					row[q] = 0
+					continue
+				}
+				r := probs[q] * pol.Migrator.Probability(lats[p], lats[q])
+				row[q] = r
+				sum += r
+			}
+			sums[p] = sum
+			if sum > rm.maxRate {
+				rm.maxRate = sum
+			}
+		}
+	}
+}
+
+// derivative writes ḟ into df given the current flow f (both global
+// vectors).
+func (rm *rateMatrix) derivative(f flow.Vector, df []float64) {
+	for i := 0; i < rm.inst.NumCommodities(); i++ {
+		lo, hi := rm.inst.CommodityRange(i)
+		n := hi - lo
+		rates := rm.rates[i]
+		sums := rm.rowSums[i]
+		for p := 0; p < n; p++ {
+			acc := -f[lo+p] * sums[p]
+			for q := 0; q < n; q++ {
+				acc += f[lo+q] * rates[q*n+p]
+			}
+			df[lo+p] = acc
+		}
+	}
+}
+
+// applyTranspose computes out = Kᵀ·v where K is the uniformised kernel
+// K[p][q] = R[p][q]/Λ for q≠p and K[p][p] = 1 − rowSum[p]/Λ, with the
+// uniformisation rate Λ ≥ maxRate. v and out are global vectors.
+func (rm *rateMatrix) applyTranspose(v, out []float64, lambda float64) {
+	for i := 0; i < rm.inst.NumCommodities(); i++ {
+		lo, hi := rm.inst.CommodityRange(i)
+		n := hi - lo
+		rates := rm.rates[i]
+		sums := rm.rowSums[i]
+		for p := 0; p < n; p++ {
+			acc := v[lo+p] * (1 - sums[p]/lambda)
+			for q := 0; q < n; q++ {
+				if q == p {
+					continue
+				}
+				acc += v[lo+q] * rates[q*n+p] / lambda
+			}
+			out[lo+p] = acc
+		}
+	}
+}

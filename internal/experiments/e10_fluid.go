@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"wardrop/internal/agents"
+	"wardrop/internal/dynamics"
+	"wardrop/internal/report"
+	"wardrop/internal/stats"
+	"wardrop/internal/topo"
+)
+
+// E10Params parameterises the fluid-limit validity check.
+type E10Params struct {
+	// Ns are the agent-population sizes to sweep.
+	Ns []int
+	// Seeds is the number of independent replications averaged per N.
+	Seeds int
+	// Horizon is the simulated time.
+	Horizon float64
+	// UpdatePeriod is the board period T.
+	UpdatePeriod float64
+	// Workers is the per-run goroutine count.
+	Workers int
+}
+
+// DefaultE10Params returns the sweep used by the benchmark harness.
+func DefaultE10Params() E10Params {
+	return E10Params{
+		Ns:      []int{50, 200, 800, 3200},
+		Seeds:   3,
+		Horizon: 20, UpdatePeriod: 0.25,
+		Workers: 2,
+	}
+}
+
+// RunE10 validates the paper's modelling substrate: the stochastic finite-N
+// bulletin-board simulation converges to the fluid-limit ODE as N → ∞. Rows
+// report the seed-averaged sup-norm error between the empirical and fluid
+// flows at the horizon; the note fits the decay exponent (law of large
+// numbers predicts ≈ −1/2).
+func RunE10(p E10Params) (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "E10: fluid limit vs finite-N agent simulation (Braess)",
+		Columns: []string{"N", "mean_sup_err", "seeds"},
+	}
+	inst, err := topo.Braess()
+	if err != nil {
+		return nil, wrap("E10", err)
+	}
+	pol, err := replicatorFor(inst)
+	if err != nil {
+		return nil, wrap("E10", err)
+	}
+	fluid, err := dynamics.Run(inst, dynamics.Config{
+		Policy:       pol,
+		UpdatePeriod: p.UpdatePeriod,
+		Horizon:      p.Horizon,
+		Integrator:   dynamics.Uniformization,
+	}, inst.UniformFlow())
+	if err != nil {
+		return nil, wrap("E10", err)
+	}
+	var ns, errs []float64
+	for _, n := range p.Ns {
+		sum := 0.0
+		for seed := 1; seed <= p.Seeds; seed++ {
+			sim, err := agents.New(inst, agents.Config{
+				N: n, Policy: pol,
+				UpdatePeriod: p.UpdatePeriod, Horizon: p.Horizon,
+				Seed: uint64(seed), Workers: p.Workers,
+			})
+			if err != nil {
+				return nil, wrap("E10", err)
+			}
+			res, err := sim.Run()
+			if err != nil {
+				return nil, wrap("E10", err)
+			}
+			sum += res.Final.MaxAbsDiff(fluid.Final)
+		}
+		mean := sum / float64(p.Seeds)
+		tbl.AddRow(report.I(n), report.F(mean), report.I(p.Seeds))
+		ns = append(ns, float64(n))
+		errs = append(errs, mean)
+	}
+	if fit, err := stats.LogLogSlope(ns, errs); err == nil {
+		tbl.AddNote("fitted error decay exponent = %.3f (LLN prediction: -0.5)", fit.Slope)
+	}
+	return tbl, nil
+}

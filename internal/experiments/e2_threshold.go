@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"math"
+
+	"wardrop/internal/dynamics"
+	"wardrop/internal/flow"
+	"wardrop/internal/report"
+	"wardrop/internal/topo"
+)
+
+// E2Params parameterises the §3.2 tolerance-threshold reproduction.
+type E2Params struct {
+	// Beta is the kink slope.
+	Beta float64
+	// Epsilons are the latency tolerances ε to sweep.
+	Epsilons []float64
+	// Rounds is the number of phases per probe.
+	Rounds int
+}
+
+// DefaultE2Params returns the sweep used by the benchmark harness.
+func DefaultE2Params() E2Params {
+	return E2Params{Beta: 4, Epsilons: []float64{0.2, 0.5, 1.0, 1.5}, Rounds: 30}
+}
+
+// RunE2 reproduces the §3.2 threshold: the oscillation's sustained latency
+// stays within ε iff T ≤ ln((1+2ε/β)/(1−2ε/β)). For each ε it runs best
+// response at exactly the threshold period (expect amplitude ≈ ε) and at
+// 1.5× the threshold (expect amplitude > ε).
+func RunE2(p E2Params) (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "E2 §3.2: maximum update period keeping oscillation within eps",
+		Columns: []string{"eps", "T_max_paper", "amp_at_Tmax", "amp_at_1.5Tmax", "within_eps", "exceeds_eps"},
+	}
+	measure := func(beta, T float64) (float64, error) {
+		inst, err := topo.TwoLinkKink(beta)
+		if err != nil {
+			return 0, err
+		}
+		f1Start, _, _ := dynamics.TwoLinkOscillation(beta, T, 0)
+		f0 := flow.Vector{f1Start, 1 - f1Start}
+		amp := 0.0
+		cfg := dynamics.BestResponseConfig{
+			UpdatePeriod: T,
+			Horizon:      float64(p.Rounds) * T,
+			Hook: func(info dynamics.PhaseInfo) bool {
+				amp = math.Max(amp, math.Max(info.PathLatencies[0], info.PathLatencies[1]))
+				return false
+			},
+		}
+		if _, err := dynamics.RunBestResponse(inst, cfg, f0); err != nil {
+			return 0, err
+		}
+		return amp, nil
+	}
+	for _, eps := range p.Epsilons {
+		_, _, tMax := dynamics.TwoLinkOscillation(p.Beta, 0, eps)
+		if math.IsInf(tMax, 1) {
+			tbl.AddRow(report.F(eps), "inf", "-", "-", "true", "false")
+			continue
+		}
+		ampAt, err := measure(p.Beta, tMax)
+		if err != nil {
+			return nil, wrap("E2", err)
+		}
+		ampOver, err := measure(p.Beta, 1.5*tMax)
+		if err != nil {
+			return nil, wrap("E2", err)
+		}
+		tbl.AddRow(
+			report.F(eps), report.F(tMax),
+			report.F(ampAt), report.F(ampOver),
+			boolCell(ampAt <= eps+1e-9), boolCell(ampOver > eps),
+		)
+	}
+	tbl.AddNote("paper: T <= ln((1+2e/b)/(1-2e/b)) = O(e/b); amplitude at the threshold equals eps exactly")
+	return tbl, nil
+}
+
+func boolCell(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"wardrop/internal/dynamics"
+	"wardrop/internal/flow"
+	"wardrop/internal/policy"
+	"wardrop/internal/report"
+	"wardrop/internal/stats"
+	"wardrop/internal/topo"
+)
+
+// E9Params parameterises the smoothed-best-response sweep.
+type E9Params struct {
+	// Cs are the logit concentration parameters to sweep.
+	Cs []float64
+	// Phases is the number of phases per cell.
+	Phases int
+	// Beta is the kink slope.
+	Beta float64
+}
+
+// DefaultE9Params returns the sweep used by the benchmark harness.
+func DefaultE9Params() E9Params {
+	return E9Params{Cs: []float64{0, 1, 4, 16, 64}, Phases: 400, Beta: 8}
+}
+
+// RunE9 probes the §2.2 smoothed best response: Boltzmann sampling
+// σ_PQ ∝ exp(−c·ℓ_Q) combined with the α-smooth linear migration rule.
+// Because the migration rule stays α-smooth, Corollary 5 still guarantees
+// convergence at the safe period for every c — in sharp contrast to hard
+// best response on the same instance (the final row), which oscillates
+// forever. Rows report final potential and oscillation score per c.
+func RunE9(p E9Params) (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "E9 §2.2: smoothed best response (logit) vs hard best response",
+		Columns: []string{"policy", "c", "phi_final", "monotone_phi", "flow_osc_score"},
+	}
+	inst, err := topo.TwoLinkKink(p.Beta)
+	if err != nil {
+		return nil, wrap("E9", err)
+	}
+	lin, err := policy.NewLinear(inst.LMax())
+	if err != nil {
+		return nil, wrap("E9", err)
+	}
+	tSafe := policy.SafeUpdatePeriod(lin.Alpha(), inst.Beta(), inst.MaxPathLen())
+	f0 := flow.Vector{0.9, 0.1}
+	for _, c := range p.Cs {
+		pol := policy.Policy{Sampler: policy.Boltzmann{C: c}, Migrator: lin}
+		var phis, f1s []float64
+		cfg := dynamics.Config{
+			Policy:       pol,
+			UpdatePeriod: tSafe,
+			Horizon:      float64(p.Phases) * tSafe,
+			Integrator:   dynamics.Uniformization,
+			Hook: func(info dynamics.PhaseInfo) bool {
+				phis = append(phis, info.Potential)
+				f1s = append(f1s, info.Flow[0])
+				return false
+			},
+		}
+		if _, err := dynamics.Run(inst, cfg, f0); err != nil {
+			return nil, wrap("E9", err)
+		}
+		tbl.AddRow(
+			"logit+linear", report.F(c),
+			report.F(phis[len(phis)-1]),
+			boolCell(stats.IsNonIncreasing(phis, 1e-9)),
+			report.F3(stats.OscillationScore(f1s)),
+		)
+	}
+	// Contrast: hard best response at the same T from the paper's periodic
+	// start.
+	f1Start, _, _ := dynamics.TwoLinkOscillation(p.Beta, tSafe, 0)
+	var phis, f1s []float64
+	brCfg := dynamics.BestResponseConfig{
+		UpdatePeriod: tSafe,
+		Horizon:      float64(p.Phases) * tSafe,
+		Hook: func(info dynamics.PhaseInfo) bool {
+			phis = append(phis, info.Potential)
+			f1s = append(f1s, info.Flow[0])
+			return false
+		},
+	}
+	if _, err := dynamics.RunBestResponse(inst, brCfg, flow.Vector{f1Start, 1 - f1Start}); err != nil {
+		return nil, wrap("E9", err)
+	}
+	tbl.AddRow(
+		"best-response", "inf",
+		report.F(phis[len(phis)-1]),
+		boolCell(stats.IsNonIncreasing(phis, 1e-9)),
+		report.F3(stats.OscillationScore(f1s)),
+	)
+	tbl.AddNote("T = T_safe(linear) = %g; smooth migration keeps every logit c convergent, hard BR oscillates", tSafe)
+	return tbl, nil
+}

@@ -1,0 +1,97 @@
+// Package experiments regenerates the paper's quantitative artefacts: the
+// §3.2 best-response oscillation closed forms (E1, E2), the convergence
+// guarantees of Theorem 2 and Corollary 5 (E3, E5), the potential accounting
+// of Lemmas 3 and 4 (E4), the convergence-time scaling laws of Theorems 6
+// and 7 (E6–E8), the smoothed-best-response sweep (E9) and the fluid-limit
+// validity check backing the whole model (E10). Each experiment returns a
+// report.Table whose rows are the series a figure would plot; the root-level
+// benchmark harness has one bench per experiment.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"wardrop/internal/dynamics"
+	"wardrop/internal/flow"
+	"wardrop/internal/policy"
+	"wardrop/internal/solver"
+)
+
+// ErrExperiment wraps failures inside an experiment run.
+var ErrExperiment = errors.New("experiments: run failed")
+
+func wrap(id string, err error) error {
+	return fmt.Errorf("%w: %s: %v", ErrExperiment, id, err)
+}
+
+// replicatorFor builds the replicator policy (proportional + linear) sized to
+// the instance's ℓmax.
+func replicatorFor(inst *flow.Instance) (policy.Policy, error) {
+	return policy.Replicator(inst.LMax())
+}
+
+// uniformLinearFor builds the uniform + linear policy sized to the
+// instance's ℓmax.
+func uniformLinearFor(inst *flow.Instance) (policy.Policy, error) {
+	return policy.UniformLinear(inst.LMax())
+}
+
+// safeT returns the paper's safe update period for the policy on the
+// instance.
+func safeT(inst *flow.Instance, pol policy.Policy) (float64, error) {
+	return policy.SafeUpdatePeriodFor(pol, inst.Beta(), inst.MaxPathLen())
+}
+
+// phiStar solves the instance's optimal potential with the reference solver.
+func phiStar(inst *flow.Instance) (float64, error) {
+	res, err := solver.SolveEquilibrium(inst, solver.Options{RelGapTol: 1e-10})
+	if err != nil {
+		return 0, err
+	}
+	return res.Potential, nil
+}
+
+// countUnsatisfiedRounds runs the stale dynamics from f0 and returns the
+// number of phases not starting at the configured approximate equilibrium,
+// stopping once `streak` consecutive phases are satisfied (or at maxPhases).
+// The second return reports whether the streak stop fired (i.e. the count is
+// complete rather than truncated).
+func countUnsatisfiedRounds(inst *flow.Instance, pol policy.Policy, f0 flow.Vector,
+	T, delta, eps float64, weak bool, streak, maxPhases int) (int, bool, error) {
+	cfg := dynamics.Config{
+		Policy:                   pol,
+		UpdatePeriod:             T,
+		Horizon:                  float64(maxPhases) * T,
+		Integrator:               dynamics.Uniformization,
+		Delta:                    delta,
+		Eps:                      eps,
+		Weak:                     weak,
+		StopAfterSatisfiedStreak: streak,
+	}
+	res, err := dynamics.Run(inst, cfg, f0)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.UnsatisfiedPhases, res.Stopped, nil
+}
+
+// potentialSeries runs the stale dynamics and returns the potential at each
+// phase start.
+func potentialSeries(inst *flow.Instance, pol policy.Policy, f0 flow.Vector, T float64, phases int) ([]float64, error) {
+	var phis []float64
+	cfg := dynamics.Config{
+		Policy:       pol,
+		UpdatePeriod: T,
+		Horizon:      float64(phases) * T,
+		Integrator:   dynamics.Uniformization,
+		Hook: func(info dynamics.PhaseInfo) bool {
+			phis = append(phis, info.Potential)
+			return false
+		},
+	}
+	if _, err := dynamics.Run(inst, cfg, f0); err != nil {
+		return nil, err
+	}
+	return phis, nil
+}

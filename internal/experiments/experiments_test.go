@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse pulls a float out of a table cell.
+func parse(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func findNote(notes []string, sub string) string {
+	for _, n := range notes {
+		if strings.Contains(n, sub) {
+			return n
+		}
+	}
+	return ""
+}
+
+func TestE1AmplitudeMatchesClosedForm(t *testing.T) {
+	p := DefaultE1Params()
+	p.Betas = []float64{2}
+	p.Periods = []float64{0.5, 1}
+	p.Rounds = 20
+	tbl, err := RunE1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if rel := parse(t, row[4]); rel > 1e-9 {
+			t.Errorf("amplitude relative error %g too large: %v", rel, row)
+		}
+		if ret := parse(t, row[5]); ret > 1e-9 {
+			t.Errorf("return error %g too large: %v", ret, row)
+		}
+		if osc := parse(t, row[6]); osc < 0.99 {
+			t.Errorf("oscillation score %g, want ~1: %v", osc, row)
+		}
+	}
+}
+
+func TestE2ThresholdVerdicts(t *testing.T) {
+	p := DefaultE2Params()
+	p.Epsilons = []float64{0.5, 1.0}
+	p.Rounds = 16
+	tbl, err := RunE2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[4] != "true" {
+			t.Errorf("amplitude at threshold should stay within eps: %v", row)
+		}
+		if row[5] != "true" {
+			t.Errorf("amplitude beyond threshold should exceed eps: %v", row)
+		}
+	}
+}
+
+func TestE3MonotoneDescent(t *testing.T) {
+	p := E3Params{Horizon: 40, Step: 1.0 / 32}
+	tbl, err := RunE3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // 3 topologies × 2 policies
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[6] != "true" {
+			t.Errorf("potential not monotone: %v", row)
+		}
+		start, final := parse(t, row[2]), parse(t, row[3])
+		if final > start {
+			t.Errorf("potential rose: %v", row)
+		}
+	}
+}
+
+func TestE4LemmasHold(t *testing.T) {
+	tbl, err := RunE4(E4Params{Phases: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if res := parse(t, row[2]); res > 1e-8 {
+			t.Errorf("Lemma 3 residual %g: %v", res, row)
+		}
+		if row[3] != "true" {
+			t.Errorf("Lemma 4 violated: %v", row)
+		}
+		if maxD := parse(t, row[5]); maxD > 1e-9 {
+			t.Errorf("positive potential change %g at safe T: %v", maxD, row)
+		}
+	}
+}
+
+func TestE5SafeRegimeMonotone(t *testing.T) {
+	p := E5Params{Multipliers: []float64{0.5, 1, 64}, Phases: 150, Beta: 8}
+	tbl, err := RunE5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0 and 1 are at/below the safe period: monotone descent.
+	for _, row := range tbl.Rows[:2] {
+		if row[3] != "true" {
+			t.Errorf("descent broken inside safe regime: %v", row)
+		}
+	}
+}
+
+func TestE6UniformScaling(t *testing.T) {
+	p := E6Params{
+		LinkCounts: []int{2, 4, 8},
+		Delta:      0.3, Eps: 0.15,
+		Streak: 30, MaxPhases: 30_000,
+	}
+	tbl, err := RunE6(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "true" {
+			t.Errorf("run truncated before reaching equilibrium: %v", row)
+		}
+		n := parse(t, row[2])
+		bound := parse(t, row[4])
+		if n > bound {
+			t.Errorf("measured rounds %g exceed the paper bound shape %g: %v", n, bound, row)
+		}
+	}
+	// Rounds must grow with m.
+	if first, last := parse(t, tbl.Rows[0][2]), parse(t, tbl.Rows[len(tbl.Rows)-1][2]); last <= first {
+		t.Errorf("rounds did not grow with m: %g -> %g", first, last)
+	}
+}
+
+func TestE8ProportionalFlatInM(t *testing.T) {
+	p := E8Params{
+		LinkCounts: []int{2, 8, 32},
+		Delta:      0.3, Eps: 0.15,
+		Streak: 30, MaxPhases: 30_000,
+	}
+	tbl, err := RunE8(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	note := findNote(tbl.Notes, "exponent")
+	if note == "" {
+		t.Fatal("missing exponent note")
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "true" {
+			t.Errorf("run truncated: %v", row)
+		}
+	}
+	// Theorem 7 headline: the m-dependence is (near) flat. Allow generous
+	// slack; the contrast experiment E6 shows ~linear growth for uniform.
+	var fields []string
+	for _, f := range strings.Fields(note) {
+		fields = append(fields, strings.TrimSuffix(f, ","))
+	}
+	for i, f := range fields {
+		if f == "=" && i+1 < len(fields) {
+			exp, err := strconv.ParseFloat(fields[i+1], 64)
+			if err == nil {
+				if math.Abs(exp) > 0.6 {
+					t.Errorf("replicator m-exponent = %g, want ~0", exp)
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("could not parse exponent from note %q", note)
+}
+
+func TestE9SmoothLogitConvergesHardBROscillates(t *testing.T) {
+	p := E9Params{Cs: []float64{0, 16}, Phases: 150, Beta: 8}
+	tbl, err := RunE9(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows[:len(tbl.Rows)-1] {
+		if row[3] != "true" {
+			t.Errorf("logit run not monotone: %v", row)
+		}
+	}
+	br := tbl.Rows[len(tbl.Rows)-1]
+	if osc := parse(t, br[4]); osc < 0.9 {
+		t.Errorf("best response oscillation score = %g, want ~1: %v", osc, br)
+	}
+	if phi := parse(t, br[2]); phi < 1e-6 {
+		t.Errorf("best response reached equilibrium (phi=%g) but should not", phi)
+	}
+}
+
+func TestE10ErrorShrinksWithN(t *testing.T) {
+	p := E10Params{Ns: []int{50, 1600}, Seeds: 2, Horizon: 10, UpdatePeriod: 0.25, Workers: 2}
+	tbl, err := RunE10(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := parse(t, tbl.Rows[0][1])
+	large := parse(t, tbl.Rows[1][1])
+	if large >= small {
+		t.Errorf("sup-norm error did not shrink: N=50 err %g, N=1600 err %g", small, large)
+	}
+}
+
+func TestAblationStepErrorsShrink(t *testing.T) {
+	p := AblationStepParams{Steps: []float64{0.1, 0.01}, Phases: 60}
+	tbl, err := RunAblationStep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eu0, eu1 := parse(t, tbl.Rows[0][1]), parse(t, tbl.Rows[1][1])
+	if eu1 > eu0 {
+		t.Errorf("Euler error grew with smaller step: %g -> %g", eu0, eu1)
+	}
+	rk0 := parse(t, tbl.Rows[0][2])
+	if rk0 > eu0 {
+		t.Errorf("RK4 (%g) should beat Euler (%g) at the same step", rk0, eu0)
+	}
+}
+
+func TestE11HedgePhaseTransition(t *testing.T) {
+	p := E11Params{Etas: []float64{0.1, 50}, Phases: 200, Beta: 8, Period: 0.25}
+	tbl, err := RunE11(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := tbl.Rows[0], tbl.Rows[1]
+	if dev := parse(t, small[3]); dev > 0.01 {
+		t.Errorf("small eta should converge, flow dev = %g", dev)
+	}
+	if dev := parse(t, large[3]); dev < 0.1 {
+		t.Errorf("large eta should oscillate, flow dev = %g", dev)
+	}
+	if osc := parse(t, large[4]); osc < 0.9 {
+		t.Errorf("large eta oscillation score = %g", osc)
+	}
+	rep := tbl.Rows[len(tbl.Rows)-1]
+	if dev := parse(t, rep[3]); dev > 0.01 {
+		t.Errorf("replicator comparator should converge, dev = %g", dev)
+	}
+}
+
+func TestE12MultiCommodityCompletes(t *testing.T) {
+	p := E12Params{Ks: []int{1, 3}, Links: 4, Delta: 0.3, Eps: 0.15, Streak: 30, MaxPhases: 30_000}
+	tbl, err := RunE12(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[2] != "true" || row[4] != "true" {
+			t.Errorf("run truncated: %v", row)
+		}
+		if parse(t, row[1]) <= 0 || parse(t, row[3]) <= 0 {
+			t.Errorf("adversarial start should yield unsatisfied rounds: %v", row)
+		}
+	}
+	// The bounds do not grow with k: allow generous slack but catch blowups.
+	u1, uK := parse(t, tbl.Rows[0][1]), parse(t, tbl.Rows[1][1])
+	if uK > 10*u1+100 {
+		t.Errorf("uniform rounds blew up with k: %g -> %g", u1, uK)
+	}
+}

@@ -1,0 +1,111 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a path-flow vector indexed by global path index. Vectors are
+// plain slices so callers can use native indexing; the Instance methods
+// interpret them.
+type Vector []float64
+
+// Clone returns a copy of the vector.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// MaxAbsDiff returns the sup-norm distance between two vectors of equal
+// length (NaN if lengths differ).
+func (v Vector) MaxAbsDiff(w Vector) float64 {
+	if len(v) != len(w) {
+		return math.NaN()
+	}
+	d := 0.0
+	for i := range v {
+		d = math.Max(d, math.Abs(v[i]-w[i]))
+	}
+	return d
+}
+
+// UniformFlow returns the flow that spreads each commodity's demand evenly
+// over its paths.
+func (in *Instance) UniformFlow() Vector {
+	f := make(Vector, in.totalPaths)
+	for i := range in.commodities {
+		lo, hi := in.CommodityRange(i)
+		share := in.commodities[i].Demand / float64(hi-lo)
+		for g := lo; g < hi; g++ {
+			f[g] = share
+		}
+	}
+	return f
+}
+
+// SinglePathFlow returns the flow that routes every commodity entirely on its
+// path with the given local index (clamped to the commodity's path count).
+func (in *Instance) SinglePathFlow(local int) Vector {
+	f := make(Vector, in.totalPaths)
+	for i := range in.commodities {
+		lo, hi := in.CommodityRange(i)
+		idx := local
+		if idx >= hi-lo {
+			idx = hi - lo - 1
+		}
+		f[lo+idx] = in.commodities[i].Demand
+	}
+	return f
+}
+
+// Feasible verifies that f is a feasible flow: correct dimension,
+// non-negative entries (within tol), and per-commodity demands met within
+// tol.
+func (in *Instance) Feasible(f Vector, tol float64) error {
+	if len(f) != in.totalPaths {
+		return fmt.Errorf("%w: got %d, want %d", ErrDimension, len(f), in.totalPaths)
+	}
+	for g, x := range f {
+		if x < -tol || math.IsNaN(x) {
+			return fmt.Errorf("%w: f[%d] = %g", ErrNegativeFlow, g, x)
+		}
+	}
+	for i := range in.commodities {
+		lo, hi := in.CommodityRange(i)
+		sum := 0.0
+		for g := lo; g < hi; g++ {
+			sum += f[g]
+		}
+		if math.Abs(sum-in.commodities[i].Demand) > tol {
+			return fmt.Errorf("%w: commodity %d routes %g, demand %g",
+				ErrDemandMismatch, i, sum, in.commodities[i].Demand)
+		}
+	}
+	return nil
+}
+
+// Project clamps tiny negative entries (|x| <= tol) to zero and rescales each
+// commodity block to meet its demand exactly. It repairs integration
+// round-off; it is not a general projection.
+func (in *Instance) Project(f Vector, tol float64) {
+	for g := range f {
+		if f[g] < 0 && f[g] >= -tol {
+			f[g] = 0
+		}
+	}
+	for i := range in.commodities {
+		lo, hi := in.CommodityRange(i)
+		sum := 0.0
+		for g := lo; g < hi; g++ {
+			sum += f[g]
+		}
+		if sum <= 0 {
+			continue
+		}
+		scale := in.commodities[i].Demand / sum
+		for g := lo; g < hi; g++ {
+			f[g] *= scale
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// WeightFunc maps an edge to its non-negative traversal cost.
+type WeightFunc func(EdgeID) float64
+
+// ShortestPath computes a minimum-weight directed path from source to sink
+// under the given edge weights using Dijkstra's algorithm. Weights must be
+// non-negative; a negative weight yields ErrNegativeWeight. If sink is
+// unreachable it returns ErrNoPath.
+func (g *Graph) ShortestPath(source, sink NodeID, weight WeightFunc) (Path, float64, error) {
+	if !g.validNode(source) {
+		return Path{}, 0, fmt.Errorf("%w: source=%d", ErrUnknownNode, source)
+	}
+	if !g.validNode(sink) {
+		return Path{}, 0, fmt.Errorf("%w: sink=%d", ErrUnknownNode, sink)
+	}
+	dist := make([]float64, g.NumNodes())
+	prevEdge := make([]EdgeID, g.NumNodes())
+	settled := make([]bool, g.NumNodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[source] = 0
+
+	pq := &nodeHeap{}
+	heap.Init(pq)
+	heap.Push(pq, nodeDist{node: source, dist: 0})
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeDist)
+		v := item.node
+		if settled[v] {
+			continue
+		}
+		settled[v] = true
+		if v == sink {
+			break
+		}
+		for _, e := range g.out[v] {
+			w := weight(e)
+			if w < 0 {
+				return Path{}, 0, fmt.Errorf("%w: edge %d weight %g", ErrNegativeWeight, e, w)
+			}
+			to := g.edges[e].To
+			if nd := dist[v] + w; nd < dist[to] {
+				dist[to] = nd
+				prevEdge[to] = e
+				heap.Push(pq, nodeDist{node: to, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[sink], 1) {
+		return Path{}, 0, fmt.Errorf("%w: %d -> %d", ErrNoPath, source, sink)
+	}
+	// Reconstruct edge sequence sink->source, then reverse.
+	var rev []EdgeID
+	for v := sink; v != source; {
+		e := prevEdge[v]
+		rev = append(rev, e)
+		v = g.edges[e].From
+	}
+	edges := make([]EdgeID, len(rev))
+	for i, e := range rev {
+		edges[len(rev)-1-i] = e
+	}
+	return Path{Edges: edges}, dist[sink], nil
+}
+
+type nodeDist struct {
+	node NodeID
+	dist float64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

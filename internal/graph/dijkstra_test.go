@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func unitWeight(EdgeID) float64 { return 1 }
+
+func TestShortestPathDiamond(t *testing.T) {
+	g, s, d := buildDiamond(t)
+	weights := map[EdgeID]float64{0: 1, 1: 5, 2: 1, 3: 1}
+	p, dist, err := g.ShortestPath(s, d, func(e EdgeID) float64 { return weights[e] })
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if dist != 2 {
+		t.Errorf("dist = %g, want 2", dist)
+	}
+	if len(p.Edges) != 2 || p.Edges[0] != 0 || p.Edges[1] != 2 {
+		t.Errorf("path = %v, want e0->e2", p)
+	}
+}
+
+func TestShortestPathPrefersParallelEdge(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a")
+	b := g.MustAddNode("b")
+	slow := g.MustAddEdge(a, b)
+	fast := g.MustAddEdge(a, b)
+	w := map[EdgeID]float64{slow: 10, fast: 1}
+	p, dist, err := g.ShortestPath(a, b, func(e EdgeID) float64 { return w[e] })
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if dist != 1 || p.Edges[0] != fast {
+		t.Errorf("got path %v dist %g, want fast edge dist 1", p, dist)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a")
+	b := g.MustAddNode("b")
+	if _, _, err := g.ShortestPath(a, b, unitWeight); !errors.Is(err, ErrNoPath) {
+		t.Errorf("error = %v, want ErrNoPath", err)
+	}
+}
+
+func TestShortestPathNegativeWeight(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a")
+	b := g.MustAddNode("b")
+	g.MustAddEdge(a, b)
+	_, _, err := g.ShortestPath(a, b, func(EdgeID) float64 { return -1 })
+	if !errors.Is(err, ErrNegativeWeight) {
+		t.Errorf("error = %v, want ErrNegativeWeight", err)
+	}
+}
+
+func TestShortestPathInvalidNodes(t *testing.T) {
+	g, s, _ := buildDiamond(t)
+	if _, _, err := g.ShortestPath(NodeID(50), s, unitWeight); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("error = %v, want ErrUnknownNode", err)
+	}
+	if _, _, err := g.ShortestPath(s, NodeID(50), unitWeight); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("error = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestShortestPathSourceEqualsSink(t *testing.T) {
+	g, s, _ := buildDiamond(t)
+	p, dist, err := g.ShortestPath(s, s, unitWeight)
+	if err != nil {
+		t.Fatalf("ShortestPath(s,s): %v", err)
+	}
+	if dist != 0 || len(p.Edges) != 0 {
+		t.Errorf("got %v dist %g, want empty path dist 0", p, dist)
+	}
+}
+
+// Property: Dijkstra's distance matches the brute-force minimum over all
+// enumerated simple paths when all weights are positive (so no shortest walk
+// revisits a node).
+func TestShortestPathMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newSplitMix(uint64(seed))
+		g := New()
+		s := g.MustAddNode("s")
+		a := g.MustAddNode("a")
+		b := g.MustAddNode("b")
+		c := g.MustAddNode("c")
+		d := g.MustAddNode("t")
+		pairs := [][2]NodeID{{s, a}, {s, b}, {a, c}, {b, c}, {a, b}, {c, d}, {b, d}, {a, d}}
+		weights := make(map[EdgeID]float64)
+		for _, pr := range pairs {
+			id := g.MustAddEdge(pr[0], pr[1])
+			weights[id] = 0.1 + rng.float64()*5
+		}
+		wf := func(e EdgeID) float64 { return weights[e] }
+		_, dist, err := g.ShortestPath(s, d, wf)
+		if err != nil {
+			return false
+		}
+		paths, err := g.EnumeratePaths(s, d, 0)
+		if err != nil {
+			return false
+		}
+		best := math.Inf(1)
+		for _, p := range paths {
+			total := 0.0
+			for _, e := range p.Edges {
+				total += weights[e]
+			}
+			if total < best {
+				best = total
+			}
+		}
+		return math.Abs(best-dist) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// splitMix is a tiny deterministic RNG for property tests in this package.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) float64() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}

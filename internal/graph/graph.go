@@ -1,0 +1,241 @@
+// Package graph implements the directed multigraph substrate of the Wardrop
+// routing model: node/edge bookkeeping, simple-path enumeration between
+// terminals, and shortest-path queries. It is deliberately minimal and
+// allocation-conscious; higher layers (flow, dynamics) treat it as read-only
+// after construction.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node; IDs are dense indices assigned in insertion order.
+type NodeID int
+
+// EdgeID identifies an edge; IDs are dense indices assigned in insertion order.
+type EdgeID int
+
+// Sentinel errors returned by graph construction and queries.
+var (
+	// ErrUnknownNode indicates a NodeID outside the graph.
+	ErrUnknownNode = errors.New("graph: unknown node")
+	// ErrSelfLoop indicates an attempt to add an edge from a node to itself.
+	ErrSelfLoop = errors.New("graph: self-loop edges are not allowed")
+	// ErrDuplicateName indicates an attempt to add a second node with the
+	// same name.
+	ErrDuplicateName = errors.New("graph: duplicate node name")
+	// ErrNoPath indicates that no path exists between the requested terminals.
+	ErrNoPath = errors.New("graph: no path between terminals")
+	// ErrNegativeWeight indicates a negative edge weight passed to a
+	// shortest-path query.
+	ErrNegativeWeight = errors.New("graph: negative edge weight")
+)
+
+// Edge is a directed edge of the multigraph. Parallel edges (same endpoints)
+// are permitted and receive distinct IDs.
+type Edge struct {
+	ID   EdgeID
+	From NodeID
+	To   NodeID
+}
+
+// Graph is a directed finite multigraph. The zero value is an empty graph
+// ready for use. Graph is not safe for concurrent mutation; once built it is
+// safe for concurrent reads.
+type Graph struct {
+	names     []string
+	nameIndex map[string]NodeID
+	edges     []Edge
+	out       [][]EdgeID
+	in        [][]EdgeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{nameIndex: make(map[string]NodeID)}
+}
+
+// AddNode adds a node with the given name and returns its ID. Names must be
+// unique; adding a duplicate name returns ErrDuplicateName.
+func (g *Graph) AddNode(name string) (NodeID, error) {
+	if g.nameIndex == nil {
+		g.nameIndex = make(map[string]NodeID)
+	}
+	if _, ok := g.nameIndex[name]; ok {
+		return 0, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	id := NodeID(len(g.names))
+	g.names = append(g.names, name)
+	g.nameIndex[name] = id
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id, nil
+}
+
+// MustAddNode is AddNode for static construction code where a duplicate name
+// is a programmer error.
+func (g *Graph) MustAddNode(name string) NodeID {
+	id, err := g.AddNode(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Node returns the ID of the node with the given name.
+func (g *Graph) Node(name string) (NodeID, bool) {
+	id, ok := g.nameIndex[name]
+	return id, ok
+}
+
+// NodeName returns the name of node v, or "" if v is out of range.
+func (g *Graph) NodeName(v NodeID) string {
+	if !g.validNode(v) {
+		return ""
+	}
+	return g.names[v]
+}
+
+// AddEdge adds a directed edge from one node to another and returns its ID.
+// Parallel edges are allowed; self-loops are rejected with ErrSelfLoop.
+func (g *Graph) AddEdge(from, to NodeID) (EdgeID, error) {
+	if !g.validNode(from) {
+		return 0, fmt.Errorf("%w: from=%d", ErrUnknownNode, from)
+	}
+	if !g.validNode(to) {
+		return 0, fmt.Errorf("%w: to=%d", ErrUnknownNode, to)
+	}
+	if from == to {
+		return 0, fmt.Errorf("%w: node %d", ErrSelfLoop, from)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge for static construction code.
+func (g *Graph) MustAddEdge(from, to NodeID) EdgeID {
+	id, err := g.AddEdge(from, to)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumEdges reports the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(e EdgeID) (Edge, bool) {
+	if int(e) < 0 || int(e) >= len(g.edges) {
+		return Edge{}, false
+	}
+	return g.edges[e], true
+}
+
+// OutEdges returns the IDs of edges leaving v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) OutEdges(v NodeID) []EdgeID {
+	if !g.validNode(v) {
+		return nil
+	}
+	return g.out[v]
+}
+
+// InEdges returns the IDs of edges entering v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) InEdges(v NodeID) []EdgeID {
+	if !g.validNode(v) {
+		return nil
+	}
+	return g.in[v]
+}
+
+// Reachable reports whether to is reachable from from following edge
+// directions.
+func (g *Graph) Reachable(from, to NodeID) bool {
+	if !g.validNode(from) || !g.validNode(to) {
+		return false
+	}
+	if from == to {
+		return true
+	}
+	seen := make([]bool, g.NumNodes())
+	stack := []NodeID{from}
+	seen[from] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[v] {
+			w := g.edges[e].To
+			if w == to {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// IsAcyclic reports whether the graph contains no directed cycle.
+func (g *Graph) IsAcyclic() bool {
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make([]byte, g.NumNodes())
+	var visit func(v NodeID) bool
+	visit = func(v NodeID) bool {
+		state[v] = onStack
+		for _, e := range g.out[v] {
+			w := g.edges[e].To
+			switch state[w] {
+			case onStack:
+				return false
+			case unvisited:
+				if !visit(w) {
+					return false
+				}
+			}
+		}
+		state[v] = done
+		return true
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if state[v] == unvisited && !visit(NodeID(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks internal consistency; it returns a non-nil error only if
+// the graph was corrupted by direct struct manipulation.
+func (g *Graph) Validate() error {
+	for i, e := range g.edges {
+		if EdgeID(i) != e.ID {
+			return fmt.Errorf("graph: edge %d has mismatched ID %d", i, e.ID)
+		}
+		if !g.validNode(e.From) || !g.validNode(e.To) {
+			return fmt.Errorf("graph: edge %d has invalid endpoints", i)
+		}
+	}
+	if len(g.out) != len(g.names) || len(g.in) != len(g.names) {
+		return errors.New("graph: adjacency size mismatch")
+	}
+	return nil
+}
+
+func (g *Graph) validNode(v NodeID) bool {
+	return int(v) >= 0 && int(v) < len(g.names)
+}

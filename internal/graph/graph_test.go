@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func buildDiamond(t *testing.T) (*Graph, NodeID, NodeID) {
+	t.Helper()
+	g := New()
+	s := g.MustAddNode("s")
+	a := g.MustAddNode("a")
+	b := g.MustAddNode("b")
+	d := g.MustAddNode("t")
+	g.MustAddEdge(s, a)
+	g.MustAddEdge(s, b)
+	g.MustAddEdge(a, d)
+	g.MustAddEdge(b, d)
+	return g, s, d
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New()
+	for i, name := range []string{"a", "b", "c"} {
+		id, err := g.AddNode(name)
+		if err != nil {
+			t.Fatalf("AddNode(%q): %v", name, err)
+		}
+		if int(id) != i {
+			t.Errorf("AddNode(%q) = %d, want %d", name, id, i)
+		}
+	}
+	if g.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", g.NumNodes())
+	}
+}
+
+func TestAddNodeDuplicateName(t *testing.T) {
+	g := New()
+	g.MustAddNode("x")
+	if _, err := g.AddNode("x"); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("duplicate AddNode error = %v, want ErrDuplicateName", err)
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	g := New()
+	id := g.MustAddNode("hub")
+	got, ok := g.Node("hub")
+	if !ok || got != id {
+		t.Errorf("Node(hub) = %d,%v, want %d,true", got, ok, id)
+	}
+	if _, ok := g.Node("missing"); ok {
+		t.Error("Node(missing) reported ok")
+	}
+	if name := g.NodeName(id); name != "hub" {
+		t.Errorf("NodeName = %q, want hub", name)
+	}
+	if name := g.NodeName(NodeID(99)); name != "" {
+		t.Errorf("NodeName(out of range) = %q, want empty", name)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a")
+	b := g.MustAddNode("b")
+	if _, err := g.AddEdge(a, a); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self-loop error = %v, want ErrSelfLoop", err)
+	}
+	if _, err := g.AddEdge(a, NodeID(42)); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown-node error = %v, want ErrUnknownNode", err)
+	}
+	if _, err := g.AddEdge(NodeID(-1), b); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("negative-node error = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestParallelEdgesAllowed(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a")
+	b := g.MustAddNode("b")
+	e1 := g.MustAddEdge(a, b)
+	e2 := g.MustAddEdge(a, b)
+	if e1 == e2 {
+		t.Fatal("parallel edges share an ID")
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if got := g.OutEdges(a); len(got) != 2 {
+		t.Errorf("OutEdges(a) = %v, want two edges", got)
+	}
+	if got := g.InEdges(b); len(got) != 2 {
+		t.Errorf("InEdges(b) = %v, want two edges", got)
+	}
+}
+
+func TestEdgeAccessor(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a")
+	b := g.MustAddNode("b")
+	id := g.MustAddEdge(a, b)
+	e, ok := g.Edge(id)
+	if !ok || e.From != a || e.To != b || e.ID != id {
+		t.Errorf("Edge(%d) = %+v,%v", id, e, ok)
+	}
+	if _, ok := g.Edge(EdgeID(7)); ok {
+		t.Error("Edge(out of range) reported ok")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g, s, d := buildDiamond(t)
+	if !g.Reachable(s, d) {
+		t.Error("s should reach t")
+	}
+	if g.Reachable(d, s) {
+		t.Error("t should not reach s")
+	}
+	if !g.Reachable(s, s) {
+		t.Error("a node reaches itself")
+	}
+	if g.Reachable(s, NodeID(77)) {
+		t.Error("out-of-range target should be unreachable")
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	g, _, _ := buildDiamond(t)
+	if !g.IsAcyclic() {
+		t.Error("diamond should be acyclic")
+	}
+	a, _ := g.Node("a")
+	b, _ := g.Node("b")
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if g.IsAcyclic() {
+		t.Error("graph with 2-cycle reported acyclic")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g, _, _ := buildDiamond(t)
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	g.edges[0].ID = 5
+	if err := g.Validate(); err == nil {
+		t.Error("Validate missed corrupted edge ID")
+	}
+}
+
+func TestZeroValueGraphUsable(t *testing.T) {
+	var g Graph
+	if _, err := g.AddNode("only"); err != nil {
+		t.Fatalf("zero-value AddNode: %v", err)
+	}
+	if g.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d, want 1", g.NumNodes())
+	}
+}

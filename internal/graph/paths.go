@@ -1,0 +1,143 @@
+package graph
+
+import "fmt"
+
+// Path is a directed simple path represented by its edge sequence.
+type Path struct {
+	Edges []EdgeID
+}
+
+// Len returns the number of edges on the path.
+func (p Path) Len() int { return len(p.Edges) }
+
+// Nodes returns the node sequence of the path within g, starting at the
+// path's source. It returns nil for an empty path.
+func (p Path) Nodes(g *Graph) []NodeID {
+	if len(p.Edges) == 0 {
+		return nil
+	}
+	nodes := make([]NodeID, 0, len(p.Edges)+1)
+	first, _ := g.Edge(p.Edges[0])
+	nodes = append(nodes, first.From)
+	for _, e := range p.Edges {
+		edge, _ := g.Edge(e)
+		nodes = append(nodes, edge.To)
+	}
+	return nodes
+}
+
+// String renders the path as an edge-ID sequence, e.g. "e0->e3->e5".
+func (p Path) String() string {
+	s := ""
+	for i, e := range p.Edges {
+		if i > 0 {
+			s += "->"
+		}
+		s += fmt.Sprintf("e%d", int(e))
+	}
+	if s == "" {
+		return "<empty>"
+	}
+	return s
+}
+
+// Equal reports whether two paths traverse the same edge sequence.
+func (p Path) Equal(q Path) bool {
+	if len(p.Edges) != len(q.Edges) {
+		return false
+	}
+	for i := range p.Edges {
+		if p.Edges[i] != q.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether p is a connected simple directed path in g.
+func (p Path) Valid(g *Graph) bool {
+	if len(p.Edges) == 0 {
+		return false
+	}
+	seen := map[NodeID]bool{}
+	prev, ok := g.Edge(p.Edges[0])
+	if !ok {
+		return false
+	}
+	seen[prev.From] = true
+	seen[prev.To] = true
+	for _, id := range p.Edges[1:] {
+		e, ok := g.Edge(id)
+		if !ok || e.From != prev.To {
+			return false
+		}
+		if seen[e.To] {
+			return false
+		}
+		seen[e.To] = true
+		prev = e
+	}
+	return true
+}
+
+// EnumeratePaths returns all simple directed paths from source to sink with at
+// most maxLen edges. maxLen <= 0 means "no bound beyond simplicity"
+// (equivalently NumNodes-1 edges). Paths are returned in lexicographic order
+// of their edge-ID sequences. It returns ErrNoPath if none exists.
+func (g *Graph) EnumeratePaths(source, sink NodeID, maxLen int) ([]Path, error) {
+	if !g.validNode(source) {
+		return nil, fmt.Errorf("%w: source=%d", ErrUnknownNode, source)
+	}
+	if !g.validNode(sink) {
+		return nil, fmt.Errorf("%w: sink=%d", ErrUnknownNode, sink)
+	}
+	if maxLen <= 0 || maxLen > g.NumNodes()-1 {
+		maxLen = g.NumNodes() - 1
+	}
+	var (
+		paths   []Path
+		current []EdgeID
+		onPath  = make([]bool, g.NumNodes())
+	)
+	var visit func(v NodeID)
+	visit = func(v NodeID) {
+		if v == sink {
+			cp := make([]EdgeID, len(current))
+			copy(cp, current)
+			paths = append(paths, Path{Edges: cp})
+			return
+		}
+		if len(current) >= maxLen {
+			return
+		}
+		onPath[v] = true
+		for _, e := range g.out[v] {
+			w := g.edges[e].To
+			if onPath[w] {
+				continue
+			}
+			current = append(current, e)
+			visit(w)
+			current = current[:len(current)-1]
+		}
+		onPath[v] = false
+	}
+	if source == sink {
+		return nil, fmt.Errorf("%w: source equals sink (node %d)", ErrNoPath, source)
+	}
+	visit(source)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrNoPath, source, sink)
+	}
+	return paths, nil
+}
+
+// CountPaths returns the number of simple paths from source to sink with at
+// most maxLen edges without materialising them.
+func (g *Graph) CountPaths(source, sink NodeID, maxLen int) (int, error) {
+	paths, err := g.EnumeratePaths(source, sink, maxLen)
+	if err != nil {
+		return 0, err
+	}
+	return len(paths), nil
+}

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnumeratePathsDiamond(t *testing.T) {
+	g, s, d := buildDiamond(t)
+	paths, err := g.EnumeratePaths(s, d, 0)
+	if err != nil {
+		t.Fatalf("EnumeratePaths: %v", err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2: %v", len(paths), paths)
+	}
+	for _, p := range paths {
+		if !p.Valid(g) {
+			t.Errorf("invalid path %v", p)
+		}
+		if p.Len() != 2 {
+			t.Errorf("path %v has length %d, want 2", p, p.Len())
+		}
+	}
+}
+
+func TestEnumeratePathsBraessCount(t *testing.T) {
+	// Braess network: s->a, s->b, a->t, b->t plus bridge a->b: 3 paths.
+	g := New()
+	s := g.MustAddNode("s")
+	a := g.MustAddNode("a")
+	b := g.MustAddNode("b")
+	d := g.MustAddNode("t")
+	g.MustAddEdge(s, a)
+	g.MustAddEdge(s, b)
+	g.MustAddEdge(a, d)
+	g.MustAddEdge(b, d)
+	g.MustAddEdge(a, b)
+	paths, err := g.EnumeratePaths(s, d, 0)
+	if err != nil {
+		t.Fatalf("EnumeratePaths: %v", err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("Braess should have 3 paths, got %d", len(paths))
+	}
+}
+
+func TestEnumeratePathsMaxLen(t *testing.T) {
+	g := New()
+	s := g.MustAddNode("s")
+	a := g.MustAddNode("a")
+	b := g.MustAddNode("b")
+	d := g.MustAddNode("t")
+	g.MustAddEdge(s, d) // length 1
+	g.MustAddEdge(s, a) // length 3 via a,b
+	g.MustAddEdge(a, b) //
+	g.MustAddEdge(b, d) //
+	paths, err := g.EnumeratePaths(s, d, 1)
+	if err != nil {
+		t.Fatalf("EnumeratePaths: %v", err)
+	}
+	if len(paths) != 1 || paths[0].Len() != 1 {
+		t.Fatalf("maxLen=1 should keep only direct edge, got %v", paths)
+	}
+	paths, err = g.EnumeratePaths(s, d, 0)
+	if err != nil {
+		t.Fatalf("EnumeratePaths: %v", err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("unbounded enumeration should find 2 paths, got %d", len(paths))
+	}
+}
+
+func TestEnumeratePathsAvoidsCycles(t *testing.T) {
+	g := New()
+	s := g.MustAddNode("s")
+	a := g.MustAddNode("a")
+	d := g.MustAddNode("t")
+	g.MustAddEdge(s, a)
+	g.MustAddEdge(a, s) // back edge creating a cycle
+	g.MustAddEdge(a, d)
+	paths, err := g.EnumeratePaths(s, d, 0)
+	if err != nil {
+		t.Fatalf("EnumeratePaths: %v", err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("cycle must not generate extra paths, got %v", paths)
+	}
+}
+
+func TestEnumeratePathsErrors(t *testing.T) {
+	g, s, d := buildDiamond(t)
+	if _, err := g.EnumeratePaths(d, s, 0); !errors.Is(err, ErrNoPath) {
+		t.Errorf("reverse enumeration error = %v, want ErrNoPath", err)
+	}
+	if _, err := g.EnumeratePaths(s, s, 0); !errors.Is(err, ErrNoPath) {
+		t.Errorf("source==sink error = %v, want ErrNoPath", err)
+	}
+	if _, err := g.EnumeratePaths(NodeID(9), d, 0); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown source error = %v, want ErrUnknownNode", err)
+	}
+	if _, err := g.EnumeratePaths(s, NodeID(9), 0); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown sink error = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestCountPaths(t *testing.T) {
+	g, s, d := buildDiamond(t)
+	n, err := g.CountPaths(s, d, 0)
+	if err != nil || n != 2 {
+		t.Errorf("CountPaths = %d,%v, want 2,nil", n, err)
+	}
+}
+
+func TestPathNodesAndString(t *testing.T) {
+	g, s, d := buildDiamond(t)
+	paths, _ := g.EnumeratePaths(s, d, 0)
+	nodes := paths[0].Nodes(g)
+	if len(nodes) != 3 || nodes[0] != s || nodes[2] != d {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	if paths[0].String() == "" || paths[0].String() == "<empty>" {
+		t.Errorf("String = %q", paths[0].String())
+	}
+	if (Path{}).String() != "<empty>" {
+		t.Errorf("empty path String = %q", (Path{}).String())
+	}
+	if (Path{}).Nodes(g) != nil {
+		t.Error("empty path Nodes should be nil")
+	}
+}
+
+func TestPathEqual(t *testing.T) {
+	p := Path{Edges: []EdgeID{0, 1}}
+	q := Path{Edges: []EdgeID{0, 1}}
+	r := Path{Edges: []EdgeID{0, 2}}
+	s := Path{Edges: []EdgeID{0}}
+	if !p.Equal(q) || p.Equal(r) || p.Equal(s) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestPathValid(t *testing.T) {
+	g, s, d := buildDiamond(t)
+	paths, _ := g.EnumeratePaths(s, d, 0)
+	if !paths[0].Valid(g) {
+		t.Error("enumerated path should be valid")
+	}
+	if (Path{}).Valid(g) {
+		t.Error("empty path should be invalid")
+	}
+	disconnected := Path{Edges: []EdgeID{0, 3}} // s->a then b->t: disconnected
+	if disconnected.Valid(g) {
+		t.Error("disconnected edge sequence should be invalid")
+	}
+	if (Path{Edges: []EdgeID{99}}).Valid(g) {
+		t.Error("out-of-range edge should be invalid")
+	}
+}
+
+// Property: on layered graphs with w parallel relay nodes, the number of
+// enumerated s-t paths equals w, and every path is simple and valid.
+func TestEnumeratePathsPropertyLayered(t *testing.T) {
+	f := func(width uint8) bool {
+		w := int(width%6) + 1
+		g := New()
+		s := g.MustAddNode("s")
+		d := g.MustAddNode("t")
+		for i := 0; i < w; i++ {
+			mid := g.MustAddNode("m" + string(rune('a'+i)))
+			g.MustAddEdge(s, mid)
+			g.MustAddEdge(mid, d)
+		}
+		paths, err := g.EnumeratePaths(s, d, 0)
+		if err != nil || len(paths) != w {
+			return false
+		}
+		for _, p := range paths {
+			if !p.Valid(g) || p.Len() != 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KShortestPaths returns up to k loopless shortest paths from source to sink
+// in increasing weight order, using Yen's algorithm over the Dijkstra
+// subroutine. It is the strategy-space builder for graphs whose full simple-
+// path enumeration explodes: instances can restrict each commodity to its K
+// cheapest paths instead. Weights must be non-negative. It returns ErrNoPath
+// if no path exists; fewer than k paths are returned when the graph has
+// fewer loopless paths.
+func (g *Graph) KShortestPaths(source, sink NodeID, k int, weight WeightFunc) ([]Path, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: KShortestPaths needs k >= 1, got %d", k)
+	}
+	best, _, err := g.ShortestPath(source, sink, weight)
+	if err != nil {
+		return nil, err
+	}
+	accepted := []Path{best}
+	seen := map[string]bool{best.String(): true}
+	var candidates []candidatePath
+
+	for len(accepted) < k {
+		prev := accepted[len(accepted)-1]
+		prevNodes := prev.Nodes(g)
+		// Spur from every node of the previously accepted path except the
+		// sink.
+		for i := 0; i < len(prev.Edges); i++ {
+			spurNode := prevNodes[i]
+			rootEdges := prev.Edges[:i]
+
+			bannedEdges := map[EdgeID]bool{}
+			for _, p := range accepted {
+				if hasPrefix(p.Edges, rootEdges) && len(p.Edges) > i {
+					bannedEdges[p.Edges[i]] = true
+				}
+			}
+			bannedNodes := map[NodeID]bool{}
+			for _, v := range prevNodes[:i] {
+				bannedNodes[v] = true
+			}
+
+			w := func(e EdgeID) float64 {
+				if bannedEdges[e] {
+					return math.Inf(1)
+				}
+				edge, _ := g.Edge(e)
+				if bannedNodes[edge.To] || bannedNodes[edge.From] {
+					return math.Inf(1)
+				}
+				return weight(e)
+			}
+			spur, _, err := g.ShortestPath(spurNode, sink, w)
+			if err != nil {
+				continue // no spur path from here
+			}
+			total := make([]EdgeID, 0, len(rootEdges)+len(spur.Edges))
+			total = append(total, rootEdges...)
+			total = append(total, spur.Edges...)
+			cand := Path{Edges: total}
+			if !cand.Valid(g) {
+				continue // root+spur revisits a node
+			}
+			key := cand.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			candidates = append(candidates, candidatePath{path: cand, cost: pathWeight(cand, weight)})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].cost < candidates[b].cost })
+		accepted = append(accepted, candidates[0].path)
+		candidates = candidates[1:]
+	}
+	return accepted, nil
+}
+
+type candidatePath struct {
+	path Path
+	cost float64
+}
+
+func pathWeight(p Path, weight WeightFunc) float64 {
+	total := 0.0
+	for _, e := range p.Edges {
+		total += weight(e)
+	}
+	return total
+}
+
+func hasPrefix(edges, prefix []EdgeID) bool {
+	if len(edges) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if edges[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package latency
+
+import "math"
+
+// SimpsonIntegral numerically integrates f.Value over [0, x] with adaptive
+// Simpson quadrature to the given absolute tolerance. It exists to
+// cross-check the closed-form Integral implementations in tests and to
+// support user-defined Funcs without an analytic antiderivative.
+func SimpsonIntegral(f Function, x, tol float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	sign := 1.0
+	a, b := 0.0, x
+	if x < 0 {
+		sign, a, b = -1.0, x, 0.0
+	}
+	fa, fb := f.Value(a), f.Value(b)
+	m := 0.5 * (a + b)
+	fm := f.Value(m)
+	whole := simpsonRule(a, b, fa, fm, fb)
+	return sign * adaptiveSimpson(f, a, b, fa, fm, fb, whole, tol, 50)
+}
+
+func simpsonRule(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveSimpson(f Function, a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+	m := 0.5 * (a + b)
+	lm := 0.5 * (a + m)
+	rm := 0.5 * (m + b)
+	flm, frm := f.Value(lm), f.Value(rm)
+	left := simpsonRule(a, m, fa, flm, fm)
+	right := simpsonRule(m, b, fm, frm, fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveSimpson(f, a, m, fa, flm, fm, left, tol/2, depth-1) +
+		adaptiveSimpson(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+}
+
+// Func adapts arbitrary closures into a Function. Derivative defaults to a
+// central finite difference and Integral to adaptive Simpson when the
+// corresponding closure is nil. SlopeBoundHint must be supplied by the user
+// (scanning cannot bound a derivative in general); if zero, SlopeBound scans
+// a 1024-point grid of finite differences as a best effort.
+type Func struct {
+	V              func(x float64) float64
+	D              func(x float64) float64
+	I              func(x float64) float64
+	SlopeBoundHint float64
+	Name           string
+}
+
+var _ Function = Func{}
+
+// Value implements Function.
+func (f Func) Value(x float64) float64 { return f.V(x) }
+
+// Derivative implements Function.
+func (f Func) Derivative(x float64) float64 {
+	if f.D != nil {
+		return f.D(x)
+	}
+	const h = 1e-6
+	return (f.V(x+h) - f.V(x-h)) / (2 * h)
+}
+
+// Integral implements Function.
+func (f Func) Integral(x float64) float64 {
+	if f.I != nil {
+		return f.I(x)
+	}
+	return SimpsonIntegral(f, x, 1e-10)
+}
+
+// SlopeBound implements Function.
+func (f Func) SlopeBound() float64 {
+	if f.SlopeBoundHint > 0 {
+		return f.SlopeBoundHint
+	}
+	const n = 1024
+	bound := 0.0
+	for i := 0; i <= n; i++ {
+		x := float64(i) / n
+		bound = math.Max(bound, f.Derivative(x))
+	}
+	return bound
+}
+
+func (f Func) String() string {
+	if f.Name != "" {
+		return f.Name
+	}
+	return "func"
+}

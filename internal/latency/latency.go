@@ -1,0 +1,337 @@
+// Package latency provides the edge latency functions of the Wardrop model:
+// continuous, non-decreasing maps ℓ_e : [0,1] → ℝ≥0 with bounded first
+// derivative, together with the calculus the dynamics and potential-function
+// machinery need (derivatives, exact integrals, slope bounds on [0,1]).
+//
+// All flows handled by the simulators live in [0,1] after demand
+// normalisation, so SlopeBound is defined as sup_{x∈[0,1]} ℓ'(x); functions
+// remain usable outside that interval but the bound only covers it.
+package latency
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Function is a single edge's latency function. Implementations must be
+// continuous and non-decreasing on [0,1] with ℓ(x) ≥ 0.
+type Function interface {
+	// Value returns ℓ(x).
+	Value(x float64) float64
+	// Derivative returns ℓ'(x) (one-sided at kinks; implementations pick the
+	// right-hand derivative).
+	Derivative(x float64) float64
+	// Integral returns ∫₀ˣ ℓ(u) du, the edge's contribution to the
+	// Beckmann–McGuire–Winsten potential.
+	Integral(x float64) float64
+	// SlopeBound returns an upper bound β_e on ℓ' over [0,1].
+	SlopeBound() float64
+	// String names the function for reports and debugging.
+	String() string
+}
+
+// Sentinel validation errors.
+var (
+	// ErrNegativeValue indicates ℓ(x) < 0 somewhere on [0,1].
+	ErrNegativeValue = errors.New("latency: function takes a negative value on [0,1]")
+	// ErrDecreasing indicates the function decreases somewhere on [0,1].
+	ErrDecreasing = errors.New("latency: function is decreasing on [0,1]")
+	// ErrBadParam indicates an invalid constructor parameter.
+	ErrBadParam = errors.New("latency: invalid parameter")
+)
+
+// Check verifies on a grid of n+1 points that f is non-negative and
+// non-decreasing on [0,1]. It is a diagnostic helper for user-supplied
+// functions, not a proof.
+func Check(f Function, n int) error {
+	if n < 1 {
+		n = 256
+	}
+	prev := math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		x := float64(i) / float64(n)
+		v := f.Value(x)
+		if v < 0 {
+			return fmt.Errorf("%w: ℓ(%g) = %g", ErrNegativeValue, x, v)
+		}
+		if v < prev-1e-12 {
+			return fmt.Errorf("%w: ℓ(%g) = %g < %g", ErrDecreasing, x, v, prev)
+		}
+		prev = v
+	}
+	return nil
+}
+
+// Constant is the latency function ℓ(x) = C, independent of load.
+type Constant struct {
+	C float64
+}
+
+var _ Function = Constant{}
+
+// Value implements Function.
+func (c Constant) Value(float64) float64 { return c.C }
+
+// Derivative implements Function.
+func (c Constant) Derivative(float64) float64 { return 0 }
+
+// Integral implements Function.
+func (c Constant) Integral(x float64) float64 { return c.C * x }
+
+// SlopeBound implements Function.
+func (c Constant) SlopeBound() float64 { return 0 }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", c.C) }
+
+// Linear is the affine latency function ℓ(x) = Slope·x + Offset.
+type Linear struct {
+	Slope  float64
+	Offset float64
+}
+
+var _ Function = Linear{}
+
+// Value implements Function.
+func (l Linear) Value(x float64) float64 { return l.Slope*x + l.Offset }
+
+// Derivative implements Function.
+func (l Linear) Derivative(float64) float64 { return l.Slope }
+
+// Integral implements Function.
+func (l Linear) Integral(x float64) float64 { return 0.5*l.Slope*x*x + l.Offset*x }
+
+// SlopeBound implements Function.
+func (l Linear) SlopeBound() float64 { return math.Max(l.Slope, 0) }
+
+func (l Linear) String() string { return fmt.Sprintf("%g*x+%g", l.Slope, l.Offset) }
+
+// Polynomial is ℓ(x) = Σ Coeffs[i]·x^i with non-negative coefficients
+// (guaranteeing monotonicity on [0,1]).
+type Polynomial struct {
+	Coeffs []float64
+}
+
+var _ Function = Polynomial{}
+
+// NewPolynomial validates that all coefficients are non-negative and returns
+// the polynomial latency function.
+func NewPolynomial(coeffs ...float64) (Polynomial, error) {
+	for i, c := range coeffs {
+		if c < 0 {
+			return Polynomial{}, fmt.Errorf("%w: coefficient %d is negative (%g)", ErrBadParam, i, c)
+		}
+	}
+	cp := make([]float64, len(coeffs))
+	copy(cp, coeffs)
+	return Polynomial{Coeffs: cp}, nil
+}
+
+// Value implements Function (Horner evaluation).
+func (p Polynomial) Value(x float64) float64 {
+	v := 0.0
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		v = v*x + p.Coeffs[i]
+	}
+	return v
+}
+
+// Derivative implements Function.
+func (p Polynomial) Derivative(x float64) float64 {
+	v := 0.0
+	for i := len(p.Coeffs) - 1; i >= 1; i-- {
+		v = v*x + float64(i)*p.Coeffs[i]
+	}
+	return v
+}
+
+// Integral implements Function.
+func (p Polynomial) Integral(x float64) float64 {
+	v := 0.0
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		v = v*x + p.Coeffs[i]/float64(i+1)
+	}
+	return v * x
+}
+
+// SlopeBound implements Function. With non-negative coefficients the
+// derivative is maximal at x = 1.
+func (p Polynomial) SlopeBound() float64 { return p.Derivative(1) }
+
+func (p Polynomial) String() string { return fmt.Sprintf("poly%v", p.Coeffs) }
+
+// Monomial is ℓ(x) = Coef·x^Degree, the canonical "polynomials of fixed
+// degree" class from the price-of-anarchy literature.
+type Monomial struct {
+	Coef   float64
+	Degree int
+}
+
+var _ Function = Monomial{}
+
+// Value implements Function.
+func (m Monomial) Value(x float64) float64 { return m.Coef * math.Pow(x, float64(m.Degree)) }
+
+// Derivative implements Function.
+func (m Monomial) Derivative(x float64) float64 {
+	if m.Degree == 0 {
+		return 0
+	}
+	return m.Coef * float64(m.Degree) * math.Pow(x, float64(m.Degree-1))
+}
+
+// Integral implements Function.
+func (m Monomial) Integral(x float64) float64 {
+	return m.Coef * math.Pow(x, float64(m.Degree+1)) / float64(m.Degree+1)
+}
+
+// SlopeBound implements Function.
+func (m Monomial) SlopeBound() float64 { return m.Derivative(1) }
+
+func (m Monomial) String() string { return fmt.Sprintf("%g*x^%d", m.Coef, m.Degree) }
+
+// BPR is the Bureau of Public Roads road-traffic latency
+// ℓ(x) = FreeTime·(1 + 0.15·(x/Capacity)^4), the standard workload of the
+// road-traffic literature the Wardrop model originates from.
+type BPR struct {
+	FreeTime float64
+	Capacity float64
+}
+
+var _ Function = BPR{}
+
+// NewBPR validates parameters (positive free-flow time and capacity).
+func NewBPR(freeTime, capacity float64) (BPR, error) {
+	if freeTime < 0 {
+		return BPR{}, fmt.Errorf("%w: free time %g < 0", ErrBadParam, freeTime)
+	}
+	if capacity <= 0 {
+		return BPR{}, fmt.Errorf("%w: capacity %g <= 0", ErrBadParam, capacity)
+	}
+	return BPR{FreeTime: freeTime, Capacity: capacity}, nil
+}
+
+// Value implements Function.
+func (b BPR) Value(x float64) float64 {
+	r := x / b.Capacity
+	return b.FreeTime * (1 + 0.15*r*r*r*r)
+}
+
+// Derivative implements Function.
+func (b BPR) Derivative(x float64) float64 {
+	r := x / b.Capacity
+	return b.FreeTime * 0.6 * r * r * r / b.Capacity
+}
+
+// Integral implements Function.
+func (b BPR) Integral(x float64) float64 {
+	r := x / b.Capacity
+	return b.FreeTime * (x + 0.03*r*r*r*r*x)
+}
+
+// SlopeBound implements Function.
+func (b BPR) SlopeBound() float64 { return b.Derivative(1) }
+
+func (b BPR) String() string { return fmt.Sprintf("bpr(t0=%g,c=%g)", b.FreeTime, b.Capacity) }
+
+// MM1 is the queueing-delay latency ℓ(x) = x/(Capacity−x) for Capacity > 1,
+// so that the function stays finite (and its slope bounded) on [0,1]. It
+// models an M/M/1 queue's expected backlog contribution.
+type MM1 struct {
+	Capacity float64
+}
+
+var _ Function = MM1{}
+
+// NewMM1 validates that capacity exceeds 1 so the function is finite with a
+// bounded slope on the whole flow range [0,1].
+func NewMM1(capacity float64) (MM1, error) {
+	if capacity <= 1 {
+		return MM1{}, fmt.Errorf("%w: MM1 capacity %g must exceed 1", ErrBadParam, capacity)
+	}
+	return MM1{Capacity: capacity}, nil
+}
+
+// Value implements Function.
+func (m MM1) Value(x float64) float64 { return x / (m.Capacity - x) }
+
+// Derivative implements Function.
+func (m MM1) Derivative(x float64) float64 {
+	d := m.Capacity - x
+	return m.Capacity / (d * d)
+}
+
+// Integral implements Function: ∫₀ˣ u/(c−u) du = −x − c·ln(1 − x/c).
+func (m MM1) Integral(x float64) float64 {
+	return -x - m.Capacity*math.Log(1-x/m.Capacity)
+}
+
+// SlopeBound implements Function (derivative is increasing, maximal at 1).
+func (m MM1) SlopeBound() float64 { return m.Derivative(1) }
+
+func (m MM1) String() string { return fmt.Sprintf("mm1(c=%g)", m.Capacity) }
+
+// Scaled wraps a function and multiplies its value by Factor ≥ 0.
+type Scaled struct {
+	F      Function
+	Factor float64
+}
+
+var _ Function = Scaled{}
+
+// Value implements Function.
+func (s Scaled) Value(x float64) float64 { return s.Factor * s.F.Value(x) }
+
+// Derivative implements Function.
+func (s Scaled) Derivative(x float64) float64 { return s.Factor * s.F.Derivative(x) }
+
+// Integral implements Function.
+func (s Scaled) Integral(x float64) float64 { return s.Factor * s.F.Integral(x) }
+
+// SlopeBound implements Function.
+func (s Scaled) SlopeBound() float64 { return s.Factor * s.F.SlopeBound() }
+
+func (s Scaled) String() string { return fmt.Sprintf("%g*(%s)", s.Factor, s.F) }
+
+// Shifted wraps a function and adds the non-negative constant Offset.
+type Shifted struct {
+	F      Function
+	Offset float64
+}
+
+var _ Function = Shifted{}
+
+// Value implements Function.
+func (s Shifted) Value(x float64) float64 { return s.F.Value(x) + s.Offset }
+
+// Derivative implements Function.
+func (s Shifted) Derivative(x float64) float64 { return s.F.Derivative(x) }
+
+// Integral implements Function.
+func (s Shifted) Integral(x float64) float64 { return s.F.Integral(x) + s.Offset*x }
+
+// SlopeBound implements Function.
+func (s Shifted) SlopeBound() float64 { return s.F.SlopeBound() }
+
+func (s Shifted) String() string { return fmt.Sprintf("(%s)+%g", s.F, s.Offset) }
+
+// Sum is the pointwise sum of two latency functions.
+type Sum struct {
+	A, B Function
+}
+
+var _ Function = Sum{}
+
+// Value implements Function.
+func (s Sum) Value(x float64) float64 { return s.A.Value(x) + s.B.Value(x) }
+
+// Derivative implements Function.
+func (s Sum) Derivative(x float64) float64 { return s.A.Derivative(x) + s.B.Derivative(x) }
+
+// Integral implements Function.
+func (s Sum) Integral(x float64) float64 { return s.A.Integral(x) + s.B.Integral(x) }
+
+// SlopeBound implements Function.
+func (s Sum) SlopeBound() float64 { return s.A.SlopeBound() + s.B.SlopeBound() }
+
+func (s Sum) String() string { return fmt.Sprintf("(%s)+(%s)", s.A, s.B) }

@@ -1,0 +1,239 @@
+package latency
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestConstant(t *testing.T) {
+	c := Constant{C: 3}
+	if c.Value(0.7) != 3 || c.Derivative(0.2) != 0 || c.SlopeBound() != 0 {
+		t.Error("constant basics wrong")
+	}
+	if !approx(c.Integral(0.5), 1.5, 1e-15) {
+		t.Errorf("Integral = %g, want 1.5", c.Integral(0.5))
+	}
+}
+
+func TestLinear(t *testing.T) {
+	l := Linear{Slope: 2, Offset: 1}
+	if !approx(l.Value(0.5), 2, 1e-15) {
+		t.Errorf("Value = %g", l.Value(0.5))
+	}
+	if l.Derivative(0.3) != 2 || l.SlopeBound() != 2 {
+		t.Error("derivative wrong")
+	}
+	if !approx(l.Integral(1), 2, 1e-15) { // x^2 + x at 1
+		t.Errorf("Integral = %g, want 2", l.Integral(1))
+	}
+}
+
+func TestLinearNegativeSlopeBoundClamped(t *testing.T) {
+	l := Linear{Slope: -1, Offset: 5}
+	if l.SlopeBound() != 0 {
+		t.Errorf("SlopeBound = %g, want 0 for decreasing affine", l.SlopeBound())
+	}
+}
+
+func TestPolynomial(t *testing.T) {
+	p, err := NewPolynomial(1, 0, 3) // 1 + 3x^2
+	if err != nil {
+		t.Fatalf("NewPolynomial: %v", err)
+	}
+	if !approx(p.Value(2), 13, 1e-12) {
+		t.Errorf("Value(2) = %g, want 13", p.Value(2))
+	}
+	if !approx(p.Derivative(2), 12, 1e-12) {
+		t.Errorf("Derivative(2) = %g, want 12", p.Derivative(2))
+	}
+	if !approx(p.Integral(1), 2, 1e-12) { // x + x^3 at 1
+		t.Errorf("Integral(1) = %g, want 2", p.Integral(1))
+	}
+	if !approx(p.SlopeBound(), 6, 1e-12) {
+		t.Errorf("SlopeBound = %g, want 6", p.SlopeBound())
+	}
+}
+
+func TestNewPolynomialRejectsNegativeCoeff(t *testing.T) {
+	if _, err := NewPolynomial(1, -2); !errors.Is(err, ErrBadParam) {
+		t.Errorf("error = %v, want ErrBadParam", err)
+	}
+}
+
+func TestMonomial(t *testing.T) {
+	m := Monomial{Coef: 2, Degree: 3}
+	if !approx(m.Value(0.5), 0.25, 1e-15) {
+		t.Errorf("Value = %g", m.Value(0.5))
+	}
+	if !approx(m.Derivative(1), 6, 1e-15) || !approx(m.SlopeBound(), 6, 1e-15) {
+		t.Error("derivative wrong")
+	}
+	if !approx(m.Integral(1), 0.5, 1e-15) {
+		t.Errorf("Integral = %g", m.Integral(1))
+	}
+	zero := Monomial{Coef: 5, Degree: 0}
+	if zero.Derivative(0.3) != 0 {
+		t.Error("degree-0 monomial has nonzero derivative")
+	}
+}
+
+func TestBPR(t *testing.T) {
+	b, err := NewBPR(2, 0.8)
+	if err != nil {
+		t.Fatalf("NewBPR: %v", err)
+	}
+	if !approx(b.Value(0), 2, 1e-15) {
+		t.Errorf("free-flow value = %g", b.Value(0))
+	}
+	x := 0.8 // at capacity: t0*(1+0.15)
+	if !approx(b.Value(x), 2.3, 1e-12) {
+		t.Errorf("Value(cap) = %g, want 2.3", b.Value(x))
+	}
+	// Closed-form integral vs Simpson.
+	if !approx(b.Integral(0.9), SimpsonIntegral(b, 0.9, 1e-12), 1e-9) {
+		t.Error("BPR integral mismatch with Simpson")
+	}
+	if _, err := NewBPR(-1, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("negative free time accepted")
+	}
+	if _, err := NewBPR(1, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestMM1(t *testing.T) {
+	m, err := NewMM1(2)
+	if err != nil {
+		t.Fatalf("NewMM1: %v", err)
+	}
+	if !approx(m.Value(1), 1, 1e-15) {
+		t.Errorf("Value(1) = %g, want 1", m.Value(1))
+	}
+	if !approx(m.Derivative(0), 0.5, 1e-15) {
+		t.Errorf("Derivative(0) = %g, want 1/2", m.Derivative(0))
+	}
+	if !approx(m.SlopeBound(), 2, 1e-15) {
+		t.Errorf("SlopeBound = %g, want 2", m.SlopeBound())
+	}
+	if !approx(m.Integral(1), SimpsonIntegral(m, 1, 1e-12), 1e-9) {
+		t.Error("MM1 integral mismatch with Simpson")
+	}
+	if _, err := NewMM1(1); !errors.Is(err, ErrBadParam) {
+		t.Error("capacity 1 accepted")
+	}
+}
+
+func TestScaledShiftedSum(t *testing.T) {
+	base := Linear{Slope: 1, Offset: 0}
+	s := Scaled{F: base, Factor: 3}
+	if !approx(s.Value(2), 6, 1e-15) || !approx(s.Derivative(0), 3, 1e-15) ||
+		!approx(s.Integral(1), 1.5, 1e-15) || !approx(s.SlopeBound(), 3, 1e-15) {
+		t.Error("Scaled wrong")
+	}
+	sh := Shifted{F: base, Offset: 2}
+	if !approx(sh.Value(1), 3, 1e-15) || !approx(sh.Integral(1), 2.5, 1e-15) ||
+		sh.Derivative(0.5) != 1 || sh.SlopeBound() != 1 {
+		t.Error("Shifted wrong")
+	}
+	sum := Sum{A: base, B: Constant{C: 1}}
+	if !approx(sum.Value(1), 2, 1e-15) || !approx(sum.Integral(1), 1.5, 1e-15) ||
+		sum.Derivative(0.1) != 1 || sum.SlopeBound() != 1 {
+		t.Error("Sum wrong")
+	}
+}
+
+func TestCheckAcceptsMonotone(t *testing.T) {
+	for _, f := range []Function{
+		Constant{C: 1}, Linear{Slope: 2, Offset: 0}, Monomial{Coef: 1, Degree: 4},
+		Kink(3), mustMM1(t, 2),
+	} {
+		if err := Check(f, 0); err != nil {
+			t.Errorf("Check(%s): %v", f, err)
+		}
+	}
+}
+
+func mustMM1(t *testing.T, c float64) MM1 {
+	t.Helper()
+	m, err := NewMM1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCheckRejectsBadFunctions(t *testing.T) {
+	neg := Func{V: func(x float64) float64 { return x - 0.5 }}
+	if err := Check(neg, 64); !errors.Is(err, ErrNegativeValue) {
+		t.Errorf("negative function error = %v", err)
+	}
+	dec := Func{V: func(x float64) float64 { return 1 - x }}
+	if err := Check(dec, 64); !errors.Is(err, ErrDecreasing) {
+		t.Errorf("decreasing function error = %v", err)
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	for _, f := range []Function{
+		Constant{C: 1}, Linear{Slope: 1, Offset: 2}, Polynomial{Coeffs: []float64{1}},
+		Monomial{Coef: 1, Degree: 2}, BPR{FreeTime: 1, Capacity: 1}, MM1{Capacity: 2},
+		Scaled{F: Constant{C: 1}, Factor: 2}, Shifted{F: Constant{C: 1}, Offset: 1},
+		Sum{A: Constant{C: 1}, B: Constant{C: 2}}, Kink(1),
+		Func{V: func(x float64) float64 { return x }},
+		Func{V: func(x float64) float64 { return x }, Name: "id"},
+	} {
+		if f.String() == "" {
+			t.Errorf("%T has empty String", f)
+		}
+	}
+}
+
+// Property: for every library function, the closed-form Integral matches
+// adaptive Simpson on random upper limits in [0,1].
+func TestIntegralMatchesSimpsonProperty(t *testing.T) {
+	funcs := []Function{
+		Linear{Slope: 3, Offset: 1},
+		Polynomial{Coeffs: []float64{1, 2, 0, 4}},
+		Monomial{Coef: 2, Degree: 5},
+		BPR{FreeTime: 1.5, Capacity: 0.9},
+		MM1{Capacity: 3},
+		Kink(4),
+	}
+	prop := func(raw float64) bool {
+		x := math.Abs(raw)
+		x -= math.Floor(x) // into [0,1)
+		for _, f := range funcs {
+			if !approx(f.Integral(x), SimpsonIntegral(f, x, 1e-12), 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: derivative of Integral equals Value (fundamental theorem),
+// checked by finite differences away from kinks.
+func TestIntegralDerivativeConsistency(t *testing.T) {
+	funcs := []Function{
+		Linear{Slope: 2, Offset: 1},
+		Polynomial{Coeffs: []float64{0.5, 1, 2}},
+		MM1{Capacity: 2.5},
+		BPR{FreeTime: 1, Capacity: 1},
+	}
+	const h = 1e-6
+	for _, f := range funcs {
+		for _, x := range []float64{0.1, 0.33, 0.5, 0.77, 0.9} {
+			got := (f.Integral(x+h) - f.Integral(x-h)) / (2 * h)
+			if !approx(got, f.Value(x), 1e-5) {
+				t.Errorf("%s: d/dx Integral(%g) = %g, want %g", f, x, got, f.Value(x))
+			}
+		}
+	}
+}

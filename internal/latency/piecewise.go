@@ -1,0 +1,168 @@
+package latency
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PiecewiseLinear is a continuous piecewise-linear latency function defined
+// by breakpoints (Xs[i], Ys[i]) with Xs strictly increasing. Outside
+// [Xs[0], Xs[last]] the function extends linearly with the slope of the
+// nearest segment.
+type PiecewiseLinear struct {
+	Xs []float64
+	Ys []float64
+}
+
+var _ Function = PiecewiseLinear{}
+
+// NewPiecewiseLinear validates breakpoints (strictly increasing Xs,
+// non-decreasing non-negative Ys, at least two points) and returns the
+// function.
+func NewPiecewiseLinear(xs, ys []float64) (PiecewiseLinear, error) {
+	if len(xs) != len(ys) {
+		return PiecewiseLinear{}, fmt.Errorf("%w: %d xs vs %d ys", ErrBadParam, len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return PiecewiseLinear{}, fmt.Errorf("%w: need at least 2 breakpoints, got %d", ErrBadParam, len(xs))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return PiecewiseLinear{}, fmt.Errorf("%w: xs not strictly increasing at %d", ErrBadParam, i)
+		}
+		if ys[i] < ys[i-1] {
+			return PiecewiseLinear{}, fmt.Errorf("%w: ys decreasing at %d", ErrBadParam, i)
+		}
+	}
+	for i, y := range ys {
+		if y < 0 {
+			return PiecewiseLinear{}, fmt.Errorf("%w: ys[%d] = %g < 0", ErrBadParam, i, y)
+		}
+	}
+	cx := make([]float64, len(xs))
+	cy := make([]float64, len(ys))
+	copy(cx, xs)
+	copy(cy, ys)
+	return PiecewiseLinear{Xs: cx, Ys: cy}, nil
+}
+
+// Kink returns the paper's §3.2 oscillation instance latency
+// ℓ(x) = max{0, β·(x − ½)}: zero until half load, then rising with slope β.
+func Kink(beta float64) PiecewiseLinear {
+	return PiecewiseLinear{Xs: []float64{0, 0.5, 1}, Ys: []float64{0, 0, 0.5 * beta}}
+}
+
+// segment returns the index i of the segment [Xs[i], Xs[i+1]] containing x,
+// clamped to the outermost segments for out-of-range x.
+func (p PiecewiseLinear) segment(x float64) int {
+	n := len(p.Xs)
+	if x <= p.Xs[0] {
+		return 0
+	}
+	if x >= p.Xs[n-1] {
+		return n - 2
+	}
+	// sort.SearchFloat64s returns first index with Xs[i] >= x.
+	i := sort.SearchFloat64s(p.Xs, x)
+	return i - 1
+}
+
+func (p PiecewiseLinear) slope(i int) float64 {
+	return (p.Ys[i+1] - p.Ys[i]) / (p.Xs[i+1] - p.Xs[i])
+}
+
+// Value implements Function.
+func (p PiecewiseLinear) Value(x float64) float64 {
+	i := p.segment(x)
+	return p.Ys[i] + p.slope(i)*(x-p.Xs[i])
+}
+
+// Derivative implements Function (right-hand derivative at breakpoints).
+func (p PiecewiseLinear) Derivative(x float64) float64 {
+	n := len(p.Xs)
+	if x >= p.Xs[n-1] {
+		return p.slope(n - 2)
+	}
+	i := p.segment(x)
+	if x == p.Xs[i+1] { // breakpoint: take the right segment's slope
+		return p.slope(i + 1)
+	}
+	return p.slope(i)
+}
+
+// Integral implements Function: the exact integral of the linear segments
+// from 0 to x (assuming Xs[0] <= 0 <= x in typical use; general x handled by
+// signed accumulation from 0).
+func (p PiecewiseLinear) Integral(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	if x < 0 {
+		return -p.integrateRange(x, 0)
+	}
+	return p.integrateRange(0, x)
+}
+
+// rightSegment returns the segment whose half-open interval [Xs[i], Xs[i+1])
+// contains x, i.e. at a breakpoint it picks the segment to the right. Used
+// when integrating forward from x.
+func (p PiecewiseLinear) rightSegment(x float64) int {
+	n := len(p.Xs)
+	if x >= p.Xs[n-1] {
+		return n - 2
+	}
+	if x <= p.Xs[0] {
+		return 0
+	}
+	i := sort.SearchFloat64s(p.Xs, x)
+	if p.Xs[i] == x {
+		return i
+	}
+	return i - 1
+}
+
+// integrateRange integrates between a < b by walking segments.
+func (p PiecewiseLinear) integrateRange(a, b float64) float64 {
+	total := 0.0
+	x := a
+	for x < b {
+		i := p.rightSegment(x)
+		segEnd := b
+		if i+1 < len(p.Xs) && p.Xs[i+1] < b && p.Xs[i+1] > x {
+			segEnd = p.Xs[i+1]
+		}
+		va := p.Ys[i] + p.slope(i)*(x-p.Xs[i])
+		vb := p.Ys[i] + p.slope(i)*(segEnd-p.Xs[i])
+		total += 0.5 * (va + vb) * (segEnd - x)
+		if segEnd == x { // safety against zero progress
+			break
+		}
+		x = segEnd
+	}
+	return total
+}
+
+// SlopeBound implements Function: the maximum segment slope intersecting
+// [0,1].
+func (p PiecewiseLinear) SlopeBound() float64 {
+	bound := 0.0
+	for i := 0; i+1 < len(p.Xs); i++ {
+		if p.Xs[i+1] <= 0 || p.Xs[i] >= 1 {
+			continue
+		}
+		bound = math.Max(bound, p.slope(i))
+	}
+	// If no segment intersects [0,1] (degenerate breakpoints), fall back to
+	// the global max slope.
+	if bound == 0 {
+		for i := 0; i+1 < len(p.Xs); i++ {
+			bound = math.Max(bound, p.slope(i))
+		}
+	}
+	return bound
+}
+
+func (p PiecewiseLinear) String() string {
+	return fmt.Sprintf("pwl(%d pts)", len(p.Xs))
+}

@@ -1,0 +1,157 @@
+package latency
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPiecewiseLinearValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		ys   []float64
+	}{
+		{"length mismatch", []float64{0, 1}, []float64{0}},
+		{"too few points", []float64{0}, []float64{0}},
+		{"non-increasing xs", []float64{0, 0}, []float64{0, 1}},
+		{"decreasing ys", []float64{0, 1}, []float64{1, 0}},
+		{"negative ys", []float64{0, 1}, []float64{-1, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewPiecewiseLinear(tc.xs, tc.ys); !errors.Is(err, ErrBadParam) {
+				t.Errorf("error = %v, want ErrBadParam", err)
+			}
+		})
+	}
+	if _, err := NewPiecewiseLinear([]float64{0, 0.5, 1}, []float64{0, 0, 2}); err != nil {
+		t.Errorf("valid breakpoints rejected: %v", err)
+	}
+}
+
+func TestKinkMatchesClosedForm(t *testing.T) {
+	beta := 4.0
+	k := Kink(beta)
+	for _, x := range []float64{0, 0.1, 0.25, 0.5, 0.6, 0.75, 1} {
+		want := math.Max(0, beta*(x-0.5))
+		if !approx(k.Value(x), want, 1e-12) {
+			t.Errorf("Kink(%g).Value(%g) = %g, want %g", beta, x, k.Value(x), want)
+		}
+	}
+	if !approx(k.SlopeBound(), beta, 1e-12) {
+		t.Errorf("SlopeBound = %g, want %g", k.SlopeBound(), beta)
+	}
+}
+
+func TestKinkDerivative(t *testing.T) {
+	k := Kink(2)
+	if k.Derivative(0.25) != 0 {
+		t.Errorf("Derivative(0.25) = %g, want 0", k.Derivative(0.25))
+	}
+	if k.Derivative(0.75) != 2 {
+		t.Errorf("Derivative(0.75) = %g, want 2", k.Derivative(0.75))
+	}
+	// Right-hand derivative at the kink itself.
+	if k.Derivative(0.5) != 2 {
+		t.Errorf("Derivative(0.5) = %g, want 2 (right-hand)", k.Derivative(0.5))
+	}
+	// Beyond the last breakpoint the final slope extends.
+	if k.Derivative(2) != 2 {
+		t.Errorf("Derivative(2) = %g, want 2", k.Derivative(2))
+	}
+}
+
+func TestKinkIntegral(t *testing.T) {
+	beta := 6.0
+	k := Kink(beta)
+	// ∫₀ˣ max{0, β(u−½)} du = 0 for x ≤ ½, else β(x−½)²/2.
+	for _, x := range []float64{0, 0.3, 0.5, 0.7, 1} {
+		want := 0.0
+		if x > 0.5 {
+			want = beta * (x - 0.5) * (x - 0.5) / 2
+		}
+		if !approx(k.Integral(x), want, 1e-12) {
+			t.Errorf("Integral(%g) = %g, want %g", x, k.Integral(x), want)
+		}
+	}
+}
+
+func TestPiecewiseLinearExtension(t *testing.T) {
+	p, err := NewPiecewiseLinear([]float64{0, 1}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear extension beyond breakpoints.
+	if !approx(p.Value(2), 5, 1e-12) {
+		t.Errorf("Value(2) = %g, want 5", p.Value(2))
+	}
+	if !approx(p.Value(-1), -1, 1e-12) {
+		t.Errorf("Value(-1) = %g, want -1", p.Value(-1))
+	}
+}
+
+func TestPiecewiseLinearNegativeIntegral(t *testing.T) {
+	p, _ := NewPiecewiseLinear([]float64{-2, 2}, []float64{0, 4}) // slope 1, f(x)=x+2
+	// ∫₋₁⁰ (u+2) du = [u²/2+2u] from -1 to 0 = 0 - (0.5-2) = 1.5; Integral(-1) = -∫₋₁⁰ = -1.5.
+	if !approx(p.Integral(-1), -1.5, 1e-12) {
+		t.Errorf("Integral(-1) = %g, want -1.5", p.Integral(-1))
+	}
+	if p.Integral(0) != 0 {
+		t.Errorf("Integral(0) = %g, want 0", p.Integral(0))
+	}
+}
+
+// Property: piecewise integral agrees with Simpson on [0,1] for random
+// monotone breakpoint sets.
+func TestPiecewiseIntegralMatchesSimpson(t *testing.T) {
+	prop := func(a, b, c uint8) bool {
+		ys := []float64{float64(a % 8), float64(a%8 + b%8), float64(a%8 + b%8 + c%8)}
+		p, err := NewPiecewiseLinear([]float64{0, 0.4, 1}, ys)
+		if err != nil {
+			return false
+		}
+		for _, x := range []float64{0.2, 0.4, 0.55, 0.9, 1} {
+			if !approx(p.Integral(x), SimpsonIntegral(p, x, 1e-12), 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuncDefaults(t *testing.T) {
+	f := Func{V: func(x float64) float64 { return x * x }}
+	if !approx(f.Derivative(0.5), 1, 1e-5) {
+		t.Errorf("finite-difference derivative = %g, want 1", f.Derivative(0.5))
+	}
+	if !approx(f.Integral(1), 1.0/3, 1e-8) {
+		t.Errorf("Simpson integral = %g, want 1/3", f.Integral(1))
+	}
+	if !approx(f.SlopeBound(), 2, 1e-3) {
+		t.Errorf("scanned slope bound = %g, want 2", f.SlopeBound())
+	}
+	g := Func{
+		V:              func(x float64) float64 { return x },
+		D:              func(float64) float64 { return 1 },
+		I:              func(x float64) float64 { return x * x / 2 },
+		SlopeBoundHint: 1,
+	}
+	if g.Derivative(0.3) != 1 || g.Integral(2) != 2 || g.SlopeBound() != 1 {
+		t.Error("explicit closures not used")
+	}
+}
+
+func TestSimpsonIntegralNegativeRange(t *testing.T) {
+	l := Linear{Slope: 0, Offset: 2}
+	if !approx(SimpsonIntegral(l, -1, 1e-12), -2, 1e-10) {
+		t.Errorf("SimpsonIntegral(-1) = %g, want -2", SimpsonIntegral(l, -1, 1e-12))
+	}
+	if SimpsonIntegral(l, 0, 1e-12) != 0 {
+		t.Error("SimpsonIntegral(0) != 0")
+	}
+}

@@ -1,0 +1,199 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Migrator is a migration rule µ : (ℓ_P, ℓ_Q) → [0,1], the probability that
+// an agent on path P with board latency ℓ_P migrates to a sampled path Q with
+// board latency ℓ_Q. Selfish rules return 0 whenever ℓ_Q ≥ ℓ_P.
+type Migrator interface {
+	Probability(lp, lq float64) float64
+	Name() string
+}
+
+// BetterResponse always migrates to a strictly better path: µ = 1 if
+// ℓ_P > ℓ_Q, else 0. It is not α-smooth for any α (the paper's canonical
+// oscillating rule).
+type BetterResponse struct{}
+
+var _ Migrator = BetterResponse{}
+
+// Probability implements Migrator.
+func (BetterResponse) Probability(lp, lq float64) float64 {
+	if lp > lq {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Migrator.
+func (BetterResponse) Name() string { return "better-response" }
+
+// Linear is the paper's linear migration policy
+// µ(ℓ_P, ℓ_Q) = (ℓ_P − ℓ_Q)/ℓmax for ℓ_P > ℓ_Q, else 0. It is
+// (1/ℓmax)-smooth.
+type Linear struct {
+	LMax float64
+}
+
+var _ Migrator = Linear{}
+
+// NewLinear validates ℓmax > 0.
+func NewLinear(lmax float64) (Linear, error) {
+	if lmax <= 0 {
+		return Linear{}, fmt.Errorf("%w: lmax %g must be positive", ErrBadParam, lmax)
+	}
+	return Linear{LMax: lmax}, nil
+}
+
+// Probability implements Migrator.
+func (l Linear) Probability(lp, lq float64) float64 {
+	if lp <= lq {
+		return 0
+	}
+	return math.Min(1, (lp-lq)/l.LMax)
+}
+
+// Name implements Migrator.
+func (l Linear) Name() string { return fmt.Sprintf("linear(lmax=%g)", l.LMax) }
+
+// Alpha returns the rule's smoothness parameter 1/ℓmax.
+func (l Linear) Alpha() float64 { return 1 / l.LMax }
+
+// AlphaLinear migrates with probability min{1, α·(ℓ_P−ℓ_Q)} — a linear rule
+// parameterised directly by its smoothness constant, used for sweeping α
+// against the safe-T threshold.
+type AlphaLinear struct {
+	AlphaParam float64
+}
+
+var _ Migrator = AlphaLinear{}
+
+// NewAlphaLinear validates α > 0.
+func NewAlphaLinear(alpha float64) (AlphaLinear, error) {
+	if alpha <= 0 {
+		return AlphaLinear{}, fmt.Errorf("%w: alpha %g must be positive", ErrBadParam, alpha)
+	}
+	return AlphaLinear{AlphaParam: alpha}, nil
+}
+
+// Probability implements Migrator.
+func (a AlphaLinear) Probability(lp, lq float64) float64 {
+	if lp <= lq {
+		return 0
+	}
+	return math.Min(1, a.AlphaParam*(lp-lq))
+}
+
+// Name implements Migrator.
+func (a AlphaLinear) Name() string { return fmt.Sprintf("alpha-linear(%g)", a.AlphaParam) }
+
+// Alpha returns the rule's smoothness parameter.
+func (a AlphaLinear) Alpha() float64 { return a.AlphaParam }
+
+// Quadratic migrates with probability min{1, α·(ℓ_P−ℓ_Q)²/ℓmax}. For gains
+// below ℓmax it is (α)-smooth (µ ≤ α·Δ·(Δ/ℓmax) ≤ α·Δ), demonstrating a
+// non-linear member of the paper's smooth class.
+type Quadratic struct {
+	AlphaParam float64
+	LMax       float64
+}
+
+var _ Migrator = Quadratic{}
+
+// Probability implements Migrator.
+func (q Quadratic) Probability(lp, lq float64) float64 {
+	if lp <= lq {
+		return 0
+	}
+	d := lp - lq
+	return math.Min(1, q.AlphaParam*d*d/q.LMax)
+}
+
+// Name implements Migrator.
+func (q Quadratic) Name() string {
+	return fmt.Sprintf("quadratic(alpha=%g,lmax=%g)", q.AlphaParam, q.LMax)
+}
+
+// Alpha returns a smoothness constant valid while latency differences stay
+// within [0, ℓmax].
+func (q Quadratic) Alpha() float64 { return q.AlphaParam }
+
+// RelativeGain is an extension migrator inspired by the follow-up work the
+// paper's conclusion points to ([10], which replaces the dependence on the
+// maximum slope by the latency functions' elasticity): the migration
+// probability is driven by the RELATIVE latency gain,
+//
+//	µ(ℓ_P, ℓ_Q) = min{1, AlphaParam·(ℓ_P − ℓ_Q)/max(ℓ_P, Floor)}.
+//
+// Because the denominator is clamped below by Floor > 0, the rule is
+// (AlphaParam/Floor)-smooth, so Corollary 5 still applies — but on
+// instances whose latencies stay well above Floor it migrates far more
+// aggressively than a plain α-linear rule with the same guarantee.
+type RelativeGain struct {
+	AlphaParam float64
+	Floor      float64
+}
+
+var _ Migrator = RelativeGain{}
+
+// NewRelativeGain validates AlphaParam > 0 and Floor > 0.
+func NewRelativeGain(alpha, floor float64) (RelativeGain, error) {
+	if alpha <= 0 {
+		return RelativeGain{}, fmt.Errorf("%w: alpha %g must be positive", ErrBadParam, alpha)
+	}
+	if floor <= 0 {
+		return RelativeGain{}, fmt.Errorf("%w: floor %g must be positive", ErrBadParam, floor)
+	}
+	return RelativeGain{AlphaParam: alpha, Floor: floor}, nil
+}
+
+// Probability implements Migrator.
+func (r RelativeGain) Probability(lp, lq float64) float64 {
+	if lp <= lq {
+		return 0
+	}
+	return math.Min(1, r.AlphaParam*(lp-lq)/math.Max(lp, r.Floor))
+}
+
+// Name implements Migrator.
+func (r RelativeGain) Name() string {
+	return fmt.Sprintf("relative-gain(alpha=%g,floor=%g)", r.AlphaParam, r.Floor)
+}
+
+// Alpha returns the worst-case smoothness constant AlphaParam/Floor.
+func (r RelativeGain) Alpha() float64 { return r.AlphaParam / r.Floor }
+
+// Policy bundles a sampling rule and a migration rule — one complete
+// rerouting policy in the paper's two-step class.
+type Policy struct {
+	Sampler  Sampler
+	Migrator Migrator
+}
+
+// Name renders "sampler+migrator".
+func (p Policy) Name() string {
+	return p.Sampler.Name() + "+" + p.Migrator.Name()
+}
+
+// Replicator returns the replicator dynamics: proportional sampling with the
+// linear migration policy (the policy analysed in Theorem 7).
+func Replicator(lmax float64) (Policy, error) {
+	m, err := NewLinear(lmax)
+	if err != nil {
+		return Policy{}, err
+	}
+	return Policy{Sampler: Proportional{}, Migrator: m}, nil
+}
+
+// UniformLinear returns uniform sampling with the linear migration policy
+// (the policy analysed in Theorem 6).
+func UniformLinear(lmax float64) (Policy, error) {
+	m, err := NewLinear(lmax)
+	if err != nil {
+		return Policy{}, err
+	}
+	return Policy{Sampler: Uniform{}, Migrator: m}, nil
+}

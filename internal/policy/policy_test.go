@@ -1,0 +1,298 @@
+package policy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func sums(probs []float64) float64 {
+	s := 0.0
+	for _, p := range probs {
+		s += p
+	}
+	return s
+}
+
+func TestUniformSampler(t *testing.T) {
+	flows := []float64{0.5, 0.3, 0.2}
+	probs := make([]float64, 3)
+	(Uniform{}).Probabilities(1, flows, nil, probs)
+	for _, p := range probs {
+		if !approx(p, 1.0/3, 1e-15) {
+			t.Errorf("probs = %v", probs)
+		}
+	}
+	if (Uniform{}).Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestProportionalSampler(t *testing.T) {
+	flows := []float64{0.5, 0.3, 0.2}
+	probs := make([]float64, 3)
+	(Proportional{}).Probabilities(0, flows, nil, probs)
+	if !approx(probs[0], 0.5, 1e-15) || !approx(probs[1], 0.3, 1e-15) || !approx(probs[2], 0.2, 1e-15) {
+		t.Errorf("probs = %v", probs)
+	}
+	// Unnormalised flows are normalised by their own sum.
+	(Proportional{}).Probabilities(0, []float64{2, 2}, nil, probs[:2])
+	if !approx(probs[0], 0.5, 1e-15) {
+		t.Errorf("unnormalised probs = %v", probs[:2])
+	}
+	// Degenerate zero flow falls back to uniform.
+	(Proportional{}).Probabilities(0, []float64{0, 0}, nil, probs[:2])
+	if !approx(probs[0], 0.5, 1e-15) {
+		t.Errorf("zero-flow fallback = %v", probs[:2])
+	}
+}
+
+func TestBoltzmannSampler(t *testing.T) {
+	lats := []float64{1, 2}
+	probs := make([]float64, 2)
+	(Boltzmann{C: 0}).Probabilities(0, nil, lats, probs)
+	if !approx(probs[0], 0.5, 1e-12) {
+		t.Errorf("c=0 should be uniform: %v", probs)
+	}
+	(Boltzmann{C: 50}).Probabilities(0, nil, lats, probs)
+	if probs[0] < 0.999999 {
+		t.Errorf("large c should concentrate on min: %v", probs)
+	}
+	// Stability under huge latencies (max-shifted softmax must not NaN).
+	(Boltzmann{C: 10}).Probabilities(0, nil, []float64{1e6, 1e6 + 1}, probs)
+	if math.IsNaN(probs[0]) || !approx(sums(probs), 1, 1e-12) {
+		t.Errorf("unstable softmax: %v", probs)
+	}
+}
+
+func TestSamplersProduceDistributions(t *testing.T) {
+	samplers := []Sampler{Uniform{}, Proportional{}, Boltzmann{C: 2.5}}
+	prop := func(a, b, c uint16) bool {
+		flows := []float64{float64(a%100) + 1, float64(b%100) + 1, float64(c%100) + 1}
+		lats := []float64{float64(b%7) + 0.1, float64(c%7) + 0.1, float64(a%7) + 0.1}
+		probs := make([]float64, 3)
+		for _, s := range samplers {
+			s.Probabilities(0, flows, lats, probs)
+			if !approx(sums(probs), 1, 1e-9) {
+				return false
+			}
+			for _, p := range probs {
+				if p < 0 || p > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleIndex(t *testing.T) {
+	probs := []float64{0.2, 0.5, 0.3}
+	cases := []struct {
+		u    float64
+		want int
+	}{{0.0, 0}, {0.19, 0}, {0.21, 1}, {0.69, 1}, {0.71, 2}, {0.999, 2}}
+	for _, tc := range cases {
+		if got := SampleIndex(probs, tc.u); got != tc.want {
+			t.Errorf("SampleIndex(%g) = %d, want %d", tc.u, got, tc.want)
+		}
+	}
+	// Rounding edge: u numerically ≥ total must return last index.
+	if got := SampleIndex([]float64{0.5, 0.5 - 1e-17}, 1-1e-18); got != 1 {
+		t.Errorf("edge SampleIndex = %d, want 1", got)
+	}
+}
+
+func TestBetterResponse(t *testing.T) {
+	m := BetterResponse{}
+	if m.Probability(2, 1) != 1 || m.Probability(1, 2) != 0 || m.Probability(1, 1) != 0 {
+		t.Error("better response wrong")
+	}
+}
+
+func TestLinearMigration(t *testing.T) {
+	m, err := NewLinear(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.Probability(3, 1), 0.5, 1e-15) {
+		t.Errorf("P(3,1) = %g", m.Probability(3, 1))
+	}
+	if m.Probability(1, 3) != 0 || m.Probability(2, 2) != 0 {
+		t.Error("non-improving moves must have probability 0")
+	}
+	if !approx(m.Alpha(), 0.25, 1e-15) {
+		t.Errorf("Alpha = %g", m.Alpha())
+	}
+	// Cap at 1 even for differences above lmax.
+	if m.Probability(100, 0) != 1 {
+		t.Error("probability must cap at 1")
+	}
+	if _, err := NewLinear(0); !errors.Is(err, ErrBadParam) {
+		t.Error("lmax=0 accepted")
+	}
+}
+
+func TestAlphaLinear(t *testing.T) {
+	m, err := NewAlphaLinear(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.Probability(3, 1), 0.2, 1e-15) {
+		t.Errorf("P = %g", m.Probability(3, 1))
+	}
+	if m.Alpha() != 0.1 {
+		t.Error("Alpha wrong")
+	}
+	if _, err := NewAlphaLinear(-1); !errors.Is(err, ErrBadParam) {
+		t.Error("negative alpha accepted")
+	}
+}
+
+func TestQuadraticMigrator(t *testing.T) {
+	q := Quadratic{AlphaParam: 0.5, LMax: 2}
+	// µ = 0.5·d²/2 = d²/4
+	if !approx(q.Probability(2, 1), 0.25, 1e-15) {
+		t.Errorf("P = %g", q.Probability(2, 1))
+	}
+	if q.Probability(1, 2) != 0 {
+		t.Error("non-improving move")
+	}
+	if q.Alpha() != 0.5 {
+		t.Error("Alpha wrong")
+	}
+}
+
+func TestMigratorsSelfishAndBounded(t *testing.T) {
+	ms := []Migrator{BetterResponse{}, Linear{LMax: 3}, AlphaLinear{AlphaParam: 0.7}, Quadratic{AlphaParam: 0.5, LMax: 3}}
+	prop := func(a, b uint16) bool {
+		lp := float64(a%300) / 100
+		lq := float64(b%300) / 100
+		for _, m := range ms {
+			p := m.Probability(lp, lq)
+			if p < 0 || p > 1 {
+				return false
+			}
+			if lp <= lq && p != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateAlpha(t *testing.T) {
+	lin := Linear{LMax: 2}
+	got := EstimateAlpha(lin, 2, 64)
+	if !approx(got, 0.5, 1e-6) {
+		t.Errorf("EstimateAlpha(linear) = %g, want 0.5", got)
+	}
+	if !math.IsInf(EstimateAlpha(BetterResponse{}, 2, 64), 1) {
+		t.Error("better response should have infinite alpha")
+	}
+	al := AlphaLinear{AlphaParam: 0.3}
+	if got := EstimateAlpha(al, 1, 64); !approx(got, 0.3, 1e-6) {
+		t.Errorf("EstimateAlpha(alpha-linear) = %g, want 0.3", got)
+	}
+}
+
+func TestIsAlphaSmooth(t *testing.T) {
+	lin := Linear{LMax: 2}
+	if !IsAlphaSmooth(lin, 0.5, 2, 64) {
+		t.Error("linear should be (1/lmax)-smooth")
+	}
+	if IsAlphaSmooth(lin, 0.4, 2, 64) {
+		t.Error("linear is not 0.4-smooth for lmax=2")
+	}
+	if IsAlphaSmooth(BetterResponse{}, 1000, 2, 64) {
+		t.Error("better response must fail any smoothness test")
+	}
+}
+
+func TestSafeUpdatePeriod(t *testing.T) {
+	if got := SafeUpdatePeriod(0.5, 2, 3); !approx(got, 1.0/12, 1e-15) {
+		t.Errorf("T = %g, want 1/12", got)
+	}
+	if !math.IsInf(SafeUpdatePeriod(0, 1, 1), 1) {
+		t.Error("alpha=0 should give infinite safe period")
+	}
+	if !math.IsInf(SafeUpdatePeriod(1, 0, 1), 1) {
+		t.Error("beta=0 should give infinite safe period")
+	}
+}
+
+func TestSafeUpdatePeriodFor(t *testing.T) {
+	p, err := Replicator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SafeUpdatePeriodFor(p, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alpha = 1/2, beta = 4, D = 1 -> T = 1/8.
+	if !approx(got, 0.125, 1e-15) {
+		t.Errorf("T = %g, want 0.125", got)
+	}
+	bad := Policy{Sampler: Uniform{}, Migrator: BetterResponse{}}
+	if _, err := SafeUpdatePeriodFor(bad, 1, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("better-response safe period error = %v", err)
+	}
+}
+
+func TestPolicyConstructorsAndNames(t *testing.T) {
+	r, err := Replicator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Sampler.(Proportional); !ok {
+		t.Error("replicator should sample proportionally")
+	}
+	u, err := UniformLinear(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := u.Sampler.(Uniform); !ok {
+		t.Error("uniform-linear should sample uniformly")
+	}
+	if r.Name() == "" || u.Name() == "" {
+		t.Error("policy names empty")
+	}
+	if _, err := Replicator(0); err == nil {
+		t.Error("Replicator(0) accepted")
+	}
+	if _, err := UniformLinear(-1); err == nil {
+		t.Error("UniformLinear(-1) accepted")
+	}
+	for _, m := range []Migrator{BetterResponse{}, Linear{LMax: 1}, AlphaLinear{AlphaParam: 1}, Quadratic{AlphaParam: 1, LMax: 1}} {
+		if m.Name() == "" {
+			t.Errorf("%T has empty name", m)
+		}
+	}
+}
+
+// Property: the linear migration rule satisfies Definition 2 with α = 1/ℓmax
+// exactly: µ ≤ α(ℓP−ℓQ) for all pairs.
+func TestLinearIsAlphaSmoothProperty(t *testing.T) {
+	lin := Linear{LMax: 5}
+	prop := func(a, b uint32) bool {
+		lp := float64(a%5000) / 1000
+		lq := float64(b%5000) / 1000
+		if lp < lq {
+			lp, lq = lq, lp
+		}
+		return lin.Probability(lp, lq) <= (lp-lq)/5+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

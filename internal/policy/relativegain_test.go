@@ -1,0 +1,72 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelativeGainBasics(t *testing.T) {
+	r, err := NewRelativeGain(0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// µ(2,1) = 0.5·(1)/2 = 0.25.
+	if !approx(r.Probability(2, 1), 0.25, 1e-15) {
+		t.Errorf("P(2,1) = %g", r.Probability(2, 1))
+	}
+	if r.Probability(1, 2) != 0 || r.Probability(1, 1) != 0 {
+		t.Error("non-improving moves must be 0")
+	}
+	// Floor clamps the denominator: µ(0.05, 0) = 0.5·0.05/0.1 = 0.25.
+	if !approx(r.Probability(0.05, 0), 0.25, 1e-15) {
+		t.Errorf("floored P = %g", r.Probability(0.05, 0))
+	}
+	if !approx(r.Alpha(), 5, 1e-15) {
+		t.Errorf("Alpha = %g, want alpha/floor = 5", r.Alpha())
+	}
+	if r.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestNewRelativeGainValidation(t *testing.T) {
+	if _, err := NewRelativeGain(0, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := NewRelativeGain(1, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("floor=0 accepted")
+	}
+}
+
+// Property: RelativeGain satisfies Definition 2 with α = AlphaParam/Floor,
+// so it belongs to the paper's smooth class.
+func TestRelativeGainIsAlphaSmooth(t *testing.T) {
+	r := RelativeGain{AlphaParam: 0.8, Floor: 0.25}
+	if !IsAlphaSmooth(r, r.Alpha(), 4, 64) {
+		t.Error("relative gain fails its own smoothness constant")
+	}
+	prop := func(a, b uint16) bool {
+		lp := float64(a%4000) / 1000
+		lq := float64(b%4000) / 1000
+		if lp < lq {
+			lp, lq = lq, lp
+		}
+		return r.Probability(lp, lq) <= r.Alpha()*(lp-lq)+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On high-latency pairs the relative rule migrates less than the plain
+// α-linear rule with the same smoothness constant would allow, but more than
+// a linear rule calibrated to ℓmax when gains are relatively large.
+func TestRelativeGainOrderingVsLinear(t *testing.T) {
+	r := RelativeGain{AlphaParam: 1, Floor: 0.1}
+	lin := Linear{LMax: 10}
+	// Relative gain of 50%: µ_rel = 0.5; linear sees (3−1.5)/10 = 0.15.
+	if r.Probability(3, 1.5) <= lin.Probability(3, 1.5) {
+		t.Error("relative rule should act faster on proportionally large gains")
+	}
+}

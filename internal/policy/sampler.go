@@ -1,0 +1,120 @@
+// Package policy implements the paper's two-step adaptive rerouting policies:
+// a sampling rule σ_PQ choosing a candidate path and a migration rule
+// µ(ℓ_P, ℓ_Q) deciding whether to switch, together with the α-smoothness
+// condition (Definition 2) and the safe bulletin-board update period
+// T = 1/(4·D·α·β) from Lemma 4.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadParam indicates an invalid policy parameter.
+	ErrBadParam = errors.New("policy: invalid parameter")
+)
+
+// Sampler is a sampling rule σ. Probabilities fills probs[q] with the
+// probability that an agent currently on the commodity's path `origin`
+// samples path q, given the commodity's path flows and (board) path
+// latencies. Implementations must produce a distribution: probs sums to 1.
+// The slices flows, lats and probs all have length |P_i| and are indexed by
+// the commodity-local path index.
+type Sampler interface {
+	Probabilities(origin int, flows, lats []float64, probs []float64)
+	Name() string
+}
+
+// Uniform samples each of the commodity's paths with probability 1/|P_i|
+// (the paper's uniform sampling rule of §5.1).
+type Uniform struct{}
+
+var _ Sampler = Uniform{}
+
+// Probabilities implements Sampler.
+func (Uniform) Probabilities(_ int, flows, _ []float64, probs []float64) {
+	p := 1 / float64(len(flows))
+	for q := range probs {
+		probs[q] = p
+	}
+}
+
+// Name implements Sampler.
+func (Uniform) Name() string { return "uniform" }
+
+// Proportional samples path q with probability f_q / r_i — sampling another
+// agent of the same commodity uniformly at random (§5.2). Combined with the
+// Linear migration rule this is the replicator dynamics.
+type Proportional struct{}
+
+var _ Sampler = Proportional{}
+
+// Probabilities implements Sampler. The demand r_i is recovered as the sum of
+// the commodity's flows, making the rule robust to unnormalised inputs. If
+// the total flow is zero (impossible for feasible flows) it falls back to
+// uniform.
+func (Proportional) Probabilities(_ int, flows, _ []float64, probs []float64) {
+	total := 0.0
+	for _, f := range flows {
+		total += f
+	}
+	if total <= 0 {
+		Uniform{}.Probabilities(0, flows, nil, probs)
+		return
+	}
+	for q := range probs {
+		probs[q] = flows[q] / total
+	}
+}
+
+// Name implements Sampler.
+func (Proportional) Name() string { return "proportional" }
+
+// Boltzmann is the logit / smoothed-best-response sampling rule of §2.2:
+// σ_PQ = exp(−c·ℓ_Q) / Σ_Q' exp(−c·ℓ_Q'). Large c concentrates on minimum-
+// latency paths, approximating best response.
+type Boltzmann struct {
+	C float64
+}
+
+var _ Sampler = Boltzmann{}
+
+// Probabilities implements Sampler using a max-shifted softmax for numeric
+// stability.
+func (b Boltzmann) Probabilities(_ int, _, lats []float64, probs []float64) {
+	minLat := math.Inf(1)
+	for _, l := range lats {
+		if l < minLat {
+			minLat = l
+		}
+	}
+	total := 0.0
+	for q, l := range lats {
+		w := math.Exp(-b.C * (l - minLat))
+		probs[q] = w
+		total += w
+	}
+	for q := range probs {
+		probs[q] /= total
+	}
+}
+
+// Name implements Sampler.
+func (b Boltzmann) Name() string { return fmt.Sprintf("boltzmann(c=%g)", b.C) }
+
+// SampleIndex draws a path index from the distribution probs using the
+// uniform variate u ∈ [0,1). It is the shared discrete-sampling helper for
+// the stochastic agent simulator.
+func SampleIndex(probs []float64, u float64) int {
+	acc := 0.0
+	for q, p := range probs {
+		acc += p
+		if u < acc {
+			return q
+		}
+	}
+	return len(probs) - 1
+}

@@ -1,0 +1,105 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Alphaer is implemented by migration rules that know their own smoothness
+// constant.
+type Alphaer interface {
+	Alpha() float64
+}
+
+// EstimateAlpha numerically estimates the smallest α such that the rule is
+// α-smooth on latency pairs in [0, lmax]², by scanning a grid of n×n pairs
+// and maximising µ(ℓP,ℓQ)/(ℓP−ℓQ). It returns +Inf if the ratio diverges as
+// ℓP−ℓQ → 0 (detected by growth on the finest grid gaps), as for
+// BetterResponse.
+func EstimateAlpha(m Migrator, lmax float64, n int) float64 {
+	if n < 2 {
+		n = 64
+	}
+	best := 0.0
+	// Scan gaps down to lmax/n² to detect divergence near 0.
+	gaps := make([]float64, 0, 2*n)
+	for i := 1; i <= n; i++ {
+		gaps = append(gaps, lmax*float64(i)/float64(n))
+		gaps = append(gaps, lmax*float64(i)/float64(n*n))
+	}
+	for _, d := range gaps {
+		for j := 0; j <= n; j++ {
+			lq := lmax * float64(j) / float64(n)
+			lp := lq + d
+			p := m.Probability(lp, lq)
+			if p <= 0 {
+				continue
+			}
+			ratio := p / d
+			if ratio > best {
+				best = ratio
+			}
+		}
+	}
+	// Divergence probe: ratio at a tiny gap far above the grid best means no
+	// finite Lipschitz constant at 0.
+	tiny := lmax * 1e-9
+	if p := m.Probability(tiny, 0); p > 0 && p/tiny > 100*best {
+		return math.Inf(1)
+	}
+	return best
+}
+
+// IsAlphaSmooth reports whether rule m satisfies Definition 2 with constant
+// alpha on [0,lmax]² within a numeric slack of 1e-9, via grid scanning.
+func IsAlphaSmooth(m Migrator, alpha, lmax float64, n int) bool {
+	if n < 2 {
+		n = 64
+	}
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= i; j++ {
+			lp := lmax * float64(i) / float64(n)
+			lq := lmax * float64(j) / float64(n)
+			if m.Probability(lp, lq) > alpha*(lp-lq)+1e-9 {
+				return false
+			}
+		}
+	}
+	// Probe tiny gaps: α-smoothness is a Lipschitz condition at 0, which a
+	// coarse grid cannot witness (e.g. better response passes any grid whose
+	// smallest gap exceeds 1/α).
+	for j := 0; j <= n; j++ {
+		lq := lmax * float64(j) / float64(n)
+		for _, gap := range []float64{lmax / float64(n*n), lmax * 1e-9} {
+			lp := lq + gap
+			if m.Probability(lp, lq) > alpha*gap+1e-12 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SafeUpdatePeriod returns the paper's convergence-guaranteeing bulletin
+// board period T = 1/(4·D·α·β) (Lemma 4 / Corollary 5) for maximum path
+// length d, migration smoothness alpha and maximum latency slope beta.
+// Degenerate inputs (α·β·D = 0, e.g. constant latencies) yield +Inf: any
+// update period is safe.
+func SafeUpdatePeriod(alpha, beta float64, d int) float64 {
+	if alpha <= 0 || beta <= 0 || d <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (4 * float64(d) * alpha * beta)
+}
+
+// SafeUpdatePeriodFor computes the safe period for a policy whose migrator
+// knows its α (via Alphaer); it returns an error for rules without a finite
+// smoothness constant.
+func SafeUpdatePeriodFor(p Policy, beta float64, d int) (float64, error) {
+	a, ok := p.Migrator.(Alphaer)
+	if !ok {
+		return 0, fmt.Errorf("%w: migrator %s does not expose a smoothness constant",
+			ErrBadParam, p.Migrator.Name())
+	}
+	return SafeUpdatePeriod(a.Alpha(), beta, d), nil
+}

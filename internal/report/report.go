@@ -1,0 +1,119 @@
+// Package report renders experiment results as aligned ASCII tables and CSV,
+// matching the row/series structure of the paper's analytical artefacts so
+// EXPERIMENTS.md can record paper-vs-measured values directly.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of string cells with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are free-form lines rendered after the grid (e.g. fitted
+	// exponents, verdicts).
+	Notes []string
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Columns) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a note line (Sprintf-style).
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render produces the aligned ASCII form.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for c, h := range t.Columns {
+		widths[c] = len(h)
+	}
+	for _, row := range t.Rows {
+		for c, cell := range row {
+			if c < len(widths) && len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for c := range t.Columns {
+			cell := ""
+			if c < len(cells) {
+				cell = cells[c]
+			}
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for c := range sep {
+		sep[c] = strings.Repeat("-", widths[c])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table (header + rows) as RFC-4180-ish CSV. Notes are
+// emitted as trailing comment lines prefixed with "#".
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				quoted[i] = strconv.Quote(c)
+			} else {
+				quoted[i] = c
+			}
+		}
+		_, err := io.WriteString(w, strings.Join(quoted, ",")+"\n")
+		return err
+	}
+	if err := writeLine(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// F formats a float compactly for table cells.
+func F(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }
+
+// F3 formats with three significant decimals, for aligned numeric columns.
+func F3(x float64) string { return strconv.FormatFloat(x, 'f', 3, 64) }
+
+// I formats an int.
+func I(x int) string { return strconv.Itoa(x) }

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tbl := Table{Title: "demo", Columns: []string{"name", "value"}}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta-longer", "2.5")
+	out := tbl.Render()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Header and rows align on the same column start.
+	hdrIdx := strings.Index(lines[1], "value")
+	rowIdx := strings.Index(lines[3], "1")
+	if hdrIdx != rowIdx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tbl := Table{Columns: []string{"a", "b", "c"}}
+	tbl.AddRow("x")
+	if len(tbl.Rows[0]) != 3 {
+		t.Errorf("row = %v", tbl.Rows[0])
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tbl := Table{Columns: []string{"a"}}
+	tbl.AddNote("fit slope = %g", 2.0)
+	out := tbl.Render()
+	if !strings.Contains(out, "note: fit slope = 2") {
+		t.Errorf("notes missing: %q", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("1", "x,y")
+	tbl.AddNote("hello")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "\"x,y\"") {
+		t.Errorf("comma cell not quoted: %q", out)
+	}
+	if !strings.Contains(out, "# hello") {
+		t.Errorf("note comment missing: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.5) != "1.5" || F3(1.5) != "1.500" || I(7) != "7" {
+		t.Errorf("F=%s F3=%s I=%s", F(1.5), F3(1.5), I(7))
+	}
+}
+
+func TestRenderWithoutTitle(t *testing.T) {
+	tbl := Table{Columns: []string{"x"}}
+	tbl.AddRow("1")
+	if strings.Contains(tbl.Render(), "==") {
+		t.Error("untitled table rendered a title banner")
+	}
+}

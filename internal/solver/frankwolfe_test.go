@@ -1,0 +1,229 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wardrop/internal/flow"
+	"wardrop/internal/latency"
+	"wardrop/internal/topo"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolvePigou(t *testing.T) {
+	inst, err := topo.Pigou()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveEquilibrium(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equilibrium: all flow on the x-link, Φ* = 1/2.
+	if !approx(res.Flow[0], 1, 1e-6) {
+		t.Errorf("flow = %v, want (1,0)", res.Flow)
+	}
+	if !approx(res.Potential, 0.5, 1e-9) {
+		t.Errorf("Φ* = %g, want 0.5", res.Potential)
+	}
+	if !inst.AtWardropEquilibrium(res.Flow, 1e-5) {
+		t.Error("not a Wardrop equilibrium")
+	}
+}
+
+func TestSolveBraess(t *testing.T) {
+	inst, err := topo.Braess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveEquilibrium(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.AtWardropEquilibrium(res.Flow, 1e-5) {
+		t.Error("not a Wardrop equilibrium")
+	}
+	// Braess: everything on the bridge path, everyone's latency 2.
+	pl := inst.PathLatencies(res.Flow)
+	l := inst.OverallAvgLatency(res.Flow, pl)
+	if !approx(l, 2, 1e-5) {
+		t.Errorf("equilibrium latency = %g, want 2", l)
+	}
+}
+
+func TestSolveTwoCommodity(t *testing.T) {
+	inst, err := topo.TwoCommodityOverlap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveEquilibrium(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.AtWardropEquilibrium(res.Flow, 1e-5) {
+		t.Error("not a Wardrop equilibrium")
+	}
+	if err := inst.Feasible(res.Flow, 1e-9); err != nil {
+		t.Errorf("solution infeasible: %v", err)
+	}
+}
+
+func TestSolveParallelLinksClosedForm(t *testing.T) {
+	// Two links ℓ1 = x, ℓ2 = 2x: equilibrium equalises x = 2(1−x) → x = 2/3.
+	inst, err := topo.ParallelLinks([]latency.Function{
+		latency.Linear{Slope: 1}, latency.Linear{Slope: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveEquilibrium(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Flow[0], 2.0/3, 1e-6) {
+		t.Errorf("flow = %v, want (2/3, 1/3)", res.Flow)
+	}
+}
+
+func TestSolveKinkEquilibrium(t *testing.T) {
+	inst, err := topo.TwoLinkKink(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveEquilibrium(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any split in [something] with both ≤ 1/2... the equal split is the
+	// canonical minimiser with Φ* = 0.
+	if !approx(res.Potential, 0, 1e-9) {
+		t.Errorf("Φ* = %g, want 0", res.Potential)
+	}
+	if !inst.AtWardropEquilibrium(res.Flow, 1e-6) {
+		t.Error("not a Wardrop equilibrium")
+	}
+}
+
+func TestSolveGridAndLayered(t *testing.T) {
+	for name, mk := range map[string]func() (*flow.Instance, error){
+		"grid":    func() (*flow.Instance, error) { return topo.Grid(4) },
+		"layered": func() (*flow.Instance, error) { return topo.LayeredRandom(3, 3, 11) },
+	} {
+		inst, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := SolveEquilibrium(inst, Options{RelGapTol: 1e-8})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !inst.AtWardropEquilibrium(res.Flow, 1e-4) {
+			t.Errorf("%s: not a Wardrop equilibrium (gap %g)", name, res.RelGap)
+		}
+	}
+}
+
+func TestPotentialIsMinimal(t *testing.T) {
+	// Property: Φ(equilibrium) ≤ Φ(random feasible flow).
+	inst, err := topo.Braess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveEquilibrium(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b, c uint16) bool {
+		x := float64(a%1000) + 1
+		y := float64(b%1000) + 1
+		z := float64(c%1000) + 1
+		s := x + y + z
+		f := flow.Vector{x / s, y / s, z / s}
+		return inst.Potential(f) >= res.Potential-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSocialOptimumPigou(t *testing.T) {
+	inst, err := topo.Pigou()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveSocialOptimum(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pigou optimum: x = 1/2 on the variable link, total cost 3/4.
+	if !approx(res.Flow[0], 0.5, 1e-5) {
+		t.Errorf("optimum flow = %v, want (0.5, 0.5)", res.Flow)
+	}
+	if !approx(res.Potential, 0.75, 1e-6) {
+		t.Errorf("optimum cost = %g, want 0.75", res.Potential)
+	}
+}
+
+func TestPriceOfAnarchyPigou(t *testing.T) {
+	inst, err := topo.Pigou()
+	if err != nil {
+		t.Fatal(err)
+	}
+	poa, eq, opt, err := PriceOfAnarchy(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The classic Pigou PoA = 4/3.
+	if !approx(poa, 4.0/3, 1e-4) {
+		t.Errorf("PoA = %g (eq %g, opt %g), want 4/3", poa, eq, opt)
+	}
+}
+
+func TestPriceOfAnarchyBraess(t *testing.T) {
+	inst, err := topo.Braess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	poa, eq, opt, err := PriceOfAnarchy(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(eq, 2, 1e-4) || !approx(opt, 1.5, 1e-4) || !approx(poa, 4.0/3, 1e-3) {
+		t.Errorf("Braess eq=%g opt=%g poa=%g, want 2, 1.5, 4/3", eq, opt, poa)
+	}
+}
+
+func TestMarginalCostCalculus(t *testing.T) {
+	m := marginalCost{f: latency.Linear{Slope: 2, Offset: 1}}
+	// ℓ̃(x) = 2x+1+2x = 4x+1.
+	if !approx(m.Value(0.5), 3, 1e-12) {
+		t.Errorf("marginal value = %g", m.Value(0.5))
+	}
+	if !approx(m.Integral(0.5), 0.5*2, 1e-12) { // x·ℓ(x) = 0.5·2
+		t.Errorf("marginal integral = %g", m.Integral(0.5))
+	}
+	if !approx(m.Derivative(0.5), 4, 1e-4) {
+		t.Errorf("marginal derivative = %g", m.Derivative(0.5))
+	}
+	if m.SlopeBound() < 3.9 {
+		t.Errorf("marginal slope bound = %g", m.SlopeBound())
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSolverIterationBudget(t *testing.T) {
+	inst, err := topo.Braess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveEquilibrium(inst, Options{MaxIters: 2, RelGapTol: 1e-14})
+	if err == nil {
+		t.Log("converged in 2 iterations (acceptable)")
+	} else if res == nil || res.Iters != 2 {
+		t.Errorf("result = %+v, err = %v", res, err)
+	}
+}

@@ -1,0 +1,102 @@
+package solver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wardrop/internal/topo"
+)
+
+// Property: on random layered instances, the Frank–Wolfe minimiser is a
+// Wardrop equilibrium (Beckmann's equivalence) and the duality gap really
+// upper-bounds the potential gap of perturbed flows.
+func TestEquilibriumEquivalenceOnRandomInstances(t *testing.T) {
+	prop := func(seed uint16) bool {
+		inst, err := topo.LayeredRandom(2, 3, uint64(seed)+1)
+		if err != nil {
+			return false
+		}
+		res, err := SolveEquilibrium(inst, Options{RelGapTol: 1e-9})
+		if err != nil {
+			return false
+		}
+		if !inst.AtWardropEquilibrium(res.Flow, 1e-4) {
+			return false
+		}
+		// Potential optimality against a family of perturbations: moving any
+		// mass between two paths cannot reduce Φ.
+		for a := 0; a < inst.NumPaths(); a++ {
+			for b := 0; b < inst.NumPaths(); b++ {
+				if a == b || res.Flow[a] < 1e-6 {
+					continue
+				}
+				pert := res.Flow.Clone()
+				d := 0.25 * pert[a]
+				pert[a] -= d
+				pert[b] += d
+				if inst.Potential(pert) < res.Potential-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the price of anarchy is at least 1 on every instance (the
+// optimum cannot be worse than the equilibrium) and at most 4/3 for affine
+// latencies (Roughgarden–Tardos), which all our random layered instances
+// have.
+func TestPoABoundsOnAffineInstances(t *testing.T) {
+	prop := func(seed uint16) bool {
+		inst, err := topo.LayeredRandom(2, 2, uint64(seed)+100)
+		if err != nil {
+			return false
+		}
+		poa, eq, opt, err := PriceOfAnarchy(inst, Options{RelGapTol: 1e-9})
+		if err != nil {
+			return false
+		}
+		if eq < opt-1e-9 {
+			return false // equilibrium cheaper than optimum: impossible
+		}
+		return poa >= 1-1e-9 && poa <= 4.0/3+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the social optimum never has higher total latency than the
+// equilibrium, and both are feasible flows.
+func TestOptimumDominatesEquilibriumCost(t *testing.T) {
+	instances := []uint64{3, 17, 42, 99}
+	for _, seed := range instances {
+		inst, err := topo.LayeredRandom(3, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := SolveEquilibrium(inst, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt, err := SolveSocialOptimum(inst, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := inst.Feasible(eq.Flow, 1e-6); err != nil {
+			t.Errorf("seed %d: equilibrium infeasible: %v", seed, err)
+		}
+		if err := inst.Feasible(opt.Flow, 1e-6); err != nil {
+			t.Errorf("seed %d: optimum infeasible: %v", seed, err)
+		}
+		pl := inst.PathLatencies(eq.Flow)
+		eqCost := inst.OverallAvgLatency(eq.Flow, pl)
+		if opt.Potential > eqCost+1e-6 {
+			t.Errorf("seed %d: optimum cost %g exceeds equilibrium cost %g", seed, opt.Potential, eqCost)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package spec declares a JSON schema for Wardrop instances so networks can
+// be loaded from files by the CLIs and by downstream users, without writing
+// Go code: named nodes, edges with tagged latency functions, commodities
+// with demands.
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"wardrop/internal/flow"
+	"wardrop/internal/graph"
+	"wardrop/internal/latency"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadSpec indicates a structurally invalid instance specification.
+	ErrBadSpec = errors.New("spec: invalid instance specification")
+)
+
+// Instance is the JSON document shape.
+type Instance struct {
+	// Nodes lists node names (unique).
+	Nodes []string `json:"nodes"`
+	// Edges lists directed edges with their latency functions.
+	Edges []Edge `json:"edges"`
+	// Commodities lists demands.
+	Commodities []Commodity `json:"commodities"`
+	// MaxPathLen optionally bounds path enumeration (0 = all simple paths).
+	MaxPathLen int `json:"maxPathLen,omitempty"`
+}
+
+// Edge is one directed edge.
+type Edge struct {
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Latency Latency `json:"latency"`
+}
+
+// Commodity is one demand.
+type Commodity struct {
+	Name   string  `json:"name,omitempty"`
+	Source string  `json:"source"`
+	Sink   string  `json:"sink"`
+	Demand float64 `json:"demand"`
+}
+
+// Latency is a tagged union of the library's latency functions.
+type Latency struct {
+	// Kind selects the function: constant, linear, polynomial, monomial,
+	// bpr, mm1, pwl, kink.
+	Kind string `json:"kind"`
+
+	C        float64   `json:"c,omitempty"`        // constant
+	Slope    float64   `json:"slope,omitempty"`    // linear
+	Offset   float64   `json:"offset,omitempty"`   // linear
+	Coeffs   []float64 `json:"coeffs,omitempty"`   // polynomial
+	Coef     float64   `json:"coef,omitempty"`     // monomial
+	Degree   int       `json:"degree,omitempty"`   // monomial
+	FreeTime float64   `json:"freeTime,omitempty"` // bpr
+	Capacity float64   `json:"capacity,omitempty"` // bpr, mm1
+	Xs       []float64 `json:"xs,omitempty"`       // pwl
+	Ys       []float64 `json:"ys,omitempty"`       // pwl
+	Beta     float64   `json:"beta,omitempty"`     // kink
+}
+
+// Build materialises the latency function.
+func (l Latency) Build() (latency.Function, error) {
+	switch l.Kind {
+	case "constant":
+		return latency.Constant{C: l.C}, nil
+	case "linear":
+		return latency.Linear{Slope: l.Slope, Offset: l.Offset}, nil
+	case "polynomial":
+		return latency.NewPolynomial(l.Coeffs...)
+	case "monomial":
+		return latency.Monomial{Coef: l.Coef, Degree: l.Degree}, nil
+	case "bpr":
+		return latency.NewBPR(l.FreeTime, l.Capacity)
+	case "mm1":
+		return latency.NewMM1(l.Capacity)
+	case "pwl":
+		return latency.NewPiecewiseLinear(l.Xs, l.Ys)
+	case "kink":
+		if l.Beta <= 0 {
+			return nil, fmt.Errorf("%w: kink beta %g must be positive", ErrBadSpec, l.Beta)
+		}
+		return latency.Kink(l.Beta), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown latency kind %q", ErrBadSpec, l.Kind)
+	}
+}
+
+// Build materialises the instance: graph construction, latency functions,
+// commodities, path enumeration.
+func (s Instance) Build() (*flow.Instance, error) {
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrBadSpec)
+	}
+	if len(s.Edges) == 0 {
+		return nil, fmt.Errorf("%w: no edges", ErrBadSpec)
+	}
+	if len(s.Commodities) == 0 {
+		return nil, fmt.Errorf("%w: no commodities", ErrBadSpec)
+	}
+	g := graph.New()
+	for _, name := range s.Nodes {
+		if _, err := g.AddNode(name); err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+	}
+	lats := make([]latency.Function, 0, len(s.Edges))
+	for i, e := range s.Edges {
+		from, ok := g.Node(e.From)
+		if !ok {
+			return nil, fmt.Errorf("%w: edge %d references unknown node %q", ErrBadSpec, i, e.From)
+		}
+		to, ok := g.Node(e.To)
+		if !ok {
+			return nil, fmt.Errorf("%w: edge %d references unknown node %q", ErrBadSpec, i, e.To)
+		}
+		if _, err := g.AddEdge(from, to); err != nil {
+			return nil, fmt.Errorf("spec: edge %d: %w", i, err)
+		}
+		f, err := e.Latency.Build()
+		if err != nil {
+			return nil, fmt.Errorf("spec: edge %d: %w", i, err)
+		}
+		lats = append(lats, f)
+	}
+	comms := make([]flow.Commodity, 0, len(s.Commodities))
+	for i, c := range s.Commodities {
+		src, ok := g.Node(c.Source)
+		if !ok {
+			return nil, fmt.Errorf("%w: commodity %d references unknown node %q", ErrBadSpec, i, c.Source)
+		}
+		sink, ok := g.Node(c.Sink)
+		if !ok {
+			return nil, fmt.Errorf("%w: commodity %d references unknown node %q", ErrBadSpec, i, c.Sink)
+		}
+		comms = append(comms, flow.Commodity{Name: c.Name, Source: src, Sink: sink, Demand: c.Demand})
+	}
+	return flow.NewInstance(g, lats, comms, flow.WithMaxPathLen(s.MaxPathLen))
+}
+
+// Parse decodes a JSON instance specification and builds it.
+func Parse(r io.Reader) (*flow.Instance, error) {
+	var s Instance
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return s.Build()
+}
+
+// Marshal encodes the specification as indented JSON.
+func (s Instance) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,181 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: series summaries, quantiles, least-squares fits (including
+// log-log scaling-exponent estimation) and oscillation/convergence
+// detectors.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty indicates an operation on an empty data set.
+var ErrEmpty = errors.New("stats: empty data")
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance (NaN for empty input).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear interpolation.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0], nil
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo], nil
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
+}
+
+// MaxAbs returns max |x|.
+func MaxAbs(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		m = math.Max(m, math.Abs(x))
+	}
+	return m
+}
+
+// Fit holds an ordinary-least-squares line y = Slope·x + Intercept with the
+// coefficient of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit computes the OLS fit of ys on xs. It returns ErrEmpty for fewer
+// than two points.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Fit{}, ErrEmpty
+	}
+	n := float64(len(xs))
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, ErrEmpty
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	_ = n
+	return fit, nil
+}
+
+// LogLogSlope fits log(y) against log(x), returning the estimated power-law
+// exponent (the scaling-law workhorse for Theorems 6 and 7). Non-positive
+// values are rejected with ErrEmpty after filtering.
+func LogLogSlope(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, ErrEmpty
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	return LinearFit(lx, ly)
+}
+
+// IsNonIncreasing reports whether the series never increases by more than
+// tol.
+func IsNonIncreasing(xs []float64, tol float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[i-1]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// OscillationScore measures persistent oscillation of a series around its
+// final value: the fraction of sign changes of successive differences over
+// the last half of the series (1 ≈ perfect alternation, 0 ≈ monotone tail).
+func OscillationScore(xs []float64) float64 {
+	if len(xs) < 4 {
+		return 0
+	}
+	tail := xs[len(xs)/2:]
+	changes, total := 0, 0
+	prevSign := 0
+	for i := 1; i < len(tail); i++ {
+		d := tail[i] - tail[i-1]
+		sign := 0
+		if d > 1e-12 {
+			sign = 1
+		} else if d < -1e-12 {
+			sign = -1
+		}
+		if sign == 0 {
+			continue
+		}
+		if prevSign != 0 {
+			total++
+			if sign != prevSign {
+				changes++
+			}
+		}
+		prevSign = sign
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(changes) / float64(total)
+}
+
+// RelErr returns |got−want| / max(|want|, floor), a scale-aware relative
+// error with a floor guarding division by ~0.
+func RelErr(got, want, floor float64) float64 {
+	den := math.Max(math.Abs(want), floor)
+	return math.Abs(got-want) / den
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStddev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !approx(Mean(xs), 2.5, 1e-15) {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if !approx(Variance(xs), 1.25, 1e-15) {
+		t.Errorf("Variance = %g", Variance(xs))
+	}
+	if !approx(Stddev(xs), math.Sqrt(1.25), 1e-15) {
+		t.Errorf("Stddev = %g", Stddev(xs))
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Error("empty input should yield NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	q, err := Quantile(xs, 0.5)
+	if err != nil || !approx(q, 2.5, 1e-15) {
+		t.Errorf("median = %g, %v", q, err)
+	}
+	if q, _ := Quantile(xs, 0); q != 1 {
+		t.Errorf("min = %g", q)
+	}
+	if q, _ := Quantile(xs, 1); q != 4 {
+		t.Errorf("max = %g", q)
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+	// Quantile must not mutate the input.
+	if xs[0] != 3 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if MaxAbs([]float64{-3, 1, 2}) != 3 {
+		t.Error("MaxAbs wrong")
+	}
+	if MaxAbs(nil) != 0 {
+		t.Error("MaxAbs(nil) != 0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x+1
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Slope, 2, 1e-12) || !approx(fit.Intercept, 1, 1e-12) || !approx(fit.R2, 1, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); !errors.Is(err, ErrEmpty) {
+		t.Error("zero x-variance accepted")
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 5·x² on a log grid.
+	var xs, ys []float64
+	for _, x := range []float64{1, 2, 4, 8, 16} {
+		xs = append(xs, x)
+		ys = append(ys, 5*x*x)
+	}
+	fit, err := LogLogSlope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Slope, 2, 1e-9) {
+		t.Errorf("exponent = %g, want 2", fit.Slope)
+	}
+	// Non-positive pairs are filtered.
+	fit, err = LogLogSlope([]float64{1, 2, -1, 4}, []float64{5, 20, 1, 80})
+	if err != nil || !approx(fit.Slope, 2, 1e-9) {
+		t.Errorf("filtered fit = %+v, %v", fit, err)
+	}
+	if _, err := LogLogSlope([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrEmpty) {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestIsNonIncreasing(t *testing.T) {
+	if !IsNonIncreasing([]float64{3, 2, 2, 1}, 0) {
+		t.Error("monotone series rejected")
+	}
+	if IsNonIncreasing([]float64{1, 2}, 0) {
+		t.Error("increasing series accepted")
+	}
+	if !IsNonIncreasing([]float64{1, 1 + 1e-12}, 1e-9) {
+		t.Error("tolerance ignored")
+	}
+}
+
+func TestOscillationScore(t *testing.T) {
+	alternating := []float64{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	if s := OscillationScore(alternating); s < 0.99 {
+		t.Errorf("alternating score = %g, want ~1", s)
+	}
+	monotone := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	if s := OscillationScore(monotone); s != 0 {
+		t.Errorf("monotone score = %g, want 0", s)
+	}
+	if OscillationScore([]float64{1, 2}) != 0 {
+		t.Error("short series score != 0")
+	}
+	flat := []float64{1, 1, 1, 1, 1, 1}
+	if OscillationScore(flat) != 0 {
+		t.Error("flat series score != 0")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if !approx(RelErr(11, 10, 1e-9), 0.1, 1e-12) {
+		t.Error("RelErr wrong")
+	}
+	if !approx(RelErr(0.5, 0, 1), 0.5, 1e-12) {
+		t.Error("RelErr floor wrong")
+	}
+}
+
+// Property: LinearFit recovers arbitrary affine relationships exactly.
+func TestLinearFitRecoversAffine(t *testing.T) {
+	prop := func(a, b int8) bool {
+		slope := float64(a) / 4
+		icept := float64(b) / 4
+		xs := []float64{0, 1, 2, 3, 5, 8}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = slope*x + icept
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return approx(fit.Slope, slope, 1e-9) && approx(fit.Intercept, icept, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package topo
+
+import (
+	"fmt"
+
+	"wardrop/internal/flow"
+	"wardrop/internal/graph"
+	"wardrop/internal/latency"
+)
+
+// LayeredRandom builds a layered DAG with the given number of hidden layers,
+// width nodes per layer, and random affine latencies drawn deterministically
+// from the seed: every node of layer k connects to every node of layer k+1
+// with ℓ(x) = a·x + b, a ∈ [0.5, 1.5), b ∈ [0, 0.5). Source and sink are
+// fully connected to the first and last layers. Demand is 1.
+func LayeredRandom(layers, width int, seed uint64) (*flow.Instance, error) {
+	if layers < 1 || width < 1 {
+		return nil, fmt.Errorf("%w: layers=%d width=%d", ErrBadParam, layers, width)
+	}
+	rng := splitMix{state: seed}
+	g := graph.New()
+	s := g.MustAddNode("s")
+	t := g.MustAddNode("t")
+	prev := []graph.NodeID{s}
+	var lats []latency.Function
+	for l := 0; l < layers; l++ {
+		cur := make([]graph.NodeID, width)
+		for w := 0; w < width; w++ {
+			cur[w] = g.MustAddNode(fmt.Sprintf("l%d_%d", l, w))
+		}
+		for _, u := range prev {
+			for _, v := range cur {
+				g.MustAddEdge(u, v)
+				lats = append(lats, latency.Linear{
+					Slope:  0.5 + rng.float64(),
+					Offset: 0.5 * rng.float64(),
+				})
+			}
+		}
+		prev = cur
+	}
+	for _, u := range prev {
+		g.MustAddEdge(u, t)
+		lats = append(lats, latency.Linear{
+			Slope:  0.5 + rng.float64(),
+			Offset: 0.5 * rng.float64(),
+		})
+	}
+	return flow.NewInstance(g, lats, []flow.Commodity{{Name: "c0", Source: s, Sink: t, Demand: 1}})
+}
+
+// splitMix is the shared deterministic RNG (splitmix64).
+type splitMix struct{ state uint64 }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) float64() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}

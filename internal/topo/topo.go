@@ -1,0 +1,172 @@
+// Package topo builds the canonical Wardrop instances used across the
+// examples, tests and benchmark harness: parallel links (including the
+// paper's §3.2 two-link kink instance), the Braess network, grids, layered
+// random DAGs and multi-commodity overlays.
+package topo
+
+import (
+	"errors"
+	"fmt"
+
+	"wardrop/internal/flow"
+	"wardrop/internal/graph"
+	"wardrop/internal/latency"
+)
+
+// ErrBadParam indicates an invalid topology parameter.
+var ErrBadParam = errors.New("topo: invalid parameter")
+
+// ParallelLinks builds m parallel s→t links with the given latency
+// functions (len(lats) == m) and unit demand.
+func ParallelLinks(lats []latency.Function) (*flow.Instance, error) {
+	if len(lats) < 2 {
+		return nil, fmt.Errorf("%w: need >= 2 links, got %d", ErrBadParam, len(lats))
+	}
+	g := graph.New()
+	s := g.MustAddNode("s")
+	t := g.MustAddNode("t")
+	for range lats {
+		g.MustAddEdge(s, t)
+	}
+	return flow.NewInstance(g, lats, []flow.Commodity{{Name: "c0", Source: s, Sink: t, Demand: 1}})
+}
+
+// LinearParallelLinks builds m parallel links with staggered affine
+// latencies ℓ_j(x) = (1 + j/m)·x + j/m, a standard heterogeneous-links
+// workload whose equilibrium uses a prefix of the links.
+func LinearParallelLinks(m int) (*flow.Instance, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("%w: need >= 2 links, got %d", ErrBadParam, m)
+	}
+	lats := make([]latency.Function, m)
+	for j := 0; j < m; j++ {
+		frac := float64(j) / float64(m)
+		lats[j] = latency.Linear{Slope: 1 + frac, Offset: frac}
+	}
+	return ParallelLinks(lats)
+}
+
+// TwoLinkKink builds the paper's §3.2 oscillation instance: two parallel
+// links, both with latency ℓ(x) = max{0, β(x−½)}, demand 1.
+func TwoLinkKink(beta float64) (*flow.Instance, error) {
+	if beta <= 0 {
+		return nil, fmt.Errorf("%w: beta %g must be positive", ErrBadParam, beta)
+	}
+	k := latency.Kink(beta)
+	return ParallelLinks([]latency.Function{k, k})
+}
+
+// Pigou builds the Pigou network: ℓ1(x) = x against ℓ2(x) = 1, demand 1.
+// Its Wardrop equilibrium routes everything on link 1 (cost 1, Φ* = 1/2).
+func Pigou() (*flow.Instance, error) {
+	return ParallelLinks([]latency.Function{
+		latency.Linear{Slope: 1},
+		latency.Constant{C: 1},
+	})
+}
+
+// Braess builds the Braess paradox network with the zero-latency bridge:
+// paths s→a→t (x then 1), s→b→t (1 then x) and s→a→b→t (x, 0, x). At
+// equilibrium all flow uses the bridge (latency 2, worse than the optimum
+// 1.5 without it).
+func Braess() (*flow.Instance, error) {
+	g := graph.New()
+	s := g.MustAddNode("s")
+	a := g.MustAddNode("a")
+	b := g.MustAddNode("b")
+	t := g.MustAddNode("t")
+	lats := make([]latency.Function, 5)
+	lats[g.MustAddEdge(s, a)] = latency.Linear{Slope: 1}
+	lats[g.MustAddEdge(s, b)] = latency.Constant{C: 1}
+	lats[g.MustAddEdge(a, t)] = latency.Constant{C: 1}
+	lats[g.MustAddEdge(b, t)] = latency.Linear{Slope: 1}
+	lats[g.MustAddEdge(a, b)] = latency.Constant{C: 0}
+	return flow.NewInstance(g, lats, []flow.Commodity{{Name: "c0", Source: s, Sink: t, Demand: 1}})
+}
+
+// Grid builds an n×n directed grid (edges point right and down) from the
+// top-left corner to the bottom-right corner, with affine latencies
+// ℓ(x) = x + 0.1 on every edge and unit demand. Path enumeration is bounded
+// to shortest-length paths (2(n−1) edges), keeping the strategy space the
+// set of monotone lattice paths.
+func Grid(n int) (*flow.Instance, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: grid needs n >= 2, got %d", ErrBadParam, n)
+	}
+	g := graph.New()
+	ids := make([][]graph.NodeID, n)
+	for r := 0; r < n; r++ {
+		ids[r] = make([]graph.NodeID, n)
+		for c := 0; c < n; c++ {
+			ids[r][c] = g.MustAddNode(fmt.Sprintf("v%d_%d", r, c))
+		}
+	}
+	var lats []latency.Function
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				g.MustAddEdge(ids[r][c], ids[r][c+1])
+				lats = append(lats, latency.Linear{Slope: 1, Offset: 0.1})
+			}
+			if r+1 < n {
+				g.MustAddEdge(ids[r][c], ids[r+1][c])
+				lats = append(lats, latency.Linear{Slope: 1, Offset: 0.1})
+			}
+		}
+	}
+	comm := []flow.Commodity{{Name: "c0", Source: ids[0][0], Sink: ids[n-1][n-1], Demand: 1}}
+	return flow.NewInstance(g, lats, comm, flow.WithMaxPathLen(2*(n-1)))
+}
+
+// TwoCommodityOverlap builds a 3-node line a→b→c with a direct a→c edge and
+// two commodities (a→c with demand 0.6, b→c with demand 0.4) sharing edge
+// b→c — the minimal instance exercising multi-commodity coupling.
+func TwoCommodityOverlap() (*flow.Instance, error) {
+	g := graph.New()
+	a := g.MustAddNode("a")
+	b := g.MustAddNode("b")
+	c := g.MustAddNode("c")
+	lats := make([]latency.Function, 3)
+	lats[g.MustAddEdge(a, b)] = latency.Linear{Slope: 1}
+	lats[g.MustAddEdge(b, c)] = latency.Linear{Slope: 1}
+	lats[g.MustAddEdge(a, c)] = latency.Linear{Slope: 2, Offset: 0.1}
+	return flow.NewInstance(g, lats, []flow.Commodity{
+		{Name: "ac", Source: a, Sink: c, Demand: 0.6},
+		{Name: "bc", Source: b, Sink: c, Demand: 0.4},
+	})
+}
+
+// MultiCommodityParallel builds k commodities that share m parallel hub→t
+// links: commodity i enters through its own access edge s_i→hub with
+// latency 0.5·x + 0.05·i, then competes with every other commodity on the
+// m staggered links ℓ_j(x) = (1+j/m)·x + j/m. Demands are staggered,
+// r_i ∝ i+1, normalised to a total of 1. Each commodity has exactly m
+// paths and D = 2.
+func MultiCommodityParallel(k, m int) (*flow.Instance, error) {
+	if k < 1 || m < 2 {
+		return nil, fmt.Errorf("%w: k=%d m=%d (need k>=1, m>=2)", ErrBadParam, k, m)
+	}
+	g := graph.New()
+	hub := g.MustAddNode("hub")
+	t := g.MustAddNode("t")
+	var lats []latency.Function
+	for j := 0; j < m; j++ {
+		g.MustAddEdge(hub, t)
+		frac := float64(j) / float64(m)
+		lats = append(lats, latency.Linear{Slope: 1 + frac, Offset: frac})
+	}
+	total := float64(k*(k+1)) / 2
+	comms := make([]flow.Commodity, k)
+	for i := 0; i < k; i++ {
+		src := g.MustAddNode(fmt.Sprintf("s%d", i))
+		g.MustAddEdge(src, hub)
+		lats = append(lats, latency.Linear{Slope: 0.5, Offset: 0.05 * float64(i)})
+		comms[i] = flow.Commodity{
+			Name:   fmt.Sprintf("c%d", i),
+			Source: src,
+			Sink:   t,
+			Demand: float64(i+1) / total,
+		}
+	}
+	return flow.NewInstance(g, lats, comms)
+}

@@ -1,0 +1,72 @@
+package wardrop
+
+import (
+	"wardrop/internal/policy"
+)
+
+// Policies --------------------------------------------------------------------
+
+// Policy bundles a sampling rule and a migration rule — one rerouting policy
+// in the paper's two-step class.
+type Policy = policy.Policy
+
+// Sampler is a sampling rule σ_PQ.
+type Sampler = policy.Sampler
+
+// Migrator is a migration rule µ(ℓ_P, ℓ_Q).
+type Migrator = policy.Migrator
+
+// UniformSampler samples each path of the commodity uniformly (§5.1).
+type UniformSampler = policy.Uniform
+
+// ProportionalSampler samples a path with probability proportional to its
+// flow (§5.2, the replicator's sampling rule).
+type ProportionalSampler = policy.Proportional
+
+// BoltzmannSampler is the logit / smoothed-best-response rule of §2.2.
+type BoltzmannSampler = policy.Boltzmann
+
+// BetterResponseMigrator always switches to a strictly better path (not
+// α-smooth; oscillates under stale information).
+type BetterResponseMigrator = policy.BetterResponse
+
+// LinearMigrator is µ = (ℓ_P − ℓ_Q)/ℓmax, the paper's (1/ℓmax)-smooth
+// linear migration policy.
+type LinearMigrator = policy.Linear
+
+// AlphaLinearMigrator is µ = min{1, α(ℓ_P − ℓ_Q)}.
+type AlphaLinearMigrator = policy.AlphaLinear
+
+// Replicator returns proportional sampling + linear migration (Theorem 7).
+func Replicator(lmax float64) (Policy, error) { return policy.Replicator(lmax) }
+
+// UniformLinear returns uniform sampling + linear migration (Theorem 6).
+func UniformLinear(lmax float64) (Policy, error) { return policy.UniformLinear(lmax) }
+
+// NewLinearMigrator validates ℓmax and builds the linear migration rule.
+func NewLinearMigrator(lmax float64) (LinearMigrator, error) { return policy.NewLinear(lmax) }
+
+// SafeUpdatePeriod returns T = 1/(4·D·α·β), the bulletin-board period below
+// which Corollary 5 guarantees convergence for α-smooth policies.
+func SafeUpdatePeriod(alpha, beta float64, d int) float64 {
+	return policy.SafeUpdatePeriod(alpha, beta, d)
+}
+
+// SafeUpdatePeriodFor computes the safe period of a policy on an instance,
+// or +Inf when degenerate. It returns an error for migration rules without a
+// finite smoothness constant (e.g. better response).
+func SafeUpdatePeriodFor(p Policy, inst *Instance) (float64, error) {
+	return policy.SafeUpdatePeriodFor(p, inst.Beta(), inst.MaxPathLen())
+}
+
+// EstimateAlpha numerically estimates a migration rule's smoothness constant
+// on [0, lmax]² (+Inf when the rule is not α-smooth for any α).
+func EstimateAlpha(m Migrator, lmax float64, gridN int) float64 {
+	return policy.EstimateAlpha(m, lmax, gridN)
+}
+
+// IsAlphaSmooth verifies Definition 2 for the rule on a grid, including
+// tiny-gap probes for the Lipschitz condition at zero.
+func IsAlphaSmooth(m Migrator, alpha, lmax float64, gridN int) bool {
+	return policy.IsAlphaSmooth(m, alpha, lmax, gridN)
+}
