@@ -51,6 +51,11 @@ func run(args []string) error {
 		"ablation": func() (*report.Table, error) {
 			return experiments.RunAblationStep(experiments.DefaultAblationStepParams())
 		},
+		// e6s/e7s/e8s run the scaling experiments on the parallel sweep
+		// engine; same verdicts as e6/e7/e8, wall time divided by the pool.
+		"e6s": func() (*report.Table, error) { return experiments.RunE6Sweep(experiments.DefaultE6Params()) },
+		"e7s": func() (*report.Table, error) { return experiments.RunE7Sweep(experiments.DefaultE7Params()) },
+		"e8s": func() (*report.Table, error) { return experiments.RunE8Sweep(experiments.DefaultE8Params()) },
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "ablation"}
 
@@ -61,7 +66,7 @@ func run(args []string) error {
 		for _, id := range strings.Split(*expFlag, ",") {
 			id = strings.TrimSpace(strings.ToLower(id))
 			if _, ok := runners[id]; !ok {
-				return fmt.Errorf("unknown experiment %q (known: %s, all)", id, strings.Join(order, ", "))
+				return fmt.Errorf("unknown experiment %q (known: %s, e6s, e7s, e8s, all)", id, strings.Join(order, ", "))
 			}
 			ids = append(ids, id)
 		}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 
@@ -39,6 +40,18 @@ func run(args []string) error {
 	agentsN := fs.Int("agents", 0, "if > 0, run the finite-N stochastic simulator instead of the fluid limit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Reject bad run-shape flags up front instead of passing them to the
+	// simulators (where e.g. -every 0 silently disables recording and
+	// -agents < 0 only fails deep inside the agent distributor).
+	if *horizon <= 0 || math.IsNaN(*horizon) || math.IsInf(*horizon, 0) {
+		return fmt.Errorf("invalid -horizon %g: must be positive and finite", *horizon)
+	}
+	if *every < 1 {
+		return fmt.Errorf("invalid -every %d: must be >= 1", *every)
+	}
+	if *agentsN < 0 {
+		return fmt.Errorf("invalid -agents %d: must be >= 0", *agentsN)
 	}
 
 	var inst *wardrop.Instance

@@ -23,6 +23,31 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunShapeFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-horizon", "0"}, "-horizon"},
+		{[]string{"-horizon", "-5"}, "-horizon"},
+		{[]string{"-horizon", "NaN"}, "-horizon"},
+		{[]string{"-horizon", "Inf"}, "-horizon"},
+		{[]string{"-every", "0"}, "-every"},
+		{[]string{"-every", "-2"}, "-every"},
+		{[]string{"-agents", "-1"}, "-agents"},
+	}
+	for _, c := range cases {
+		err := run(c.args)
+		if err == nil {
+			t.Errorf("args %v accepted", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("args %v: error %q does not name %s", c.args, err, c.want)
+		}
+	}
+}
+
 func TestRunFluidSmoke(t *testing.T) {
 	if err := run([]string{"-topo", "pigou", "-policy", "replicator", "-horizon", "2", "-every", "4"}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,156 @@
+// Command wardsweep executes a batch campaign — the cross product of
+// topology, policy, update-period, population and seed axes declared in a
+// JSON spec — on a worker pool, streams one JSONL record per run, and writes
+// a per-cell summary table (stdout + CSV).
+//
+// Usage:
+//
+//	wardsweep -spec campaign.json -workers 8 -out results/
+//	wardsweep -spec campaign.json -v            # progress on stderr
+//	wardsweep -spec campaign.json -dry-run      # list the expanded tasks
+//
+// Output files (in -out, named after the campaign):
+//
+//	<name>.jsonl   one record per task, streaming, completion order
+//	<name>.csv     the aggregated per-cell summary
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+
+	"wardrop"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wardsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wardsweep", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "campaign specification JSON file (required)")
+	workers := fs.Int("workers", 0, "worker-pool size (default GOMAXPROCS)")
+	outDir := fs.String("out", "", "output directory for <name>.jsonl and <name>.csv (default: no files)")
+	verbose := fs.Bool("v", false, "report per-task progress on stderr")
+	dryRun := fs.Bool("dry-run", false, "expand and list tasks without running them")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("missing required -spec")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("invalid -workers %d", *workers)
+	}
+
+	f, err := os.Open(*specPath)
+	if err != nil {
+		return err
+	}
+	campaign, err := wardrop.ParseCampaign(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	name := campaign.Name
+	if name == "" {
+		name = "campaign"
+	}
+	// The name becomes the output file stem; refuse anything that would
+	// escape or subdivide the -out directory.
+	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("campaign name %q cannot be used as a file name", name)
+	}
+
+	if *dryRun {
+		tasks, err := campaign.Expand()
+		if err != nil {
+			return err
+		}
+		for _, t := range tasks {
+			fmt.Fprintf(stdout, "task %d: %s seed=%d\n", t.ID, t.CellKey(), t.Seed)
+		}
+		fmt.Fprintf(stdout, "%d tasks\n", len(tasks))
+		return nil
+	}
+
+	opts := wardrop.SweepOptions{Workers: *workers}
+	var jf *os.File
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		jf, err = os.Create(filepath.Join(*outDir, name+".jsonl"))
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if jf != nil {
+				jf.Close()
+			}
+		}()
+		opts.Results = jf
+	}
+	if *verbose {
+		opts.Progress = func(done, total int, rec wardrop.SweepRecord) {
+			status := "ok"
+			if rec.Error != "" {
+				status = "ERR " + rec.Error
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] task %d %s|%s|T=%s|N=%d: %s (%.0fms)\n",
+				done, total, rec.ID, rec.Topology, rec.Policy, rec.Period, rec.Agents, status, rec.WallMS)
+		}
+	}
+
+	res, err := wardrop.RunSweep(ctx, campaign, opts)
+	if err != nil {
+		return err
+	}
+	if jf != nil {
+		// A close error means buffered records may not have reached disk —
+		// surface it rather than silently dropping the stream.
+		err := jf.Close()
+		jf = nil
+		if err != nil {
+			return err
+		}
+	}
+
+	cells := wardrop.AggregateSweep(res.Records)
+	tbl := wardrop.SweepSummaryTable(name, cells)
+	fmt.Fprintln(stdout, tbl.Render())
+
+	failed := 0
+	for _, r := range res.Records {
+		if r.Error != "" {
+			failed++
+		}
+	}
+	fmt.Fprintf(stdout, "%d tasks, %d failed\n", len(res.Records), failed)
+
+	if *outDir != "" {
+		cf, err := os.Create(filepath.Join(*outDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := tbl.WriteCSV(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                             // missing -spec
+		{"-spec", "/nonexistent.json"}, // unreadable file
+		{"-spec", "testdata/campaign.json", "-workers", "-2"},
+		{"-nonsense-flag"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"topologies": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-spec", bad}, &bytes.Buffer{}); err == nil {
+		t.Error("invalid campaign accepted")
+	}
+	// A campaign name with path separators must not escape or subdivide -out.
+	escapey := filepath.Join(t.TempDir(), "escapey.json")
+	doc := `{"name": "../shared", "topologies": [{"family":"pigou"}],
+	  "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`
+	if err := os.WriteFile(escapey, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"-spec", escapey, "-out", t.TempDir()}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "file name") {
+		t.Errorf("path-escaping campaign name accepted: %v", err)
+	}
+}
+
+func TestDryRunGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-spec", "testdata/campaign.json", "-dry-run"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "dryrun.golden", out.Bytes())
+}
+
+// TestSweepGolden is the CLI's end-to-end check: a 3-topology × 2-policy ×
+// 2-period × 2-seed fluid campaign run in parallel must stream exactly one
+// valid JSONL record per task and reproduce the golden summary byte for
+// byte (the fluid dynamics is deterministic).
+func TestSweepGolden(t *testing.T) {
+	outDir := t.TempDir()
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-spec", "testdata/campaign.json", "-workers", "4", "-out", outDir,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The JSONL stream has every task exactly once, whatever the worker
+	// interleaving.
+	jf, err := os.Open(filepath.Join(outDir, "demo.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	seen := make(map[int]int)
+	lines := 0
+	sc := bufio.NewScanner(jf)
+	for sc.Scan() {
+		var rec struct {
+			ID    int    `json:"id"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		if rec.Error != "" {
+			t.Errorf("task %d failed: %s", rec.ID, rec.Error)
+		}
+		seen[rec.ID]++
+		lines++
+	}
+	const wantTasks = 3 * 2 * 2 * 2
+	if lines != wantTasks {
+		t.Fatalf("JSONL lines = %d, want %d", lines, wantTasks)
+	}
+	for id := 0; id < wantTasks; id++ {
+		if seen[id] != 1 {
+			t.Errorf("task %d appears %d times", id, seen[id])
+		}
+	}
+
+	// The summary CSV is deterministic: golden-compare it.
+	csv, err := os.ReadFile(filepath.Join(outDir, "demo.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "summary.golden", csv)
+
+	if !strings.Contains(out.String(), "24 tasks, 0 failed") {
+		t.Errorf("stdout missing task tally:\n%s", out.String())
+	}
+}
+
+// TestSweepWorkerInvariance reruns the campaign single-threaded and checks
+// the summary equals the parallel run's.
+func TestSweepWorkerInvariance(t *testing.T) {
+	outs := make([]string, 2)
+	for i, workers := range []string{"1", "8"} {
+		var out bytes.Buffer
+		if err := run(context.Background(), []string{
+			"-spec", "testdata/campaign.json", "-workers", workers,
+		}, &out); err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = out.String()
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("summary differs between 1 and 8 workers:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}

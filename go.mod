@@ -1,0 +1,3 @@
+module wardrop
+
+go 1.24

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"wardrop/internal/report"
+	"wardrop/internal/stats"
+	"wardrop/internal/sweep"
+	"wardrop/internal/topo"
+)
+
+// This file ports the convergence-time scaling experiments E6–E8 onto the
+// sweep engine: each builds the equivalent campaign, runs it on the worker
+// pool, and renders the same table shape (rows, columns, fitted-exponent
+// note) as the legacy single-threaded harness. The fluid dynamics is
+// deterministic, so the ported runs reproduce the legacy round counts
+// exactly — the ports are the proof that the engine subsumes the fixed
+// harness, while executing the sweep cells in parallel.
+
+// e6Campaign is the engine form of RunE6's loop.
+func e6Campaign(p E6Params) *sweep.Campaign {
+	c := &sweep.Campaign{
+		Name:          "e6-uniform-paths",
+		Policies:      []sweep.PolicySpec{{Kind: "uniform"}},
+		UpdatePeriods: []sweep.Period{{Safe: true}},
+		MaxPhases:     p.MaxPhases,
+		Start:         "worst",
+		Delta:         p.Delta,
+		Eps:           p.Eps,
+		Streak:        p.Streak,
+	}
+	for _, m := range p.LinkCounts {
+		c.Topologies = append(c.Topologies, sweep.Topology{Family: "links", Size: m})
+	}
+	return c
+}
+
+// RunE6Sweep reproduces E6 (Theorem 6's path-count scaling) on the sweep
+// engine; see RunE6 for the experiment's semantics.
+func RunE6Sweep(p E6Params) (*report.Table, error) {
+	res, err := sweep.Run(context.Background(), e6Campaign(p), sweep.Options{})
+	if err != nil {
+		return nil, wrap("E6/sweep", err)
+	}
+	tbl := &report.Table{
+		Title:   "E6 Thm 6 (sweep engine): uniform sampling — unsatisfied rounds vs path count",
+		Columns: []string{"m", "T", "rounds", "complete", "bound_shape"},
+	}
+	var ms, rounds []float64
+	for i, rec := range res.Records {
+		if rec.Error != "" {
+			return nil, wrap("E6/sweep", fmt.Errorf("task %d: %s", rec.ID, rec.Error))
+		}
+		m := p.LinkCounts[i]
+		inst, err := topo.LinearParallelLinks(m)
+		if err != nil {
+			return nil, wrap("E6/sweep", err)
+		}
+		bound := float64(m) / (p.Eps * rec.T) * (inst.LMax() / p.Delta) * (inst.LMax() / p.Delta)
+		tbl.AddRow(report.I(m), report.F(rec.T), report.I(rec.UnsatisfiedPhases),
+			boolCell(rec.Converged), report.F(bound))
+		ms = append(ms, float64(m))
+		rounds = append(rounds, float64(rec.UnsatisfiedPhases))
+	}
+	if fit, err := stats.LogLogSlope(ms, rounds); err == nil {
+		tbl.AddNote("fitted exponent of rounds vs m = %.3f (paper bound shape: <= 1, linear)", fit.Slope)
+	}
+	tbl.AddNote("delta=%g eps=%g; rounds counted until %d consecutive satisfied phases", p.Delta, p.Eps, p.Streak)
+	return tbl, nil
+}
+
+// e7Campaign is the engine form of RunE7's loop (δ as a sweep axis).
+func e7Campaign(p E7Params) *sweep.Campaign {
+	return &sweep.Campaign{
+		Name:          "e7-uniform-delta",
+		Topologies:    []sweep.Topology{{Family: "links", Size: p.Links}},
+		Policies:      []sweep.PolicySpec{{Kind: "uniform"}},
+		UpdatePeriods: []sweep.Period{{Safe: true}},
+		MaxPhases:     p.MaxPhases,
+		Start:         "worst",
+		Deltas:        p.Deltas,
+		Eps:           p.Eps,
+		Streak:        p.Streak,
+	}
+}
+
+// RunE7Sweep reproduces E7 (Theorem 6's δ-scaling) on the sweep engine; see
+// RunE7 for the experiment's semantics.
+func RunE7Sweep(p E7Params) (*report.Table, error) {
+	res, err := sweep.Run(context.Background(), e7Campaign(p), sweep.Options{})
+	if err != nil {
+		return nil, wrap("E7/sweep", err)
+	}
+	tbl := &report.Table{
+		Title:   "E7 Thm 6 (sweep engine): uniform sampling — unsatisfied rounds vs delta",
+		Columns: []string{"delta", "rounds", "complete", "bound_shape"},
+	}
+	inst, err := topo.LinearParallelLinks(p.Links)
+	if err != nil {
+		return nil, wrap("E7/sweep", err)
+	}
+	var ds, rounds []float64
+	for _, rec := range res.Records {
+		if rec.Error != "" {
+			return nil, wrap("E7/sweep", fmt.Errorf("task %d: %s", rec.ID, rec.Error))
+		}
+		bound := float64(p.Links) / (p.Eps * rec.T) * (inst.LMax() / rec.Delta) * (inst.LMax() / rec.Delta)
+		tbl.AddRow(report.F(rec.Delta), report.I(rec.UnsatisfiedPhases),
+			boolCell(rec.Converged), report.F(bound))
+		ds = append(ds, rec.Delta)
+		rounds = append(rounds, float64(rec.UnsatisfiedPhases))
+	}
+	if fit, err := stats.LogLogSlope(ds, rounds); err == nil {
+		tbl.AddNote("fitted exponent of rounds vs delta = %.3f (paper bound shape: -2)", fit.Slope)
+	}
+	tbl.AddNote("m=%d eps=%g", p.Links, p.Eps)
+	return tbl, nil
+}
+
+// e8Campaign is the engine form of RunE8's loop.
+func e8Campaign(p E8Params) *sweep.Campaign {
+	c := &sweep.Campaign{
+		Name:          "e8-proportional",
+		Policies:      []sweep.PolicySpec{{Kind: "replicator"}},
+		UpdatePeriods: []sweep.Period{{Safe: true}},
+		MaxPhases:     p.MaxPhases,
+		Start:         "skewed",
+		Delta:         p.Delta,
+		Eps:           p.Eps,
+		Weak:          true,
+		Streak:        p.Streak,
+	}
+	for _, m := range p.LinkCounts {
+		c.Topologies = append(c.Topologies, sweep.Topology{Family: "links", Size: m})
+	}
+	return c
+}
+
+// RunE8Sweep reproduces E8 (Theorem 7's path-count independence) on the
+// sweep engine; see RunE8 for the experiment's semantics.
+func RunE8Sweep(p E8Params) (*report.Table, error) {
+	res, err := sweep.Run(context.Background(), e8Campaign(p), sweep.Options{})
+	if err != nil {
+		return nil, wrap("E8/sweep", err)
+	}
+	tbl := &report.Table{
+		Title:   "E8 Thm 7 (sweep engine): proportional sampling — weak unsatisfied rounds vs path count",
+		Columns: []string{"m", "T", "rounds", "complete", "bound_shape"},
+	}
+	var ms, rounds []float64
+	for i, rec := range res.Records {
+		if rec.Error != "" {
+			return nil, wrap("E8/sweep", fmt.Errorf("task %d: %s", rec.ID, rec.Error))
+		}
+		m := p.LinkCounts[i]
+		inst, err := topo.LinearParallelLinks(m)
+		if err != nil {
+			return nil, wrap("E8/sweep", err)
+		}
+		bound := 1 / (p.Eps * rec.T) * (inst.LMax() / p.Delta) * (inst.LMax() / p.Delta)
+		tbl.AddRow(report.I(m), report.F(rec.T), report.I(rec.UnsatisfiedPhases),
+			boolCell(rec.Converged), report.F(bound))
+		ms = append(ms, float64(m))
+		rounds = append(rounds, float64(rec.UnsatisfiedPhases))
+	}
+	if fit, err := stats.LogLogSlope(ms, rounds); err == nil {
+		tbl.AddNote("fitted exponent of rounds vs m = %.3f (paper bound shape: 0, independent of |P|)", fit.Slope)
+	}
+	tbl.AddNote("delta=%g eps=%g (weak metric, Definition 4)", p.Delta, p.Eps)
+	return tbl, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The ported experiments must reproduce the legacy harness's scaling-law
+// verdicts: the fluid dynamics is deterministic, so rows and notes (rounds,
+// completion flags, fitted exponents) are compared exactly, not
+// approximately.
+
+func sweepPortParamsE6() E6Params {
+	return E6Params{
+		LinkCounts: []int{2, 4, 8},
+		Delta:      0.3, Eps: 0.15,
+		Streak: 30, MaxPhases: 30_000,
+	}
+}
+
+func TestE6SweepMatchesLegacy(t *testing.T) {
+	legacy, err := RunE6(sweepPortParamsE6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ported, err := RunE6Sweep(sweepPortParamsE6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy.Rows, ported.Rows) {
+		t.Errorf("rows diverge:\nlegacy %v\nported %v", legacy.Rows, ported.Rows)
+	}
+	if !reflect.DeepEqual(legacy.Notes, ported.Notes) {
+		t.Errorf("notes diverge:\nlegacy %v\nported %v", legacy.Notes, ported.Notes)
+	}
+}
+
+func TestE7SweepMatchesLegacy(t *testing.T) {
+	p := E7Params{
+		Links:  4,
+		Deltas: []float64{0.6, 0.3, 0.15},
+		Eps:    0.15,
+		Streak: 30, MaxPhases: 60_000,
+	}
+	legacy, err := RunE7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ported, err := RunE7Sweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy.Rows, ported.Rows) {
+		t.Errorf("rows diverge:\nlegacy %v\nported %v", legacy.Rows, ported.Rows)
+	}
+	if !reflect.DeepEqual(legacy.Notes, ported.Notes) {
+		t.Errorf("notes diverge:\nlegacy %v\nported %v", legacy.Notes, ported.Notes)
+	}
+}
+
+func TestE8SweepMatchesLegacy(t *testing.T) {
+	p := E8Params{
+		LinkCounts: []int{2, 8, 32},
+		Delta:      0.3, Eps: 0.15,
+		Streak: 30, MaxPhases: 30_000,
+	}
+	legacy, err := RunE8(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ported, err := RunE8Sweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy.Rows, ported.Rows) {
+		t.Errorf("rows diverge:\nlegacy %v\nported %v", legacy.Rows, ported.Rows)
+	}
+	if !reflect.DeepEqual(legacy.Notes, ported.Notes) {
+		t.Errorf("notes diverge:\nlegacy %v\nported %v", legacy.Notes, ported.Notes)
+	}
+}

@@ -146,13 +146,24 @@ func (s Instance) Build() (*flow.Instance, error) {
 	return flow.NewInstance(g, lats, comms, flow.WithMaxPathLen(s.MaxPathLen))
 }
 
-// Parse decodes a JSON instance specification and builds it.
-func Parse(r io.Reader) (*flow.Instance, error) {
+// Decode reads a JSON instance specification without building it, rejecting
+// unknown fields. Callers that embed instance documents in larger files (e.g.
+// sweep campaign specs) decode first and build per use.
+func Decode(r io.Reader) (Instance, error) {
 	var s Instance
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		return Instance{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return s, nil
+}
+
+// Parse decodes a JSON instance specification and builds it.
+func Parse(r io.Reader) (*flow.Instance, error) {
+	s, err := Decode(r)
+	if err != nil {
+		return nil, err
 	}
 	return s.Build()
 }

@@ -156,3 +156,24 @@ func TestMaxPathLenRespected(t *testing.T) {
 		t.Errorf("paths = %d, want 1 (maxPathLen=1)", inst.NumPaths())
 	}
 }
+
+func TestDecodeWithoutBuild(t *testing.T) {
+	doc := `{
+	  "nodes": ["s", "t"],
+	  "edges": [{"from": "s", "to": "t", "latency": {"kind": "linear", "slope": 1}}],
+	  "commodities": [{"source": "s", "sink": "t", "demand": 1}]
+	}`
+	s, err := Decode(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Nodes) != 2 || len(s.Edges) != 1 || len(s.Commodities) != 1 {
+		t.Errorf("decoded shape = %+v", s)
+	}
+	if _, err := s.Build(); err != nil {
+		t.Errorf("decoded spec failed to build: %v", err)
+	}
+	if _, err := Decode(strings.NewReader(`{"nodes": [], "bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

@@ -49,19 +49,24 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+// quantileSorted is Quantile on an already-sorted non-empty sample.
+func quantileSorted(sorted []float64, q float64) float64 {
 	if q <= 0 {
-		return sorted[0], nil
+		return sorted[0]
 	}
 	if q >= 1 {
-		return sorted[len(sorted)-1], nil
+		return sorted[len(sorted)-1]
 	}
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	frac := pos - float64(lo)
 	if lo+1 >= len(sorted) {
-		return sorted[lo], nil
+		return sorted[lo]
 	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // MaxAbs returns max |x|.
@@ -71,6 +76,37 @@ func MaxAbs(xs []float64) float64 {
 		m = math.Max(m, math.Abs(x))
 	}
 	return m
+}
+
+// Summary condenses a sample into the location/spread measures the sweep
+// aggregator reports per campaign cell.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	P10    float64
+	P90    float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes the Summary of a sample with a single sort. It returns
+// ErrEmpty for empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Median: quantileSorted(sorted, 0.5),
+		P10:    quantileSorted(sorted, 0.1),
+		P90:    quantileSorted(sorted, 0.9),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+	}, nil
 }
 
 // Fit holds an ordinary-least-squares line y = Slope·x + Intercept with the

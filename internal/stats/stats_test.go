@@ -156,3 +156,19 @@ func TestLinearFitRecoversAffine(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{4, 1, 3, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P10 >= s.Median || s.P90 <= s.Median {
+		t.Errorf("percentiles out of order: %+v", s)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"fmt"
+
+	"wardrop/internal/report"
+	"wardrop/internal/stats"
+)
+
+// Cell is one aggregation cell: every axis except the seed, with the
+// replicate outcomes condensed by internal/stats.
+type Cell struct {
+	Topology string
+	Policy   string
+	Period   string
+	Agents   int
+	Delta    float64
+
+	// Runs is the replicate count, Errors how many of them failed.
+	Runs   int
+	Errors int
+
+	// Gap summarises Φ − Φ* over the successful replicates; Unsatisfied the
+	// Theorem 6/7 round counts.
+	Gap         stats.Summary
+	Unsatisfied stats.Summary
+	// ConvergedFrac is the fraction of successful replicates whose
+	// satisfied-streak stop fired; EquilibriumFrac the fraction ending at
+	// the configured (δ,ε)-equilibrium.
+	ConvergedFrac   float64
+	EquilibriumFrac float64
+}
+
+// Aggregate groups records into cells (in first-task order) and condenses
+// each cell's replicates.
+func Aggregate(records []Record) []Cell {
+	type acc struct {
+		cell       *Cell
+		gaps       []float64
+		unsat      []float64
+		conv, atEq int
+	}
+	var order []string
+	byKey := make(map[string]*acc)
+	for _, r := range records {
+		key := cellKey(r.Topology, r.Policy, r.Period, r.Agents, r.Delta)
+		a, ok := byKey[key]
+		if !ok {
+			a = &acc{cell: &Cell{Topology: r.Topology, Policy: r.Policy, Period: r.Period, Agents: r.Agents, Delta: r.Delta}}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.cell.Runs++
+		if r.Error != "" {
+			a.cell.Errors++
+			continue
+		}
+		a.gaps = append(a.gaps, r.Gap)
+		a.unsat = append(a.unsat, float64(r.UnsatisfiedPhases))
+		if r.Converged {
+			a.conv++
+		}
+		if r.AtEquilibrium {
+			a.atEq++
+		}
+	}
+	cells := make([]Cell, 0, len(order))
+	for _, key := range order {
+		a := byKey[key]
+		if n := a.cell.Runs - a.cell.Errors; n > 0 {
+			a.cell.Gap, _ = stats.Summarize(a.gaps)
+			a.cell.Unsatisfied, _ = stats.Summarize(a.unsat)
+			a.cell.ConvergedFrac = float64(a.conv) / float64(n)
+			a.cell.EquilibriumFrac = float64(a.atEq) / float64(n)
+		}
+		cells = append(cells, *a.cell)
+	}
+	return cells
+}
+
+// SummaryTable renders the aggregated cells as a report.Table (ASCII and CSV
+// ready). Wall-clock columns are deliberately omitted so the table is
+// deterministic for fixed campaigns.
+func SummaryTable(name string, cells []Cell) *report.Table {
+	tbl := &report.Table{
+		Title: fmt.Sprintf("sweep %s: per-cell summary", name),
+		Columns: []string{
+			"topology", "policy", "T", "agents", "delta", "runs", "errors",
+			"gap_mean", "gap_median", "gap_p90",
+			"unsat_mean", "unsat_p90", "converged", "at_eq",
+		},
+	}
+	for _, c := range cells {
+		tbl.AddRow(
+			c.Topology, c.Policy, c.Period, report.I(c.Agents), report.F(c.Delta),
+			report.I(c.Runs), report.I(c.Errors),
+			report.F(c.Gap.Mean), report.F(c.Gap.Median), report.F(c.Gap.P90),
+			report.F(c.Unsatisfied.Mean), report.F(c.Unsatisfied.P90),
+			report.F(c.ConvergedFrac), report.F(c.EquilibriumFrac),
+		)
+	}
+	tbl.AddNote("%d cells; gap = final potential minus Frank-Wolfe Phi*", len(cells))
+	return tbl
+}

@@ -1,0 +1,58 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestAggregateGroupsBySeed(t *testing.T) {
+	recs := []Record{
+		{ID: 0, Topology: "pigou", Policy: "uniform", Period: "safe", SeedIndex: 0, Gap: 1, UnsatisfiedPhases: 10, Converged: true, AtEquilibrium: true},
+		{ID: 1, Topology: "pigou", Policy: "uniform", Period: "safe", SeedIndex: 1, Gap: 3, UnsatisfiedPhases: 20, Converged: false, AtEquilibrium: true},
+		{ID: 2, Topology: "pigou", Policy: "replicator", Period: "safe", SeedIndex: 0, Gap: 5},
+		{ID: 3, Topology: "pigou", Policy: "replicator", Period: "safe", SeedIndex: 1, Error: "boom"},
+	}
+	cells := Aggregate(recs)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	u := cells[0]
+	if u.Runs != 2 || u.Errors != 0 || u.Gap.Mean != 2 || u.Unsatisfied.Mean != 15 {
+		t.Errorf("uniform cell = %+v", u)
+	}
+	if u.ConvergedFrac != 0.5 || u.EquilibriumFrac != 1 {
+		t.Errorf("uniform fractions = %+v", u)
+	}
+	r := cells[1]
+	if r.Runs != 2 || r.Errors != 1 || r.Gap.Mean != 5 {
+		t.Errorf("replicator cell = %+v", r)
+	}
+}
+
+func TestSummaryTableShape(t *testing.T) {
+	c := parseDemo(t)
+	res, err := Run(context.Background(), c, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := Aggregate(res.Records)
+	// 2 topologies x 2 policies x 2 periods x 1 agent count.
+	if len(cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(cells))
+	}
+	tbl := SummaryTable(c.Name, cells)
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tbl.Rows))
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "links(m=4)") || !strings.Contains(out, "replicator") {
+		t.Errorf("render missing cell labels:\n%s", out)
+	}
+	// Every cell had 2 clean replicates.
+	for _, row := range tbl.Rows {
+		if row[5] != "2" || row[6] != "0" {
+			t.Errorf("runs/errors = %s/%s: %v", row[5], row[6], row)
+		}
+	}
+}

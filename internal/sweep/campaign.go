@@ -1,0 +1,487 @@
+// Package sweep is the batch campaign engine: it expands a JSON campaign
+// specification — a cross product of topology, policy, update-period,
+// population and seed axes — into a deterministic task list, executes the
+// tasks on a worker pool with streaming JSONL results, and aggregates the
+// records into per-cell summary tables. It turns the one-run simulators
+// (dynamics, agents) into a high-throughput exploration machine for the
+// paper's scaling-law questions.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"strconv"
+
+	"wardrop/internal/flow"
+	"wardrop/internal/policy"
+	"wardrop/internal/spec"
+	"wardrop/internal/topo"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadCampaign indicates a structurally invalid campaign specification.
+	ErrBadCampaign = errors.New("sweep: invalid campaign specification")
+)
+
+// Campaign is the JSON document shape: the axes whose cross product is the
+// task list, plus run-shape scalars shared by every task.
+type Campaign struct {
+	// Name labels the campaign; output files are derived from it.
+	Name string `json:"name"`
+
+	// Axes. The cross product Topologies × Policies × UpdatePeriods ×
+	// Agents × Seeds is expanded in this nesting order (seeds innermost),
+	// so task IDs are reproducible across runs and machines.
+
+	// Topologies lists the instances to sweep.
+	Topologies []Topology `json:"topologies"`
+	// Policies lists the rerouting policies.
+	Policies []PolicySpec `json:"policies"`
+	// UpdatePeriods lists bulletin-board periods: numbers, or "safe" for the
+	// per-(instance, policy) provably safe period of Corollary 5.
+	UpdatePeriods []Period `json:"updatePeriods"`
+	// Agents lists population sizes; 0 runs the fluid limit, N > 0 the
+	// finite-N stochastic simulator.
+	Agents []int `json:"agents,omitempty"`
+	// Seeds is the number of replicate runs per cell (default 1). Each task
+	// derives its own seed from BaseSeed and the task index.
+	Seeds int `json:"seeds,omitempty"`
+	// BaseSeed feeds the per-task seed derivation (splitmix64).
+	BaseSeed uint64 `json:"baseSeed,omitempty"`
+
+	// Run-shape scalars.
+
+	// Horizon is the simulated-time budget per run. Ignored when MaxPhases
+	// is set.
+	Horizon float64 `json:"horizon,omitempty"`
+	// MaxPhases, if positive, sets the budget to MaxPhases bulletin-board
+	// phases (horizon = MaxPhases·T per task).
+	MaxPhases int `json:"maxPhases,omitempty"`
+	// Start selects the initial flow: "uniform" (default), "worst" (each
+	// commodity entirely on its highest free-flow-latency path) or "skewed"
+	// (90% on that path, the rest spread evenly).
+	Start string `json:"start,omitempty"`
+	// Delta, Eps parameterise the (δ,ε)-equilibrium accounting; Delta <= 0
+	// disables it.
+	Delta float64 `json:"delta,omitempty"`
+	Eps   float64 `json:"eps,omitempty"`
+	// Deltas, when non-empty, turns δ into a sweep axis (between the
+	// population and seed axes) overriding the scalar Delta.
+	Deltas []float64 `json:"deltas,omitempty"`
+	// Weak selects the weak (δ,ε) metric (Definition 4).
+	Weak bool `json:"weak,omitempty"`
+	// Streak stops a run after this many consecutive phases starting at the
+	// configured approximate equilibrium (0 disables).
+	Streak int `json:"streak,omitempty"`
+}
+
+// Topology selects one instance family plus its parameters.
+type Topology struct {
+	// Family: pigou, braess, kink, links, grid, layered, custom.
+	Family string `json:"family"`
+	// Size is the family's size knob: link count (links), grid side (grid),
+	// layer width (layered).
+	Size int `json:"size,omitempty"`
+	// Layers is the hidden-layer count for layered (default 3).
+	Layers int `json:"layers,omitempty"`
+	// Beta is the kink slope (family=kink).
+	Beta float64 `json:"beta,omitempty"`
+	// Instance embeds a full instance spec (family=custom).
+	Instance json.RawMessage `json:"instance,omitempty"`
+}
+
+// Key renders the topology as a stable human-readable cell label.
+func (t Topology) Key() string {
+	switch t.Family {
+	case "links":
+		return fmt.Sprintf("links(m=%d)", t.Size)
+	case "grid":
+		return fmt.Sprintf("grid(n=%d)", t.Size)
+	case "layered":
+		return fmt.Sprintf("layered(l=%d,w=%d)", t.layersOrDefault(), t.Size)
+	case "kink":
+		return fmt.Sprintf("kink(beta=%g)", t.Beta)
+	case "custom":
+		// Distinct custom documents must label (and cache as) distinct
+		// topologies, so tag the label with a digest of the document.
+		h := fnv.New32a()
+		h.Write(t.Instance)
+		return fmt.Sprintf("custom(%08x)", h.Sum32())
+	default:
+		return t.Family
+	}
+}
+
+func (t Topology) layersOrDefault() int {
+	if t.Layers > 0 {
+		return t.Layers
+	}
+	return 3
+}
+
+// seeded reports whether the instance itself depends on the task seed.
+func (t Topology) seeded() bool { return t.Family == "layered" }
+
+// Build materialises the instance. Only layered uses the seed.
+func (t Topology) Build(seed uint64) (*flow.Instance, error) {
+	switch t.Family {
+	case "pigou":
+		return topo.Pigou()
+	case "braess":
+		return topo.Braess()
+	case "kink":
+		return topo.TwoLinkKink(t.Beta)
+	case "links":
+		return topo.LinearParallelLinks(t.Size)
+	case "grid":
+		return topo.Grid(t.Size)
+	case "layered":
+		return topo.LayeredRandom(t.layersOrDefault(), t.Size, seed)
+	case "custom":
+		if len(t.Instance) == 0 {
+			return nil, fmt.Errorf("%w: custom topology requires an instance document", ErrBadCampaign)
+		}
+		doc, err := spec.Decode(bytes.NewReader(t.Instance))
+		if err != nil {
+			return nil, err
+		}
+		return doc.Build()
+	default:
+		return nil, fmt.Errorf("%w: unknown topology family %q", ErrBadCampaign, t.Family)
+	}
+}
+
+// validate rejects obviously bad parameters at parse time so errors surface
+// before any worker starts.
+func (t Topology) validate() error {
+	switch t.Family {
+	case "pigou", "braess":
+		return nil
+	case "kink":
+		if t.Beta <= 0 {
+			return fmt.Errorf("%w: kink beta %g must be positive", ErrBadCampaign, t.Beta)
+		}
+		return nil
+	case "links":
+		if t.Size < 2 {
+			return fmt.Errorf("%w: links size %d must be >= 2", ErrBadCampaign, t.Size)
+		}
+		return nil
+	case "grid":
+		if t.Size < 2 {
+			return fmt.Errorf("%w: grid size %d must be >= 2", ErrBadCampaign, t.Size)
+		}
+		return nil
+	case "layered":
+		if t.Size < 1 {
+			return fmt.Errorf("%w: layered width %d must be >= 1", ErrBadCampaign, t.Size)
+		}
+		if t.Layers < 0 {
+			return fmt.Errorf("%w: layered layers %d must be >= 0 (0 = default)", ErrBadCampaign, t.Layers)
+		}
+		return nil
+	case "custom":
+		if len(t.Instance) == 0 {
+			return fmt.Errorf("%w: custom topology requires an instance document", ErrBadCampaign)
+		}
+		_, err := spec.Decode(bytes.NewReader(t.Instance))
+		return err
+	default:
+		return fmt.Errorf("%w: unknown topology family %q", ErrBadCampaign, t.Family)
+	}
+}
+
+// PolicySpec selects a rerouting policy: a sampling rule plus an optional
+// non-default migration rule.
+type PolicySpec struct {
+	// Kind is the sampling rule: uniform, replicator (proportional),
+	// boltzmann.
+	Kind string `json:"kind"`
+	// C is the Boltzmann concentration (kind=boltzmann).
+	C float64 `json:"c,omitempty"`
+	// Migrator overrides the migration rule: "" or "linear" (default,
+	// (1/ℓmax)-smooth), "alphalinear" (min{1, α·gain}), "betterresponse"
+	// (not α-smooth; incompatible with the "safe" period).
+	Migrator string `json:"migrator,omitempty"`
+	// Alpha is the alphalinear smoothness parameter.
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// Key renders the policy as a stable cell label.
+func (p PolicySpec) Key() string {
+	s := p.Kind
+	if p.Kind == "boltzmann" {
+		s = fmt.Sprintf("boltzmann(c=%g)", p.C)
+	}
+	switch p.Migrator {
+	case "", "linear":
+		return s
+	case "alphalinear":
+		return fmt.Sprintf("%s+alphalinear(%g)", s, p.Alpha)
+	default:
+		return s + "+" + p.Migrator
+	}
+}
+
+// Build materialises the policy for an instance (the default linear migrator
+// is sized to the instance's ℓmax).
+func (p PolicySpec) Build(inst *flow.Instance) (policy.Policy, error) {
+	var sampler policy.Sampler
+	switch p.Kind {
+	case "uniform":
+		sampler = policy.Uniform{}
+	case "replicator", "proportional":
+		sampler = policy.Proportional{}
+	case "boltzmann":
+		if p.C < 0 {
+			return policy.Policy{}, fmt.Errorf("%w: boltzmann c %g must be >= 0", ErrBadCampaign, p.C)
+		}
+		sampler = policy.Boltzmann{C: p.C}
+	default:
+		return policy.Policy{}, fmt.Errorf("%w: unknown policy kind %q", ErrBadCampaign, p.Kind)
+	}
+	var migrator policy.Migrator
+	switch p.Migrator {
+	case "", "linear":
+		lin, err := policy.NewLinear(inst.LMax())
+		if err != nil {
+			return policy.Policy{}, err
+		}
+		migrator = lin
+	case "alphalinear":
+		al, err := policy.NewAlphaLinear(p.Alpha)
+		if err != nil {
+			return policy.Policy{}, err
+		}
+		migrator = al
+	case "betterresponse":
+		migrator = policy.BetterResponse{}
+	default:
+		return policy.Policy{}, fmt.Errorf("%w: unknown migrator %q", ErrBadCampaign, p.Migrator)
+	}
+	return policy.Policy{Sampler: sampler, Migrator: migrator}, nil
+}
+
+func (p PolicySpec) validate() error {
+	switch p.Kind {
+	case "uniform", "replicator", "proportional":
+	case "boltzmann":
+		if p.C < 0 {
+			return fmt.Errorf("%w: boltzmann c %g must be >= 0", ErrBadCampaign, p.C)
+		}
+	default:
+		return fmt.Errorf("%w: unknown policy kind %q", ErrBadCampaign, p.Kind)
+	}
+	switch p.Migrator {
+	case "", "linear", "betterresponse":
+	case "alphalinear":
+		if p.Alpha <= 0 {
+			return fmt.Errorf("%w: alphalinear alpha %g must be positive", ErrBadCampaign, p.Alpha)
+		}
+	default:
+		return fmt.Errorf("%w: unknown migrator %q", ErrBadCampaign, p.Migrator)
+	}
+	return nil
+}
+
+// Period is one update-period axis value: either the literal "safe" (resolve
+// the Corollary 5 period per instance and policy) or a positive number.
+type Period struct {
+	// Safe selects the per-task safe period.
+	Safe bool
+	// T is the fixed period when Safe is false.
+	T float64
+}
+
+// UnmarshalJSON accepts the string "safe" or a positive JSON number.
+func (p *Period) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		if s != "safe" {
+			return fmt.Errorf("%w: period string %q (want \"safe\" or a number)", ErrBadCampaign, s)
+		}
+		*p = Period{Safe: true}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return fmt.Errorf("%w: bad period %s", ErrBadCampaign, b)
+	}
+	if v <= 0 {
+		return fmt.Errorf("%w: period %g must be positive", ErrBadCampaign, v)
+	}
+	*p = Period{T: v}
+	return nil
+}
+
+// MarshalJSON renders the period back as "safe" or a number.
+func (p Period) MarshalJSON() ([]byte, error) {
+	if p.Safe {
+		return json.Marshal("safe")
+	}
+	return json.Marshal(p.T)
+}
+
+// String renders the period as a cell label. The shortest lossless float
+// form is used so distinct periods never collide in aggregation keys.
+func (p Period) String() string {
+	if p.Safe {
+		return "safe"
+	}
+	return strconv.FormatFloat(p.T, 'g', -1, 64)
+}
+
+// Task is one cell × seed of the expanded campaign. IDs are consecutive from
+// 0 in expansion order. The derived Seed depends only on (BaseSeed, topology,
+// SeedIndex): replicate s of every cell sharing a topology draws the same
+// seed — seeded instance families are paired across policies/periods/
+// populations so cell-vs-cell comparisons see the same random graphs — and
+// editing other axes of a campaign never reshuffles existing seeds.
+type Task struct {
+	ID       int
+	Topology Topology
+	Policy   PolicySpec
+	Period   Period
+	Agents   int
+	// Delta is the task's (δ,ε) accounting width (from the Deltas axis, or
+	// the campaign scalar).
+	Delta     float64
+	SeedIndex int
+	Seed      uint64
+}
+
+// cellKey is the shared aggregation-cell label: every axis except the seed.
+// Task.CellKey and the aggregation pass must agree on it.
+func cellKey(topology, policy, period string, agents int, delta float64) string {
+	return fmt.Sprintf("%s|%s|T=%s|N=%d|d=%g", topology, policy, period, agents, delta)
+}
+
+// CellKey is the task's aggregation cell (every axis except the seed).
+func (t Task) CellKey() string {
+	return cellKey(t.Topology.Key(), t.Policy.Key(), t.Period.String(), t.Agents, t.Delta)
+}
+
+// Validate checks the campaign's axes and scalars without building instances.
+func (c *Campaign) Validate() error {
+	if len(c.Topologies) == 0 {
+		return fmt.Errorf("%w: no topologies", ErrBadCampaign)
+	}
+	if len(c.Policies) == 0 {
+		return fmt.Errorf("%w: no policies", ErrBadCampaign)
+	}
+	if len(c.UpdatePeriods) == 0 {
+		return fmt.Errorf("%w: no update periods", ErrBadCampaign)
+	}
+	for _, t := range c.Topologies {
+		if err := t.validate(); err != nil {
+			return err
+		}
+	}
+	for _, p := range c.Policies {
+		if err := p.validate(); err != nil {
+			return err
+		}
+	}
+	for _, n := range c.Agents {
+		if n < 0 {
+			return fmt.Errorf("%w: agents %d must be >= 0", ErrBadCampaign, n)
+		}
+	}
+	if c.Seeds < 0 {
+		return fmt.Errorf("%w: seeds %d must be >= 0", ErrBadCampaign, c.Seeds)
+	}
+	if math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0) || math.IsNaN(c.Delta) || math.IsNaN(c.Eps) {
+		return fmt.Errorf("%w: horizon/delta/eps must be finite", ErrBadCampaign)
+	}
+	if c.Horizon <= 0 && c.MaxPhases <= 0 {
+		return fmt.Errorf("%w: need horizon > 0 or maxPhases > 0", ErrBadCampaign)
+	}
+	if c.MaxPhases < 0 {
+		return fmt.Errorf("%w: maxPhases %d must be >= 0", ErrBadCampaign, c.MaxPhases)
+	}
+	switch c.Start {
+	case "", "uniform", "worst", "skewed":
+	default:
+		return fmt.Errorf("%w: unknown start %q (want uniform, worst or skewed)", ErrBadCampaign, c.Start)
+	}
+	for _, d := range c.Deltas {
+		if d <= 0 {
+			return fmt.Errorf("%w: delta axis value %g must be positive", ErrBadCampaign, d)
+		}
+	}
+	return nil
+}
+
+// Expand materialises the deterministic task list: the cross product of the
+// axes in declaration order with seeds innermost. Every task's derived seed
+// is a pure function of (BaseSeed, topology, SeedIndex) — see Task.
+func (c *Campaign) Expand() ([]Task, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	agents := c.Agents
+	if len(agents) == 0 {
+		agents = []int{0}
+	}
+	deltas := c.Deltas
+	if len(deltas) == 0 {
+		deltas = []float64{c.Delta}
+	}
+	seeds := c.Seeds
+	if seeds == 0 {
+		seeds = 1
+	}
+	tasks := make([]Task, 0, len(c.Topologies)*len(c.Policies)*len(c.UpdatePeriods)*len(agents)*len(deltas)*seeds)
+	id := 0
+	for _, tp := range c.Topologies {
+		// Seeds are a pure function of (BaseSeed, topology, replicate):
+		// fold the topology label into the base so distinct topologies get
+		// independent streams while cells sharing one stay paired.
+		h := fnv.New64a()
+		h.Write([]byte(tp.Key()))
+		topoBase := c.BaseSeed ^ h.Sum64()
+		for _, pol := range c.Policies {
+			for _, per := range c.UpdatePeriods {
+				for _, n := range agents {
+					for _, d := range deltas {
+						for s := 0; s < seeds; s++ {
+							tasks = append(tasks, Task{
+								ID:        id,
+								Topology:  tp,
+								Policy:    pol,
+								Period:    per,
+								Agents:    n,
+								Delta:     d,
+								SeedIndex: s,
+								Seed:      topo.DeriveSeed(topoBase, uint64(s)),
+							})
+							id++
+						}
+					}
+				}
+			}
+		}
+	}
+	return tasks, nil
+}
+
+// ParseCampaign decodes a JSON campaign specification, rejecting unknown
+// fields, and validates it.
+func ParseCampaign(r io.Reader) (*Campaign, error) {
+	var c Campaign
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCampaign, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

@@ -1,0 +1,431 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wardrop/internal/agents"
+	"wardrop/internal/dynamics"
+	"wardrop/internal/flow"
+	"wardrop/internal/policy"
+	"wardrop/internal/solver"
+)
+
+// Record is one task's outcome — one JSONL line in the streaming result file.
+// Exactly one record is emitted per expanded task, in completion order;
+// records carry the task ID so any downstream consumer can re-sort.
+type Record struct {
+	// ID is the task ID from the deterministic expansion.
+	ID int `json:"id"`
+	// Topology, Policy, Period are the task's cell labels.
+	Topology string `json:"topology"`
+	Policy   string `json:"policy"`
+	Period   string `json:"period"`
+	// T is the resolved bulletin-board period (the safe period when
+	// Period == "safe").
+	T float64 `json:"T"`
+	// Agents is the population size (0 = fluid limit).
+	Agents int `json:"agents"`
+	// Delta is the task's (δ,ε) accounting width (0 = accounting disabled).
+	Delta float64 `json:"delta"`
+	// Seed is the task's derived seed.
+	Seed uint64 `json:"seed"`
+	// SeedIndex is the replicate number within the cell.
+	SeedIndex int `json:"seedIndex"`
+
+	// FinalPotential is Φ at the end of the run; PhiStar is the reference
+	// equilibrium potential Φ*; Gap is Φ − Φ*.
+	FinalPotential float64 `json:"finalPotential"`
+	PhiStar        float64 `json:"phiStar"`
+	Gap            float64 `json:"gap"`
+	// AtEquilibrium reports the (δ,ε)-equilibrium verdict on the final flow
+	// (weak variant if the campaign says so); always false when delta <= 0.
+	AtEquilibrium bool `json:"atEquilibrium"`
+	// UnsatisfiedPhases counts phases not starting at the configured
+	// approximate equilibrium — the quantity bounded by Theorems 6 and 7
+	// (fluid runs natively; agent runs via the phase hook).
+	UnsatisfiedPhases int `json:"unsatisfiedPhases"`
+	// Phases is the number of completed bulletin-board phases; Converged
+	// reports whether the satisfied-streak stop fired before the budget.
+	Phases    int  `json:"phases"`
+	Converged bool `json:"converged"`
+	// ElapsedSim is the simulated time covered; WallMS the wall-clock cost.
+	ElapsedSim float64 `json:"elapsedSim"`
+	WallMS     float64 `json:"wallMs"`
+	// Error is non-empty when the task failed (including recovered panics);
+	// the result fields are zero in that case.
+	Error string `json:"error,omitempty"`
+}
+
+// Options configures an engine run.
+type Options struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// Results, if non-nil, receives one JSON line per completed task as it
+	// finishes (streaming, completion order).
+	Results io.Writer
+	// Progress, if non-nil, is called after each task completes with the
+	// completed count, the total and the record. Called from the collector
+	// goroutine only, so it needs no locking.
+	Progress func(done, total int, rec Record)
+}
+
+// RunResult is a completed engine run.
+type RunResult struct {
+	Campaign *Campaign
+	Tasks    []Task
+	// Records holds one record per task, sorted by task ID.
+	Records []Record
+}
+
+// instEntry caches a built instance and its reference potential per
+// topology cell, so tasks sharing an instance pay for construction and the
+// Frank–Wolfe solve once. Instances are immutable, hence safe to share
+// across workers.
+type instEntry struct {
+	once    sync.Once
+	inst    *flow.Instance
+	phiStar float64
+	err     error
+}
+
+// Run expands the campaign and executes every task on a bounded worker pool.
+// Task failures (including panics) are recorded per task, not fatal; the
+// returned error is non-nil only for invalid campaigns, context
+// cancellation, or a failing Results writer.
+func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
+	tasks, err := c.Expand()
+	if err != nil {
+		return nil, err
+	}
+	// A sink failure cancels the pool so a broken -out target doesn't burn
+	// the rest of the campaign's compute.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	var cache sync.Map // topology cache key -> *instEntry
+
+	taskCh := make(chan Task)
+	// The sink channel is bounded: workers block once the collector falls
+	// behind, keeping memory proportional to the pool size, not the
+	// campaign size.
+	recCh := make(chan Record, 2*workers)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				rec := runTaskIsolated(c, t, &cache)
+				select {
+				case recCh <- rec:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(recCh)
+	}()
+
+	// Feed tasks, honouring cancellation.
+	feedErr := make(chan error, 1)
+	go func() {
+		defer close(taskCh)
+		for _, t := range tasks {
+			select {
+			case taskCh <- t:
+			case <-ctx.Done():
+				feedErr <- ctx.Err()
+				return
+			}
+		}
+		feedErr <- nil
+	}()
+
+	// Collect: stream JSONL, report progress, keep everything for the
+	// aggregation pass.
+	records := make([]Record, 0, len(tasks))
+	enc := json.NewEncoder(io.Discard)
+	if opts.Results != nil {
+		enc = json.NewEncoder(opts.Results)
+	}
+	var sinkErr error
+	for rec := range recCh {
+		if sinkErr == nil {
+			if err := enc.Encode(rec); err != nil {
+				sinkErr = fmt.Errorf("sweep: results sink: %w", err)
+				cancel()
+			}
+		}
+		records = append(records, rec)
+		if opts.Progress != nil {
+			opts.Progress(len(records), len(tasks), rec)
+		}
+	}
+	// The sink error wins over the cancellation it triggered.
+	if sinkErr != nil {
+		return nil, sinkErr
+	}
+	if err := <-feedErr; err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sortRecords(records)
+	return &RunResult{Campaign: c, Tasks: tasks, Records: records}, nil
+}
+
+// sortRecords orders by task ID.
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+}
+
+// runTaskIsolated runs one task, converting panics into per-task error
+// records so a poisoned cell cannot take down the campaign.
+func runTaskIsolated(c *Campaign, t Task, cache *sync.Map) Record {
+	return isolated(t, func() Record { return runTask(c, t, cache) })
+}
+
+func isolated(t Task, fn func() Record) (rec Record) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec = errorRecord(t, fmt.Errorf("panic: %v", r))
+		}
+	}()
+	return fn()
+}
+
+// errorRecord fills the identity fields so failed tasks still appear exactly
+// once in the stream.
+func errorRecord(t Task, err error) Record {
+	return Record{
+		ID:        t.ID,
+		Topology:  t.Topology.Key(),
+		Policy:    t.Policy.Key(),
+		Period:    t.Period.String(),
+		Agents:    t.Agents,
+		Delta:     t.Delta,
+		Seed:      t.Seed,
+		SeedIndex: t.SeedIndex,
+		Error:     err.Error(),
+	}
+}
+
+func runTask(c *Campaign, t Task, cache *sync.Map) Record {
+	start := time.Now()
+
+	entry := instanceFor(t, cache)
+	if entry.err != nil {
+		return errorRecord(t, entry.err)
+	}
+	inst := entry.inst
+
+	pol, err := t.Policy.Build(inst)
+	if err != nil {
+		return errorRecord(t, err)
+	}
+
+	T := t.Period.T
+	if t.Period.Safe {
+		T, err = policy.SafeUpdatePeriodFor(pol, inst.Beta(), inst.MaxPathLen())
+		if err != nil {
+			return errorRecord(t, err)
+		}
+		if T <= 0 || math.IsInf(T, 0) || math.IsNaN(T) {
+			return errorRecord(t, fmt.Errorf("sweep: degenerate safe period %g", T))
+		}
+	}
+
+	horizon := c.Horizon
+	if c.MaxPhases > 0 {
+		horizon = float64(c.MaxPhases) * T
+	}
+
+	f0, err := startFlow(inst, c.Start)
+	if err != nil {
+		return errorRecord(t, err)
+	}
+
+	var res *dynamics.Result
+	unsatAgent := 0
+	if t.Agents > 0 {
+		// The agent simulator has no built-in (δ,ε) accounting; mirror the
+		// fluid dynamics' round counting and satisfied-streak stop through
+		// its phase hook so agent cells report the same quantities.
+		streak := 0
+		hook := func(info dynamics.PhaseInfo) bool {
+			if t.Delta <= 0 {
+				return false
+			}
+			var atEq bool
+			if c.Weak {
+				atEq = inst.AtWeakApproxEquilibrium(info.Flow, info.PathLatencies, t.Delta, c.Eps)
+			} else {
+				atEq = inst.AtApproxEquilibrium(info.Flow, info.PathLatencies, t.Delta, c.Eps)
+			}
+			if atEq {
+				streak++
+			} else {
+				unsatAgent++
+				streak = 0
+			}
+			return c.Streak > 0 && streak >= c.Streak
+		}
+		sim, err := agents.New(inst, agents.Config{
+			N: t.Agents, Policy: pol, UpdatePeriod: T, Horizon: horizon,
+			Seed: t.Seed, Workers: 1, InitialFlow: f0, Hook: hook,
+		})
+		if err != nil {
+			return errorRecord(t, err)
+		}
+		res, err = sim.Run()
+		if err != nil {
+			return errorRecord(t, err)
+		}
+		res.UnsatisfiedPhases = unsatAgent
+	} else {
+		res, err = dynamics.Run(inst, dynamics.Config{
+			Policy: pol, UpdatePeriod: T, Horizon: horizon,
+			Integrator:               dynamics.Uniformization,
+			Delta:                    t.Delta,
+			Eps:                      c.Eps,
+			Weak:                     c.Weak,
+			StopAfterSatisfiedStreak: c.Streak,
+		}, f0)
+		if err != nil {
+			return errorRecord(t, err)
+		}
+	}
+
+	rec := Record{
+		ID:        t.ID,
+		Topology:  t.Topology.Key(),
+		Policy:    t.Policy.Key(),
+		Period:    t.Period.String(),
+		T:         T,
+		Agents:    t.Agents,
+		Delta:     t.Delta,
+		Seed:      t.Seed,
+		SeedIndex: t.SeedIndex,
+
+		FinalPotential:    res.FinalPotential,
+		PhiStar:           entry.phiStar,
+		Gap:               res.FinalPotential - entry.phiStar,
+		UnsatisfiedPhases: res.UnsatisfiedPhases,
+		Phases:            res.Phases,
+		Converged:         res.Stopped,
+		ElapsedSim:        res.Elapsed,
+		WallMS:            float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if t.Delta > 0 {
+		pathLat := inst.PathLatencies(res.Final)
+		if c.Weak {
+			rec.AtEquilibrium = inst.AtWeakApproxEquilibrium(res.Final, pathLat, t.Delta, c.Eps)
+		} else {
+			rec.AtEquilibrium = inst.AtApproxEquilibrium(res.Final, pathLat, t.Delta, c.Eps)
+		}
+	}
+	return rec
+}
+
+// instanceFor returns the cached (instance, Φ*) pair for the task's topology
+// cell, building and solving at most once per cell. Seed-dependent families
+// (layered) cache per seed.
+func instanceFor(t Task, cache *sync.Map) *instEntry {
+	key := t.Topology.Key()
+	if t.Topology.seeded() {
+		key = fmt.Sprintf("%s#%d", key, t.Seed)
+	}
+	v, _ := cache.LoadOrStore(key, &instEntry{})
+	entry := v.(*instEntry)
+	entry.once.Do(func() {
+		// sync.Once marks the call done even if it panics, so convert
+		// build/solve panics into the entry's error — otherwise later tasks
+		// in the cell would see a half-initialised entry and crash with a
+		// misleading nil dereference.
+		defer func() {
+			if r := recover(); r != nil {
+				entry.inst, entry.err = nil, fmt.Errorf("sweep: instance build panic: %v", r)
+			}
+		}()
+		entry.inst, entry.err = t.Topology.Build(t.Seed)
+		if entry.err != nil {
+			return
+		}
+		sol, err := solver.SolveEquilibrium(entry.inst, solver.Options{RelGapTol: 1e-10})
+		if err != nil {
+			entry.err = err
+			return
+		}
+		entry.phiStar = sol.Potential
+	})
+	return entry
+}
+
+// startFlow builds the campaign's initial flow on an instance.
+func startFlow(inst *flow.Instance, start string) (flow.Vector, error) {
+	switch start {
+	case "", "uniform":
+		return inst.UniformFlow(), nil
+	case "worst":
+		f := make(flow.Vector, inst.NumPaths())
+		freeFlow := inst.PathLatencies(make(flow.Vector, inst.NumPaths()))
+		for i := 0; i < inst.NumCommodities(); i++ {
+			lo, _ := inst.CommodityRange(i)
+			f[lo+worstPath(inst, i, freeFlow)] = inst.Commodity(i).Demand
+		}
+		return f, nil
+	case "skewed":
+		// 90% of each commodity's demand on its worst path, the rest spread
+		// evenly — keeps proportional sampling non-degenerate (it cannot
+		// leave a path with exactly zero flow).
+		f := make(flow.Vector, inst.NumPaths())
+		freeFlow := inst.PathLatencies(make(flow.Vector, inst.NumPaths()))
+		for i := 0; i < inst.NumCommodities(); i++ {
+			lo, hi := inst.CommodityRange(i)
+			d := inst.Commodity(i).Demand
+			rest := 0.1 * d / float64(hi-lo)
+			for g := lo; g < hi; g++ {
+				f[g] = rest
+			}
+			f[lo+worstPath(inst, i, freeFlow)] += 0.9 * d
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown start %q", ErrBadCampaign, start)
+	}
+}
+
+// worstPath returns the commodity-local index of the path with the highest
+// free-flow latency — the adversarial start of the scaling experiments.
+// freeFlow is the instance's path-latency vector at zero flow.
+func worstPath(inst *flow.Instance, commodity int, freeFlow []float64) int {
+	lo, hi := inst.CommodityRange(commodity)
+	best, bestVal := 0, math.Inf(-1)
+	for g := lo; g < hi; g++ {
+		if freeFlow[g] > bestVal {
+			best, bestVal = g-lo, freeFlow[g]
+		}
+	}
+	return best
+}

@@ -1,0 +1,288 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func runDemo(t *testing.T, workers int) (*RunResult, []Record) {
+	t.Helper()
+	c := parseDemo(t)
+	var buf bytes.Buffer
+	res, err := Run(context.Background(), c, Options{Workers: workers, Results: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []Record
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		stream = append(stream, r)
+	}
+	return res, stream
+}
+
+func TestRunStreamsEveryTaskExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 32} {
+		res, stream := runDemo(t, workers)
+		if len(stream) != len(res.Tasks) {
+			t.Fatalf("workers=%d: %d JSONL records for %d tasks", workers, len(stream), len(res.Tasks))
+		}
+		seen := make(map[int]int)
+		for _, r := range stream {
+			seen[r.ID]++
+		}
+		for _, task := range res.Tasks {
+			if seen[task.ID] != 1 {
+				t.Errorf("workers=%d: task %d appears %d times", workers, task.ID, seen[task.ID])
+			}
+		}
+		// The in-memory view is sorted by ID.
+		for i, r := range res.Records {
+			if r.ID != i {
+				t.Errorf("workers=%d: records[%d].ID = %d", workers, i, r.ID)
+			}
+		}
+	}
+}
+
+func TestRunWorkerCountInvariant(t *testing.T) {
+	// The fluid dynamics is deterministic, so everything except wall time
+	// must be identical whatever the pool size.
+	res1, _ := runDemo(t, 1)
+	res8, _ := runDemo(t, 8)
+	for i := range res1.Records {
+		a, b := res1.Records[i], res8.Records[i]
+		a.WallMS, b.WallMS = 0, 0
+		if a != b {
+			t.Errorf("record %d differs across worker counts:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestRunOutcomesSane(t *testing.T) {
+	res, _ := runDemo(t, 4)
+	for _, r := range res.Records {
+		if r.Error != "" {
+			t.Errorf("task %d failed: %s", r.ID, r.Error)
+			continue
+		}
+		if r.T <= 0 {
+			t.Errorf("task %d: resolved period %g", r.ID, r.T)
+		}
+		if r.Phases <= 0 {
+			t.Errorf("task %d: no phases completed", r.ID)
+		}
+		// Φ − Φ* is non-negative up to solver tolerance.
+		if r.Gap < -1e-6 {
+			t.Errorf("task %d: gap %g below Phi*", r.ID, r.Gap)
+		}
+		// The demo campaign's cells are easy: all runs hit the streak stop
+		// and end at the configured (δ,ε)-equilibrium.
+		if !r.Converged || !r.AtEquilibrium {
+			t.Errorf("task %d: converged=%v atEq=%v", r.ID, r.Converged, r.AtEquilibrium)
+		}
+	}
+}
+
+func TestRunAgentTasks(t *testing.T) {
+	doc := `{
+	  "name": "agents",
+	  "topologies": [{"family": "pigou"}],
+	  "policies": [{"kind": "uniform"}],
+	  "updatePeriods": ["safe"],
+	  "agents": [0, 200],
+	  "seeds": 2,
+	  "baseSeed": 3,
+	  "horizon": 10,
+	  "delta": 0.4,
+	  "eps": 0.2,
+	  "streak": 5
+	}`
+	c, err := ParseCampaign(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), c, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 4 {
+		t.Fatalf("records = %d, want 4", len(res.Records))
+	}
+	for _, r := range res.Records {
+		if r.Error != "" {
+			t.Errorf("task %d failed: %s", r.ID, r.Error)
+		}
+	}
+	// Replicates of the stochastic cell use different derived seeds.
+	var agentRecs []Record
+	for _, r := range res.Records {
+		if r.Agents == 200 {
+			agentRecs = append(agentRecs, r)
+		}
+	}
+	if len(agentRecs) != 2 || agentRecs[0].Seed == agentRecs[1].Seed {
+		t.Errorf("agent replicates should carry distinct seeds: %+v", agentRecs)
+	}
+	// The hook-based accounting gives agent cells the same round counting
+	// and streak stop as fluid cells: this easy instance converges well
+	// before the 40-phase horizon.
+	for _, r := range agentRecs {
+		if !r.Converged || r.Phases >= 40 {
+			t.Errorf("agent task %d: converged=%v phases=%d, want streak stop", r.ID, r.Converged, r.Phases)
+		}
+		if !r.AtEquilibrium {
+			t.Errorf("agent task %d should end at the (δ,ε)-equilibrium", r.ID)
+		}
+	}
+}
+
+func TestRunRecordsTaskErrors(t *testing.T) {
+	// Better response has no finite smoothness constant, so a "safe" period
+	// cannot be resolved: the task must fail without sinking the campaign.
+	doc := `{
+	  "name": "mixed",
+	  "topologies": [{"family": "pigou"}],
+	  "policies": [{"kind": "uniform"}, {"kind": "uniform", "migrator": "betterresponse"}],
+	  "updatePeriods": ["safe"],
+	  "horizon": 5
+	}`
+	c, err := ParseCampaign(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), c, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(res.Records))
+	}
+	if res.Records[0].Error != "" {
+		t.Errorf("linear cell failed: %s", res.Records[0].Error)
+	}
+	if res.Records[1].Error == "" {
+		t.Error("betterresponse+safe cell should have failed")
+	}
+}
+
+func TestRunDistinctCustomTopologies(t *testing.T) {
+	// Two different custom documents in one campaign must not collide in the
+	// instance cache or the aggregation cells: the second instance's Phi*
+	// (pure parallel constants 2 and 2: Phi* = 2) differs from the first's
+	// (Pigou: Phi* = 1/2).
+	doc := `{
+	  "name": "customs",
+	  "topologies": [
+	    {"family": "custom", "instance": {
+	      "nodes": ["s", "t"],
+	      "edges": [
+	        {"from": "s", "to": "t", "latency": {"kind": "linear", "slope": 1}},
+	        {"from": "s", "to": "t", "latency": {"kind": "constant", "c": 1}}
+	      ],
+	      "commodities": [{"source": "s", "sink": "t", "demand": 1}]
+	    }},
+	    {"family": "custom", "instance": {
+	      "nodes": ["s", "t"],
+	      "edges": [
+	        {"from": "s", "to": "t", "latency": {"kind": "constant", "c": 2}},
+	        {"from": "s", "to": "t", "latency": {"kind": "constant", "c": 2}}
+	      ],
+	      "commodities": [{"source": "s", "sink": "t", "demand": 1}]
+	    }}
+	  ],
+	  "policies": [{"kind": "uniform"}],
+	  "updatePeriods": [0.25],
+	  "horizon": 2
+	}`
+	c, err := ParseCampaign(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), c, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(res.Records))
+	}
+	a, b := res.Records[0], res.Records[1]
+	if a.Error != "" || b.Error != "" {
+		t.Fatalf("task errors: %q, %q", a.Error, b.Error)
+	}
+	if a.Topology == b.Topology {
+		t.Errorf("distinct custom documents share the label %q", a.Topology)
+	}
+	if a.PhiStar == b.PhiStar {
+		t.Errorf("distinct custom instances share Phi* = %g (cache collision)", a.PhiStar)
+	}
+	if b.PhiStar != 2 {
+		t.Errorf("second custom instance Phi* = %g, want 2", b.PhiStar)
+	}
+	if cells := Aggregate(res.Records); len(cells) != 2 {
+		t.Errorf("cells = %d, want 2 (custom topologies merged)", len(cells))
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	c := parseDemo(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, c, Options{Workers: 2}); err == nil {
+		t.Error("cancelled run returned nil error")
+	}
+}
+
+type failingWriter struct{ after int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.after--
+	return len(p), nil
+}
+
+func TestRunSinkFailureCancelsPool(t *testing.T) {
+	c := parseDemo(t)
+	_, err := Run(context.Background(), c, Options{Workers: 2, Results: &failingWriter{after: 1}})
+	if err == nil || !strings.Contains(err.Error(), "results sink") {
+		t.Errorf("sink failure not surfaced: %v", err)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	rec := isolated(Task{ID: 7}, func() Record { panic("boom") })
+	if rec.ID != 7 || !strings.Contains(rec.Error, "panic: boom") {
+		t.Errorf("panic record = %+v", rec)
+	}
+}
+
+func TestRunProgressMonotone(t *testing.T) {
+	c := parseDemo(t)
+	var calls []int
+	_, err := Run(context.Background(), c, Options{
+		Workers:  4,
+		Progress: func(done, total int, _ Record) { calls = append(calls, done*1000+total) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 16 {
+		t.Fatalf("progress calls = %d, want 16", len(calls))
+	}
+	for i, v := range calls {
+		if v != (i+1)*1000+16 {
+			t.Errorf("progress call %d = %d, want done=%d total=16", i, v, i+1)
+		}
+	}
+}

@@ -17,7 +17,7 @@ func LayeredRandom(layers, width int, seed uint64) (*flow.Instance, error) {
 	if layers < 1 || width < 1 {
 		return nil, fmt.Errorf("%w: layers=%d width=%d", ErrBadParam, layers, width)
 	}
-	rng := splitMix{state: seed}
+	rng := SplitMix{State: seed}
 	g := graph.New()
 	s := g.MustAddNode("s")
 	t := g.MustAddNode("t")
@@ -32,8 +32,8 @@ func LayeredRandom(layers, width int, seed uint64) (*flow.Instance, error) {
 			for _, v := range cur {
 				g.MustAddEdge(u, v)
 				lats = append(lats, latency.Linear{
-					Slope:  0.5 + rng.float64(),
-					Offset: 0.5 * rng.float64(),
+					Slope:  0.5 + rng.Float64(),
+					Offset: 0.5 * rng.Float64(),
 				})
 			}
 		}
@@ -42,24 +42,37 @@ func LayeredRandom(layers, width int, seed uint64) (*flow.Instance, error) {
 	for _, u := range prev {
 		g.MustAddEdge(u, t)
 		lats = append(lats, latency.Linear{
-			Slope:  0.5 + rng.float64(),
-			Offset: 0.5 * rng.float64(),
+			Slope:  0.5 + rng.Float64(),
+			Offset: 0.5 * rng.Float64(),
 		})
 	}
 	return flow.NewInstance(g, lats, []flow.Commodity{{Name: "c0", Source: s, Sink: t, Demand: 1}})
 }
 
-// splitMix is the shared deterministic RNG (splitmix64).
-type splitMix struct{ state uint64 }
+// SplitMix is the shared deterministic RNG (splitmix64). The zero value with
+// State set is ready to use; identical states produce identical streams, which
+// is what topology generation and the sweep engine's per-task seed derivation
+// rely on.
+type SplitMix struct{ State uint64 }
 
-func (s *splitMix) next() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
+// Next advances the generator and returns the next 64-bit value.
+func (s *SplitMix) Next() uint64 {
+	s.State += 0x9e3779b97f4a7c15
+	z := s.State
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
 
-func (s *splitMix) float64() float64 {
-	return float64(s.next()>>11) / float64(1<<53)
+// Float64 returns the next value mapped uniformly into [0, 1).
+func (s *SplitMix) Float64() float64 {
+	return float64(s.Next()>>11) / float64(1<<53)
+}
+
+// DeriveSeed mixes a base seed with a task index into an independent stream
+// seed: seed derivation is position-based, so task k's seed does not depend on
+// how many tasks precede it or on execution order.
+func DeriveSeed(base, index uint64) uint64 {
+	s := SplitMix{State: base ^ (index+1)*0x9e3779b97f4a7c15}
+	return s.Next()
 }
