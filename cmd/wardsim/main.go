@@ -1,5 +1,10 @@
 // Command wardsim runs one rerouting-dynamics simulation on a named topology
-// and emits the trajectory (time, potential, flows) as CSV on stdout.
+// and emits the trajectory (time, potential, flows) as CSV on stdout. It
+// dispatches through the unified wardrop.Run API: the -policy and -agents
+// flags select the engine (fluid limit, best response, or finite-N agents).
+//
+// SIGINT cancels the run context; the partial trajectory simulated so far is
+// flushed before exiting.
 //
 // Usage:
 //
@@ -9,23 +14,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 
 	"wardrop"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Drop the handler after the first SIGINT so a second Ctrl+C terminates
+	// the process even if the partial-trajectory flush blocks.
+	context.AfterFunc(ctx, stop)
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "wardsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("wardsim", flag.ContinueOnError)
 	topoName := fs.String("topo", "braess", "topology: pigou|braess|kink|links|grid|layered")
 	instFile := fs.String("instance", "", "JSON instance file (overrides -topo)")
@@ -70,23 +82,27 @@ func run(args []string) error {
 		return err
 	}
 
+	scenario := wardrop.Scenario{
+		Instance:    inst,
+		Horizon:     *horizon,
+		RecordEvery: *every,
+	}
+
 	if *policyName == "bestresponse" {
+		if *agentsN > 0 {
+			return fmt.Errorf("-agents %d cannot be combined with -policy bestresponse (a fluid-only dynamics)", *agentsN)
+		}
 		T, err := parsePeriod(*period, 0.5)
 		if err != nil {
 			return err
 		}
-		f1, _, _ := wardrop.TwoLinkOscillation(*beta, T, 0)
-		f0 := inst.UniformFlow()
+		scenario.Engine = wardrop.BestResponseEngine{}
+		scenario.UpdatePeriod = T
 		if *topoName == "kink" {
-			f0 = wardrop.Flow{f1, 1 - f1}
+			f1, _, _ := wardrop.TwoLinkOscillation(*beta, T, 0)
+			scenario.InitialFlow = wardrop.Flow{f1, 1 - f1}
 		}
-		res, err := wardrop.SimulateBestResponse(inst, wardrop.BestResponseConfig{
-			UpdatePeriod: T, Horizon: *horizon, RecordEvery: *every,
-		}, f0)
-		if err != nil {
-			return err
-		}
-		return emit(res)
+		return emit(wardrop.Run(ctx, scenario))
 	}
 
 	pol, err := buildPolicy(*policyName, *c, inst)
@@ -101,30 +117,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	scenario.Policy = pol
+	scenario.UpdatePeriod = T
 
 	if *agentsN > 0 {
-		sim, err := wardrop.NewAgentSim(inst, wardrop.AgentConfig{
-			N: *agentsN, Policy: pol, UpdatePeriod: T, Horizon: *horizon,
-			Seed: *seed, RecordEvery: *every,
-		})
-		if err != nil {
-			return err
-		}
-		res, err := sim.Run()
-		if err != nil {
-			return err
-		}
-		return emit(res)
+		scenario.Engine = wardrop.AgentsEngine{N: *agentsN, Seed: *seed}
+	} else {
+		scenario.Engine = wardrop.FluidEngine{Integrator: wardrop.Uniformization}
 	}
-
-	res, err := wardrop.Simulate(inst, wardrop.SimConfig{
-		Policy: pol, UpdatePeriod: T, Horizon: *horizon,
-		Integrator: wardrop.Uniformization, RecordEvery: *every,
-	}, inst.UniformFlow())
-	if err != nil {
-		return err
-	}
-	return emit(res)
+	return emit(wardrop.Run(ctx, scenario))
 }
 
 func buildTopo(name string, beta float64, m int, seed uint64) (*wardrop.Instance, error) {
@@ -174,7 +175,14 @@ func parsePeriod(s string, safe float64) (float64, error) {
 	return v, nil
 }
 
-func emit(res *wardrop.SimResult) error {
+// emit prints the recorded trajectory as CSV. On context cancellation the
+// partial trajectory is flushed with an interruption marker instead of the
+// run dying mid-write.
+func emit(res *wardrop.Result, err error) error {
+	interrupted := err != nil && res != nil && wardrop.IsInterrupt(err)
+	if err != nil && !interrupted {
+		return err
+	}
 	fmt.Println("time,potential,flows...")
 	for _, s := range res.Trajectory {
 		fmt.Printf("%g,%g", s.Time, s.Potential)
@@ -184,5 +192,9 @@ func emit(res *wardrop.SimResult) error {
 		fmt.Println()
 	}
 	fmt.Printf("# phases=%d elapsed=%g finalPotential=%g\n", res.Phases, res.Elapsed, res.FinalPotential)
+	if interrupted {
+		fmt.Println("# interrupted: partial trajectory flushed")
+		return err
+	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,7 +19,7 @@ func TestRunErrors(t *testing.T) {
 		{"-nonsense-flag"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -37,7 +39,7 @@ func TestRunShapeFlagValidation(t *testing.T) {
 		{[]string{"-agents", "-1"}, "-agents"},
 	}
 	for _, c := range cases {
-		err := run(c.args)
+		err := run(context.Background(), c.args)
 		if err == nil {
 			t.Errorf("args %v accepted", c.args)
 			continue
@@ -49,25 +51,25 @@ func TestRunShapeFlagValidation(t *testing.T) {
 }
 
 func TestRunFluidSmoke(t *testing.T) {
-	if err := run([]string{"-topo", "pigou", "-policy", "replicator", "-horizon", "2", "-every", "4"}); err != nil {
+	if err := run(context.Background(), []string{"-topo", "pigou", "-policy", "replicator", "-horizon", "2", "-every", "4"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBestResponseSmoke(t *testing.T) {
-	if err := run([]string{"-topo", "kink", "-beta", "4", "-policy", "bestresponse", "-T", "0.5", "-horizon", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-topo", "kink", "-beta", "4", "-policy", "bestresponse", "-T", "0.5", "-horizon", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAgentsSmoke(t *testing.T) {
-	if err := run([]string{"-topo", "braess", "-policy", "uniform", "-horizon", "2", "-agents", "50"}); err != nil {
+	if err := run(context.Background(), []string{"-topo", "braess", "-policy", "uniform", "-horizon", "2", "-agents", "50"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBoltzmannSmoke(t *testing.T) {
-	if err := run([]string{"-topo", "links", "-m", "4", "-policy", "boltzmann", "-c", "2", "-horizon", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-topo", "links", "-m", "4", "-policy", "boltzmann", "-c", "2", "-horizon", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -85,7 +87,7 @@ func TestRunInstanceFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-instance", path, "-horizon", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-instance", path, "-horizon", "2"}); err != nil {
 		t.Fatal(err)
 	}
 	// Malformed file surfaces a spec error.
@@ -93,8 +95,19 @@ func TestRunInstanceFile(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-instance", bad}); err == nil || !strings.Contains(err.Error(), "spec") {
+	if err := run(context.Background(), []string{"-instance", bad}); err == nil || !strings.Contains(err.Error(), "spec") {
 		t.Errorf("bad instance error = %v", err)
+	}
+}
+
+// A cancelled context (the SIGINT path) still flushes the partial
+// trajectory and surfaces context.Canceled instead of dying mid-write.
+func TestRunCancelledContextFlushesPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-topo", "pigou", "-policy", "replicator", "-horizon", "50"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
@@ -107,5 +120,12 @@ func TestParsePeriod(t *testing.T) {
 	}
 	if _, err := parsePeriod("0", 0.25); err == nil {
 		t.Error("zero period accepted")
+	}
+}
+
+func TestBestResponseRejectsAgents(t *testing.T) {
+	err := run(context.Background(), []string{"-topo", "kink", "-policy", "bestresponse", "-agents", "100", "-horizon", "2"})
+	if err == nil || !strings.Contains(err.Error(), "-agents") {
+		t.Fatalf("bestresponse+agents accepted: %v", err)
 	}
 }

@@ -31,6 +31,9 @@ import (
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// Drop the handler after the first SIGINT so a second Ctrl+C terminates
+	// the process even if the partial-result flush blocks.
+	context.AfterFunc(ctx, stop)
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wardsweep:", err)
 		os.Exit(1)
@@ -114,8 +117,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	res, err := wardrop.RunSweep(ctx, campaign, opts)
+	// SIGINT cancels the run context; the engine returns the records
+	// completed so far (exactly the ones already streamed to the JSONL
+	// sink), so the campaign is flushed cleanly — summary, CSV and a
+	// partial-run marker — instead of dying mid-write. A cancellation that
+	// lands after the last task completed is not an interruption: the
+	// record set is whole, so the campaign counts as a success.
+	interrupted := false
 	if err != nil {
-		return err
+		if res == nil || !wardrop.IsInterrupt(err) {
+			return err
+		}
+		interrupted = len(res.Records) < len(res.Tasks)
 	}
 	if jf != nil {
 		// A close error means buffered records may not have reached disk —
@@ -138,6 +151,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 	fmt.Fprintf(stdout, "%d tasks, %d failed\n", len(res.Records), failed)
+	if interrupted {
+		fmt.Fprintf(stdout, "interrupted: %d/%d tasks completed\n", len(res.Records), len(res.Tasks))
+	}
 
 	if *outDir != "" {
 		cf, err := os.Create(filepath.Join(*outDir, name+".csv"))
@@ -151,6 +167,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err := cf.Close(); err != nil {
 			return err
 		}
+	}
+	if interrupted {
+		return fmt.Errorf("interrupted after %d/%d tasks (partial results flushed)", len(res.Records), len(res.Tasks))
 	}
 	return nil
 }

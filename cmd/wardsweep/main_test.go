@@ -132,6 +132,28 @@ func TestSweepGolden(t *testing.T) {
 	}
 }
 
+// TestInterruptFlushesPartialResults drives the SIGINT path: a cancelled
+// run context must still flush the JSONL stream, the summary table and the
+// CSV, and report the interruption instead of dying mid-write.
+func TestInterruptFlushesPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	outDir := t.TempDir()
+	var out bytes.Buffer
+	err := run(ctx, []string{"-spec", "testdata/campaign.json", "-out", outDir}, &out)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interrupted", err)
+	}
+	for _, f := range []string{"demo.jsonl", "demo.csv"} {
+		if _, err := os.Stat(filepath.Join(outDir, f)); err != nil {
+			t.Errorf("missing %s after interrupt: %v", f, err)
+		}
+	}
+	if !strings.Contains(out.String(), "interrupted:") {
+		t.Errorf("summary missing interrupt marker:\n%s", out.String())
+	}
+}
+
 // TestSweepWorkerInvariance reruns the campaign single-threaded and checks
 // the summary equals the parallel run's.
 func TestSweepWorkerInvariance(t *testing.T) {

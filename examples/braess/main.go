@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,6 +14,13 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny horizon for smoke testing")
+	flag.Parse()
+	horizon := 600.0
+	if *quick {
+		horizon = 2
+	}
+
 	inst, err := wardrop.Braess()
 	if err != nil {
 		log.Fatal(err)
@@ -21,7 +30,8 @@ func main() {
 		fmt.Printf("  path %d: %v (%d edges)\n", g, inst.Path(g), inst.Path(g).Len())
 	}
 
-	// Adaptive routing under stale information at the safe period.
+	// Adaptive routing under stale information at the safe period, on the
+	// exact (uniformization) fluid engine.
 	pol, err := wardrop.Replicator(inst.LMax())
 	if err != nil {
 		log.Fatal(err)
@@ -30,9 +40,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := wardrop.Simulate(inst, wardrop.SimConfig{
-		Policy: pol, UpdatePeriod: T, Horizon: 600, Integrator: wardrop.Uniformization,
-	}, inst.UniformFlow())
+	res, err := wardrop.Run(context.Background(), wardrop.Scenario{
+		Engine:       wardrop.FluidEngine{Integrator: wardrop.Uniformization},
+		Instance:     inst,
+		Policy:       pol,
+		UpdatePeriod: T,
+		Horizon:      horizon,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,13 @@
 // Multicommodity: two commodities sharing an edge, simulated both in the
-// fluid limit and with the finite-N stochastic agent simulator, showing that
+// fluid limit and with the finite-N stochastic agent engine, showing that
 // the empirical flow tracks the ODE and both reach a common Wardrop
-// equilibrium.
+// equilibrium. The same Scenario value drives every run; only the Engine
+// field changes.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,6 +15,15 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny horizon for smoke testing")
+	flag.Parse()
+	horizon := 400.0
+	populations := []int{100, 1000, 10000}
+	if *quick {
+		horizon = 2
+		populations = []int{100}
+	}
+
 	// a→c demand 0.6 (paths a→b→c and the direct a→c), b→c demand 0.4
 	// (single path b→c). Edge b→c is shared by both commodities.
 	inst, err := wardrop.TwoCommodityOverlap()
@@ -30,22 +42,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fluid, err := wardrop.Simulate(inst, wardrop.SimConfig{
-		Policy: pol, UpdatePeriod: T, Horizon: 400, Integrator: wardrop.Uniformization,
-	}, inst.UniformFlow())
+	scenario := wardrop.Scenario{
+		Engine:       wardrop.FluidEngine{Integrator: wardrop.Uniformization},
+		Instance:     inst,
+		Policy:       pol,
+		UpdatePeriod: T,
+		Horizon:      horizon,
+	}
+	fluid, err := wardrop.Run(context.Background(), scenario)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("fluid limit      : flow = %v\n", short(fluid.Final))
 
-	for _, n := range []int{100, 1000, 10000} {
-		sim, err := wardrop.NewAgentSim(inst, wardrop.AgentConfig{
-			N: n, Policy: pol, UpdatePeriod: T, Horizon: 400, Seed: 7,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := sim.Run()
+	for _, n := range populations {
+		scenario.Engine = wardrop.AgentsEngine{N: n, Seed: 7}
+		res, err := wardrop.Run(context.Background(), scenario)
 		if err != nil {
 			log.Fatal(err)
 		}

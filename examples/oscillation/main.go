@@ -1,10 +1,14 @@
 // Oscillation: reproduce §3.2 of the paper — best response under stale
 // information oscillates forever on two parallel links with latency
 // ℓ(x) = max{0, β(x−½)}, with closed-form period-2T orbit and amplitude,
-// while the smooth replicator on the exact same instance converges.
+// while the smooth replicator on the exact same instance converges. Both
+// dynamics run through wardrop.Run; only the Engine field changes, and an
+// Observer prints the orbit.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -13,10 +17,17 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny horizon for smoke testing")
+	flag.Parse()
+
 	const (
 		beta = 8.0
 		T    = 0.25
 	)
+	replicatorHorizon := 200.0
+	if *quick {
+		replicatorHorizon = 2
+	}
 	inst, err := wardrop.TwoLinkKink(beta)
 	if err != nil {
 		log.Fatal(err)
@@ -29,25 +40,29 @@ func main() {
 	fmt.Printf("  latency amplitude X = β(1−e^-T)/(2e^-T+2)  = %.6f\n\n", amplitude)
 
 	// Best response: every activated agent adopts the board's shortest path.
+	// An ObserverFunc watches each phase start.
 	fmt.Println("best response (board refreshed every T):")
-	f0 := wardrop.Flow{f1Start, 1 - f1Start}
-	_, err = wardrop.SimulateBestResponse(inst, wardrop.BestResponseConfig{
+	scenario := wardrop.Scenario{
+		Engine:       wardrop.BestResponseEngine{},
+		Instance:     inst,
 		UpdatePeriod: T,
+		InitialFlow:  wardrop.Flow{f1Start, 1 - f1Start},
 		Horizon:      8 * T,
-		Hook: func(info wardrop.PhaseInfo) bool {
+	}
+	_, err = wardrop.Run(context.Background(), scenario,
+		wardrop.WithObserver(wardrop.ObserverFunc(func(info wardrop.PhaseInfo) bool {
 			fmt.Printf("  phase %2d  t=%5.2f  f1=%.6f  maxLat=%.6f\n",
 				info.Index, info.Time, info.Flow[0],
 				math.Max(info.PathLatencies[0], info.PathLatencies[1]))
 			return false
-		},
-	}, f0)
+		})))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  -> the orbit returns to f1(0) every 2 phases and sustains latency %.6f forever\n\n", amplitude)
 
 	// The smooth replicator at the same T converges (T happens to be at most
-	// the safe period for this instance).
+	// the safe period for this instance). Same scenario, different engine.
 	pol, err := wardrop.Replicator(inst.LMax())
 	if err != nil {
 		log.Fatal(err)
@@ -56,9 +71,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := wardrop.Simulate(inst, wardrop.SimConfig{
-		Policy: pol, UpdatePeriod: math.Min(T, tSafe), Horizon: 200,
-	}, f0)
+	scenario.Engine = nil // the default fluid engine
+	scenario.Policy = pol
+	scenario.UpdatePeriod = math.Min(T, tSafe)
+	scenario.Horizon = replicatorHorizon
+	res, err := wardrop.Run(context.Background(), scenario)
 	if err != nil {
 		log.Fatal(err)
 	}

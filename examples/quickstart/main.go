@@ -1,9 +1,11 @@
 // Quickstart: build the Pigou network, run the replicator policy at the
-// provably safe bulletin-board period, and confirm convergence to the
-// Wardrop equilibrium.
+// provably safe bulletin-board period through the unified wardrop.Run API,
+// and confirm convergence to the Wardrop equilibrium.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,6 +13,13 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny horizon for smoke testing")
+	flag.Parse()
+	horizon := 300.0
+	if *quick {
+		horizon = 2
+	}
+
 	// 1. A Wardrop instance: two parallel links, ℓ1(x) = x vs ℓ2(x) = 1.
 	inst, err := wardrop.Pigou()
 	if err != nil {
@@ -34,12 +43,14 @@ func main() {
 		inst.NumPaths(), inst.MaxPathLen(), inst.Beta(), inst.LMax())
 	fmt.Printf("safe bulletin-board period T = %g\n", T)
 
-	// 4. Simulate the stale-information dynamics from the uniform split.
-	res, err := wardrop.Simulate(inst, wardrop.SimConfig{
+	// 4. A Scenario says what to simulate; Run executes it on the default
+	//    fluid engine (the stale-information dynamics, Eq. 3).
+	res, err := wardrop.Run(context.Background(), wardrop.Scenario{
+		Instance:     inst,
 		Policy:       pol,
 		UpdatePeriod: T,
-		Horizon:      300,
-	}, inst.UniformFlow())
+		Horizon:      horizon,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,6 +64,10 @@ func main() {
 	}
 	fmt.Printf("reference equilibrium: flow = [%.4f %.4f], potential Φ* = %.4f\n",
 		eq.Flow[0], eq.Flow[1], eq.Potential)
+	if *quick {
+		fmt.Println("verdict: quick smoke run (horizon too short for convergence)")
+		return
+	}
 	if inst.AtWardropEquilibrium(res.Final, 0.02) {
 		fmt.Println("verdict: dynamics converged to the Wardrop equilibrium despite stale information ✓")
 	} else {

@@ -1,10 +1,14 @@
 // Replicator: the Theorem 6 vs Theorem 7 contrast. On m parallel links, the
 // uniform sampling policy needs more non-equilibrium rounds as m grows
 // (Theorem 6's bound is linear in |P|), while proportional sampling — the
-// replicator — is insensitive to m (Theorem 7).
+// replicator — is insensitive to m (Theorem 7). Each cell is one
+// wardrop.Run scenario with the (δ,ε) accounting and satisfied-streak stop
+// declared on the scenario itself.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,19 +16,30 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny sweep for smoke testing")
+	flag.Parse()
+
 	const (
-		delta  = 0.2
-		eps    = 0.1
-		streak = 50
+		delta = 0.2
+		eps   = 0.1
 	)
+	streak := 50
+	maxPhases := 60000.0
+	links := []int{2, 4, 8, 16, 32}
+	if *quick {
+		streak = 5
+		maxPhases = 200
+		links = []int{2, 4}
+	}
+
 	fmt.Printf("phases not starting at a (δ=%g, ε=%g)-equilibrium, by policy and link count:\n\n", delta, eps)
 	fmt.Printf("%6s  %18s  %18s\n", "m", "uniform (Thm 6)", "replicator (Thm 7)")
-	for _, m := range []int{2, 4, 8, 16, 32} {
-		uniform, err := countRounds(m, false, delta, eps, streak)
+	for _, m := range links {
+		uniform, err := countRounds(m, false, delta, eps, streak, maxPhases)
 		if err != nil {
 			log.Fatal(err)
 		}
-		replicator, err := countRounds(m, true, delta, eps, streak)
+		replicator, err := countRounds(m, true, delta, eps, streak, maxPhases)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -33,7 +48,7 @@ func main() {
 	fmt.Println("\npaper: uniform's bound is O(|P|/(εT)·(ℓmax/δ)²); proportional drops the |P| factor")
 }
 
-func countRounds(m int, proportional bool, delta, eps float64, streak int) (int, error) {
+func countRounds(m int, proportional bool, delta, eps float64, streak int, maxPhases float64) (int, error) {
 	inst, err := wardrop.LinearParallelLinks(m)
 	if err != nil {
 		return 0, err
@@ -58,16 +73,18 @@ func countRounds(m int, proportional bool, delta, eps float64, streak int) (int,
 		f0[i] *= 0.1
 	}
 	f0[m-1] += 0.9
-	res, err := wardrop.Simulate(inst, wardrop.SimConfig{
+	res, err := wardrop.Run(context.Background(), wardrop.Scenario{
+		Engine:                   wardrop.FluidEngine{Integrator: wardrop.Uniformization},
+		Instance:                 inst,
 		Policy:                   pol,
 		UpdatePeriod:             T,
-		Horizon:                  60000 * T,
-		Integrator:               wardrop.Uniformization,
+		InitialFlow:              f0,
+		Horizon:                  maxPhases * T,
 		Delta:                    delta,
 		Eps:                      eps,
 		Weak:                     proportional, // Thm 7 uses the weak metric
 		StopAfterSatisfiedStreak: streak,
-	}, f0)
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package wardrop
 
 import (
+	"context"
 	"io"
 
 	"wardrop/internal/dynamics"
@@ -17,7 +18,7 @@ type HedgeConfig = dynamics.HedgeConfig
 // synchronous multiplicative update per bulletin-board refresh. Small Eta
 // converges; large Eta·β·T oscillates like best response.
 func SimulateHedge(inst *Instance, cfg HedgeConfig, f0 Flow) (*SimResult, error) {
-	return dynamics.RunHedge(inst, cfg, f0)
+	return dynamics.RunHedge(context.Background(), inst, cfg, f0)
 }
 
 // Relative-gain migration ----------------------------------------------------------

@@ -1,6 +1,7 @@
 package agents
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -147,7 +148,7 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 func TestFluidLimitAgreementImprovesWithN(t *testing.T) {
 	inst := mustPigou(t)
 	pol := mustReplicator(t, inst.LMax())
-	fluidRes, err := dynamics.Run(inst, dynamics.Config{
+	fluidRes, err := dynamics.Run(context.Background(), inst, dynamics.Config{
 		Policy: pol, UpdatePeriod: 0.25, Horizon: 20,
 	}, inst.UniformFlow())
 	if err != nil {
@@ -258,5 +259,78 @@ func TestConservationUnderConcurrency(t *testing.T) {
 	}
 	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunContextCancellation covers the satellite contract: both finite-N
+// engines honour ctx.Done() and return the partial result with ctx.Err() —
+// including the event-driven engine when the whole run fits inside a single
+// board phase (Horizon < UpdatePeriod), where there are no phase boundaries
+// to check at.
+func TestRunContextCancellation(t *testing.T) {
+	inst := mustPigou(t)
+	pol := mustReplicator(t, inst.LMax())
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	runs := map[string]func(*Sim) (*dynamics.Result, error){
+		"batched": func(s *Sim) (*dynamics.Result, error) {
+			return s.RunContext(cancelled)
+		},
+		"event-driven": func(s *Sim) (*dynamics.Result, error) {
+			return s.RunEventDrivenContext(cancelled)
+		},
+	}
+	for name, run := range runs {
+		t.Run(name, func(t *testing.T) {
+			// Horizon < UpdatePeriod: the run would complete without ever
+			// crossing a phase boundary.
+			sim, err := New(inst, Config{
+				N: 50, Policy: pol, UpdatePeriod: 10, Horizon: 5, Seed: 3, Workers: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := run(sim)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if res == nil {
+				t.Fatal("no partial result returned")
+			}
+			if ferr := inst.Feasible(res.Final, 1e-9); ferr != nil {
+				t.Errorf("partial final flow infeasible: %v", ferr)
+			}
+		})
+	}
+}
+
+// TestRunContextCancellationWithinGiantPhase pins the in-phase cancellation
+// path of the batched engine: with Horizon <= UpdatePeriod the whole run is
+// one phase, so the only chance to observe a cancel raised at the phase
+// start is the shards' between-agent check.
+func TestRunContextCancellationWithinGiantPhase(t *testing.T) {
+	inst := mustPigou(t)
+	pol := mustReplicator(t, inst.LMax())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sim, err := New(inst, Config{
+		// Enough agents that the shard passes several ctx checkpoints.
+		N: 4 * ctxCheckEvents, Policy: pol, UpdatePeriod: 10, Horizon: 10,
+		Seed: 5, Workers: 1,
+		Hook: func(dynamics.PhaseInfo) bool {
+			cancel() // fires at the phase-0 start, before the shards run
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (single-phase run uninterruptible)", err)
+	}
+	if res == nil || res.Phases != 0 {
+		t.Fatalf("partial result %+v, want the abandoned phase not counted", res)
 	}
 }

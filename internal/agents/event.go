@@ -1,6 +1,7 @@
 package agents
 
 import (
+	"context"
 	"math"
 
 	"wardrop/internal/board"
@@ -19,8 +20,24 @@ import (
 // frozen, so the batched engine's per-agent Poisson counts are exactly the
 // thinned global process); this engine is the single-threaded reference for
 // the clock ablation and for workloads where activation-order detail
-// matters. It honours Config.Seed/Hook/RecordEvery; Workers is ignored.
+// matters. It honours Config.Seed/Hook/Observer/RecordEvery and the (δ,ε)
+// accounting fields; Workers is ignored.
+//
+// Deprecated: use RunEventDrivenContext, which adds cancellation.
 func (s *Sim) RunEventDriven() (*dynamics.Result, error) {
+	return s.RunEventDrivenContext(context.Background())
+}
+
+// ctxCheckEvents is how many activation events the event-driven engine
+// processes between context checks — often enough that cancellation is
+// prompt even when a whole run fits inside one board phase, rarely enough
+// that the check cost vanishes against the per-event RNG work.
+const ctxCheckEvents = 1024
+
+// RunEventDrivenContext is RunEventDriven with cancellation: ctx is checked
+// at every board refresh and every ctxCheckEvents activation events, and
+// when it is done the partial result is returned together with ctx.Err().
+func (s *Sim) RunEventDrivenContext(ctx context.Context) (*dynamics.Result, error) {
 	b, err := board.New(s.cfg.UpdatePeriod)
 	if err != nil {
 		return nil, err
@@ -79,18 +96,38 @@ func (s *Sim) RunEventDriven() (*dynamics.Result, error) {
 		return dynamics.PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}, snap
 	}
 
+	// partial fills the result's terminal fields from the current empirical
+	// state; shared by completion and cancellation paths.
+	partial := func(elapsed float64) *dynamics.Result {
+		final := empirical()
+		res.Final = final
+		res.FinalPotential = s.inst.Potential(final)
+		res.Elapsed = elapsed
+		return res
+	}
+
+	account := newAcct(s.cfg)
 	t := 0.0
 	phase := 0
+	if err := ctx.Err(); err != nil {
+		return partial(0), err
+	}
 	info, snap := post(t, phase)
+	streakStop := account.Observe(s.inst, &info, res)
 	if s.cfg.RecordEvery > 0 {
 		res.Trajectory = append(res.Trajectory, dynamics.Sample{Time: t, Potential: info.Potential, Flow: append([]float64(nil), info.Flow...)})
 	}
-	if s.cfg.Hook != nil && s.cfg.Hook(info) {
+	if stop := s.observePhase(info); stop || streakStop {
 		res.Stopped = true
 	}
 	nextBoard := s.cfg.UpdatePeriod
 	mig := s.cfg.Policy.Migrator
-	for !res.Stopped {
+	for events := 0; !res.Stopped; events++ {
+		if events%ctxCheckEvents == 0 {
+			if err := ctx.Err(); err != nil {
+				return partial(math.Min(t, s.cfg.Horizon)), err
+			}
+		}
 		// Exp(N) inter-activation gap.
 		u := rng.Float64()
 		for u == 0 {
@@ -104,16 +141,20 @@ func (s *Sim) RunEventDriven() (*dynamics.Result, error) {
 		}
 		// Board refreshes strictly between activations (measure-zero ties).
 		for nextBoard <= t {
+			if err := ctx.Err(); err != nil {
+				return partial(nextBoard), err
+			}
 			phase++
 			res.Phases++
 			var hinfo dynamics.PhaseInfo
 			hinfo, snap = post(nextBoard, phase)
+			hStreakStop := account.Observe(s.inst, &hinfo, res)
 			if s.cfg.RecordEvery > 0 && phase%s.cfg.RecordEvery == 0 {
 				res.Trajectory = append(res.Trajectory, dynamics.Sample{
 					Time: nextBoard, Potential: hinfo.Potential, Flow: append([]float64(nil), hinfo.Flow...),
 				})
 			}
-			if s.cfg.Hook != nil && s.cfg.Hook(hinfo) {
+			if stop := s.observePhase(hinfo); stop || hStreakStop {
 				res.Stopped = true
 				break
 			}
@@ -141,9 +182,5 @@ func (s *Sim) RunEventDriven() (*dynamics.Result, error) {
 			a.path = int32(q)
 		}
 	}
-	final := empirical()
-	res.Final = final
-	res.FinalPotential = s.inst.Potential(final)
-	res.Elapsed = math.Min(t, s.cfg.Horizon)
-	return res, nil
+	return partial(math.Min(t, s.cfg.Horizon)), nil
 }

@@ -9,11 +9,13 @@
 package agents
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"wardrop/internal/board"
 	"wardrop/internal/dynamics"
@@ -49,12 +51,28 @@ type Config struct {
 	RecordEvery int
 	// Hook observes phase starts (with the empirical flow); returning true
 	// stops the run.
+	//
+	// Deprecated: use Observer; when both are set, both run.
 	Hook dynamics.Hook
+	// Observer observes phase starts; compose several with
+	// dynamics.MultiObserver.
+	Observer dynamics.Observer
 	// InitialFlow, if non-nil, distributes each commodity's agents over its
 	// paths proportionally to this (feasible) flow vector instead of the
 	// default even spread. Rounding drift lands on the commodity's first
 	// path.
 	InitialFlow flow.Vector
+
+	// Delta and Eps enable the (δ,ε)-equilibrium round accounting on the
+	// empirical flow at each phase start, with the same semantics as the
+	// fluid dynamics (Theorems 6 and 7). Delta <= 0 disables accounting.
+	Delta float64
+	Eps   float64
+	// Weak selects the weak (δ,ε) metric (Definition 4).
+	Weak bool
+	// StopAfterSatisfiedStreak stops the run once this many consecutive
+	// phases started at the configured approximate equilibrium (0 disables).
+	StopAfterSatisfiedStreak int
 }
 
 // Sim is a configured simulation bound to an instance. Create with New, run
@@ -89,6 +107,9 @@ func New(inst *flow.Instance, cfg Config) (*Sim, error) {
 	}
 	if cfg.Policy.Sampler == nil || cfg.Policy.Migrator == nil {
 		return nil, fmt.Errorf("%w: policy requires sampler and migrator", ErrBadConfig)
+	}
+	if err := dynamics.ValidateRunShape(ErrBadConfig, cfg.RecordEvery, cfg.Delta, cfg.Eps, cfg.StopAfterSatisfiedStreak); err != nil {
+		return nil, err
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -188,8 +209,23 @@ func (s *Sim) EmpiricalFlow() flow.Vector {
 }
 
 // Run simulates until the horizon (or a hook stop) and returns the result.
-// The Result's Phases/Trajectory semantics match the dynamics package.
+//
+// Deprecated: use RunContext, which adds cancellation.
 func (s *Sim) Run() (*dynamics.Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// newAcct builds the shared (δ,ε) round accounting from the config.
+func newAcct(cfg Config) dynamics.RoundAccounting {
+	return dynamics.NewRoundAccounting(cfg.Delta, cfg.Eps, cfg.Weak, cfg.StopAfterSatisfiedStreak)
+}
+
+// RunContext simulates until the horizon (or an observer stop) and returns
+// the result. The Result's Phases/Trajectory/UnsatisfiedPhases semantics
+// match the dynamics package. Cancellation is checked between phases: when
+// ctx is done the partial result accumulated so far is returned together
+// with ctx.Err().
+func (s *Sim) RunContext(ctx context.Context) (*dynamics.Result, error) {
 	b, err := board.New(s.cfg.UpdatePeriod)
 	if err != nil {
 		return nil, fmt.Errorf("agents: %w", err)
@@ -213,8 +249,12 @@ func (s *Sim) Run() (*dynamics.Result, error) {
 		rngs[w] = NewRNG(s.cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(w+1)))
 	}
 
+	account := newAcct(s.cfg)
 	t := 0.0
 	for phase := 0; t < s.cfg.Horizon-1e-12; phase++ {
+		if err := ctx.Err(); err != nil {
+			return s.finish(res, t), err
+		}
 		f := s.EmpiricalFlow()
 		fe = s.inst.EdgeFlows(f, fe)
 		le = s.inst.EdgeLatencies(fe, le)
@@ -228,10 +268,11 @@ func (s *Sim) Run() (*dynamics.Result, error) {
 		})
 
 		info := dynamics.PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
+		streakStop := account.Observe(s.inst, &info, res)
 		if s.cfg.RecordEvery > 0 && phase%s.cfg.RecordEvery == 0 {
 			res.Trajectory = append(res.Trajectory, dynamics.Sample{Time: t, Potential: phi, Flow: f.Clone()})
 		}
-		if s.cfg.Hook != nil && s.cfg.Hook(info) {
+		if stop := s.observePhase(info); stop || streakStop {
 			res.Stopped = true
 			break
 		}
@@ -249,33 +290,64 @@ func (s *Sim) Run() (*dynamics.Result, error) {
 		}
 
 		tau := math.Min(s.cfg.UpdatePeriod, s.cfg.Horizon-t)
-		var wg sync.WaitGroup
+		var (
+			wg      sync.WaitGroup
+			aborted atomic.Bool
+		)
 		for w := 0; w < s.cfg.Workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				s.runShard(w, rngs[w], snap, probTab, tau)
+				if !s.runShard(ctx, w, rngs[w], snap, probTab, tau) {
+					aborted.Store(true)
+				}
 			}(w)
 		}
 		wg.Wait()
+		// Shards bail between agents once ctx is done, so even a single
+		// giant phase (Horizon <= UpdatePeriod, large N) stays
+		// interruptible. Only a genuinely abandoned phase returns here —
+		// a phase that completed despite a late cancellation is counted
+		// normally and the loop-top check reports the cancellation at the
+		// next phase boundary, matching the fluid engine.
+		if aborted.Load() {
+			return s.finish(res, t), ctx.Err()
+		}
 		t += tau
 		res.Phases++
 	}
+	return s.finish(res, t), nil
+}
+
+// finish fills the result's terminal fields from the current empirical
+// state; shared by normal completion and cancellation paths.
+func (s *Sim) finish(res *dynamics.Result, t float64) *dynamics.Result {
 	final := s.EmpiricalFlow()
 	res.Final = final
 	res.FinalPotential = s.inst.Potential(final)
 	res.Elapsed = t
-	return res, nil
+	return res
+}
+
+// observePhase delivers a phase start to the configured hook and observer
+// under the shared composition rule.
+func (s *Sim) observePhase(info dynamics.PhaseInfo) bool {
+	return dynamics.DeliverPhase(s.cfg.Hook, s.cfg.Observer, info)
 }
 
 // runShard advances one shard through a phase of length tau against the
 // frozen board snapshot. Every agent activates Poisson(tau) times; each
 // activation samples a path from the board-derived table and migrates with
-// the policy's probability computed on board latencies.
-func (s *Sim) runShard(w int, rng *RNG, snap board.Snapshot, probTab [][]float64, tau float64) {
+// the policy's probability computed on board latencies. The shard checks
+// ctx every ctxCheckEvents activation events (like the event-driven engine,
+// and never before the first, so short phases always complete) and reports
+// whether it finished the phase; the per-shard counts remain consistent at
+// whatever activation it stopped at.
+func (s *Sim) runShard(ctx context.Context, w int, rng *RNG, snap board.Snapshot, probTab [][]float64, tau float64) bool {
 	shard := s.shards[w]
 	counts := s.counts[w]
 	mig := s.cfg.Policy.Migrator
+	events := 0
 	for idx := range shard {
 		a := &shard[idx]
 		k := rng.Poisson(tau)
@@ -287,6 +359,10 @@ func (s *Sim) runShard(w int, rng *RNG, snap board.Snapshot, probTab [][]float64
 		n := s.inst.NumCommodityPaths(i)
 		lats := snap.PathLatencies[lo : lo+n]
 		for act := 0; act < k; act++ {
+			if events > 0 && events%ctxCheckEvents == 0 && ctx.Err() != nil {
+				return false
+			}
+			events++
 			origin := int(a.path)
 			row := probTab[i][origin*n : (origin+1)*n]
 			q := policy.SampleIndex(row, rng.Float64())
@@ -301,4 +377,5 @@ func (s *Sim) runShard(w int, rng *RNG, snap board.Snapshot, probTab [][]float64
 			}
 		}
 	}
+	return true
 }

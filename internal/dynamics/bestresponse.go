@@ -1,6 +1,7 @@
 package dynamics
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,10 +17,29 @@ type BestResponseConfig struct {
 	// RecordEvery records a sample every k phases (0 disables).
 	RecordEvery int
 	// Hook observes phase starts; returning true stops the run.
+	//
+	// Deprecated: use Observer; when both are set, both run.
 	Hook Hook
+	// Observer observes phase starts; compose several with MultiObserver.
+	Observer Observer
 	// Delta/Eps enable (δ,ε)-equilibrium accounting as in Config.
 	Delta float64
 	Eps   float64
+	// Weak selects the weak (δ,ε) metric (Definition 4).
+	Weak bool
+	// StopAfterSatisfiedStreak stops the run once this many consecutive
+	// phases started at the configured approximate equilibrium (0 disables).
+	StopAfterSatisfiedStreak int
+}
+
+func (c *BestResponseConfig) validate() error {
+	if c.UpdatePeriod <= 0 {
+		return fmt.Errorf("%w: update period %g must be positive", ErrBadConfig, c.UpdatePeriod)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("%w: horizon %g must be positive", ErrBadConfig, c.Horizon)
+	}
+	return ValidateRunShape(ErrBadConfig, c.RecordEvery, c.Delta, c.Eps, c.StopAfterSatisfiedStreak)
 }
 
 // RunBestResponse integrates the best-response differential inclusion under
@@ -29,12 +49,12 @@ type BestResponseConfig struct {
 // integration error — which is what makes the §3.2 oscillation reproduction
 // sharp. Ties in the board's shortest path break towards the lowest global
 // path index, a selection of the inclusion's right-hand side.
-func RunBestResponse(inst *flow.Instance, cfg BestResponseConfig, f0 flow.Vector) (*Result, error) {
-	if cfg.UpdatePeriod <= 0 {
-		return nil, fmt.Errorf("%w: update period %g must be positive", ErrBadConfig, cfg.UpdatePeriod)
-	}
-	if cfg.Horizon <= 0 {
-		return nil, fmt.Errorf("%w: horizon %g must be positive", ErrBadConfig, cfg.Horizon)
+//
+// Cancellation is checked between phases: when ctx is done the partial
+// result accumulated so far is returned together with ctx.Err().
+func RunBestResponse(ctx context.Context, inst *flow.Instance, cfg BestResponseConfig, f0 flow.Vector) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	if err := inst.Feasible(f0, 1e-9); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInfeasibleStart, err)
@@ -46,24 +66,22 @@ func RunBestResponse(inst *flow.Instance, cfg BestResponseConfig, f0 flow.Vector
 		pl     = make([]float64, n)
 	)
 	res := &Result{}
+	account := NewRoundAccounting(cfg.Delta, cfg.Eps, cfg.Weak, cfg.StopAfterSatisfiedStreak)
 	t := 0.0
 	for phase := 0; t < cfg.Horizon-1e-12; phase++ {
+		if err := ctx.Err(); err != nil {
+			return finish(inst, res, f, t), err
+		}
 		fe = inst.EdgeFlows(f, fe)
 		le = inst.EdgeLatencies(fe, le)
 		inst.PathLatenciesFromEdges(le, pl)
 		phi := inst.PotentialFromEdges(fe)
 		info := PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
-		if cfg.Delta > 0 {
-			info.Unsatisfied = inst.UnsatisfiedVolume(f, pl, cfg.Delta)
-			info.AtEquilibrium = info.Unsatisfied <= cfg.Eps
-			if !info.AtEquilibrium {
-				res.UnsatisfiedPhases++
-			}
-		}
+		streakStop := account.Observe(inst, &info, res)
 		if cfg.RecordEvery > 0 && phase%cfg.RecordEvery == 0 {
 			res.Trajectory = append(res.Trajectory, Sample{Time: t, Potential: phi, Flow: f.Clone()})
 		}
-		if cfg.Hook != nil && cfg.Hook(info) {
+		if stop := DeliverPhase(cfg.Hook, cfg.Observer, info); stop || streakStop {
 			res.Stopped = true
 			break
 		}
@@ -77,10 +95,7 @@ func RunBestResponse(inst *flow.Instance, cfg BestResponseConfig, f0 flow.Vector
 		t += tau
 		res.Phases++
 	}
-	res.Final = f
-	res.FinalPotential = inst.Potential(f)
-	res.Elapsed = t
-	return res, nil
+	return finish(inst, res, f, t), nil
 }
 
 // TwoLinkOscillation returns the paper's §3.2 closed-form predictions for

@@ -84,10 +84,18 @@ type Config struct {
 
 	// Hook, if non-nil, observes every phase start and may stop the run by
 	// returning true.
+	//
+	// Deprecated: use Observer; when both are set, both run.
 	Hook Hook
+
+	// Observer, if non-nil, observes every phase start; see Observer. Compose
+	// several with MultiObserver.
+	Observer Observer
 }
 
 // Hook observes a phase start. Returning true stops the simulation.
+//
+// Deprecated: implement Observer (or wrap the function in ObserverFunc).
 type Hook func(PhaseInfo) bool
 
 // PhaseInfo describes the state at a phase start (a bulletin-board update
@@ -139,6 +147,63 @@ type Result struct {
 	Trajectory []Sample
 }
 
+// ValidateRunShape rejects the recording/accounting run-shape fields shared
+// by every engine configuration — negative RecordEvery, negative Eps with
+// accounting enabled, negative satisfied streak — wrapping the caller's
+// bad-config sentinel so each package keeps its own error identity. Using
+// this one helper keeps the engines' accepted configs in lockstep.
+func ValidateRunShape(sentinel error, recordEvery int, delta, eps float64, streak int) error {
+	if recordEvery < 0 {
+		return fmt.Errorf("%w: record-every %d must be >= 0", sentinel, recordEvery)
+	}
+	if delta > 0 && eps < 0 {
+		return fmt.Errorf("%w: eps %g must be >= 0 when delta > 0", sentinel, eps)
+	}
+	if streak < 0 {
+		return fmt.Errorf("%w: satisfied streak %d must be >= 0", sentinel, streak)
+	}
+	return nil
+}
+
+// RoundAccounting is the shared per-phase (δ,ε)-equilibrium round
+// accounting of Theorems 6 and 7, used identically by every engine (fluid,
+// fresh, best response, agents): classify the phase start, fill the
+// PhaseInfo accounting fields, count unsatisfied phases on the Result, and
+// report when the satisfied-streak stop fires.
+type RoundAccounting struct {
+	delta, eps float64
+	weak       bool
+	streakStop int
+	streak     int
+}
+
+// NewRoundAccounting builds the accounting; delta <= 0 disables it.
+func NewRoundAccounting(delta, eps float64, weak bool, streakStop int) RoundAccounting {
+	return RoundAccounting{delta: delta, eps: eps, weak: weak, streakStop: streakStop}
+}
+
+// Observe classifies the phase start (mutating info's Unsatisfied and
+// AtEquilibrium fields and res.UnsatisfiedPhases) and reports whether the
+// satisfied-streak stop fired.
+func (a *RoundAccounting) Observe(inst *flow.Instance, info *PhaseInfo, res *Result) bool {
+	if a.delta <= 0 {
+		return false
+	}
+	if a.weak {
+		info.Unsatisfied = inst.WeakUnsatisfiedVolume(info.Flow, info.PathLatencies, a.delta)
+	} else {
+		info.Unsatisfied = inst.UnsatisfiedVolume(info.Flow, info.PathLatencies, a.delta)
+	}
+	info.AtEquilibrium = info.Unsatisfied <= a.eps
+	if info.AtEquilibrium {
+		a.streak++
+	} else {
+		res.UnsatisfiedPhases++
+		a.streak = 0
+	}
+	return a.streakStop > 0 && a.streak >= a.streakStop
+}
+
 func (c *Config) validate(stale bool) error {
 	if c.Horizon <= 0 {
 		return fmt.Errorf("%w: horizon %g must be positive", ErrBadConfig, c.Horizon)
@@ -164,5 +229,5 @@ func (c *Config) validate(stale bool) error {
 			c.Step = 1.0 / 256
 		}
 	}
-	return nil
+	return ValidateRunShape(ErrBadConfig, c.RecordEvery, c.Delta, c.Eps, c.StopAfterSatisfiedStreak)
 }

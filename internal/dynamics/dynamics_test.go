@@ -1,6 +1,7 @@
 package dynamics
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -53,26 +54,26 @@ func TestConfigValidation(t *testing.T) {
 	pol := mustReplicator(t, inst.LMax())
 	f0 := inst.UniformFlow()
 
-	if _, err := Run(inst, Config{Policy: pol, UpdatePeriod: 0.25}, f0); !errors.Is(err, ErrBadConfig) {
+	if _, err := Run(context.Background(), inst, Config{Policy: pol, UpdatePeriod: 0.25}, f0); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("missing horizon error = %v", err)
 	}
-	if _, err := Run(inst, Config{Policy: pol, Horizon: 1}, f0); !errors.Is(err, ErrBadConfig) {
+	if _, err := Run(context.Background(), inst, Config{Policy: pol, Horizon: 1}, f0); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("missing period error = %v", err)
 	}
-	if _, err := Run(inst, Config{UpdatePeriod: 1, Horizon: 1}, f0); !errors.Is(err, ErrBadConfig) {
+	if _, err := Run(context.Background(), inst, Config{UpdatePeriod: 1, Horizon: 1}, f0); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("missing policy error = %v", err)
 	}
-	if _, err := Run(inst, Config{Policy: pol, UpdatePeriod: 1, Horizon: 1, Integrator: Integrator(9)}, f0); !errors.Is(err, ErrBadConfig) {
+	if _, err := Run(context.Background(), inst, Config{Policy: pol, UpdatePeriod: 1, Horizon: 1, Integrator: Integrator(9)}, f0); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("bad integrator error = %v", err)
 	}
 	bad := flow.Vector{0.2, 0.2}
-	if _, err := Run(inst, Config{Policy: pol, UpdatePeriod: 1, Horizon: 1}, bad); !errors.Is(err, ErrInfeasibleStart) {
+	if _, err := Run(context.Background(), inst, Config{Policy: pol, UpdatePeriod: 1, Horizon: 1}, bad); !errors.Is(err, ErrInfeasibleStart) {
 		t.Errorf("infeasible start error = %v", err)
 	}
-	if _, err := RunFresh(inst, Config{Policy: pol, Horizon: 1, Integrator: Uniformization}, f0); !errors.Is(err, ErrBadConfig) {
+	if _, err := RunFresh(context.Background(), inst, Config{Policy: pol, Horizon: 1, Integrator: Uniformization}, f0); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("fresh uniformization error = %v", err)
 	}
-	if _, err := RunFresh(inst, Config{Policy: pol, Horizon: 1}, bad); !errors.Is(err, ErrInfeasibleStart) {
+	if _, err := RunFresh(context.Background(), inst, Config{Policy: pol, Horizon: 1}, bad); !errors.Is(err, ErrInfeasibleStart) {
 		t.Errorf("fresh infeasible error = %v", err)
 	}
 }
@@ -104,7 +105,7 @@ func TestFreshReplicatorConvergesOnPigou(t *testing.T) {
 			return false
 		},
 	}
-	res, err := RunFresh(inst, cfg, inst.UniformFlow())
+	res, err := RunFresh(context.Background(), inst, cfg, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestStaleReplicatorConvergesAtSafeT(t *testing.T) {
 	if !approx(safeT, 0.25, 1e-12) {
 		t.Fatalf("safe T = %g, want 0.25 for Pigou", safeT)
 	}
-	res, err := Run(inst, Config{Policy: pol, UpdatePeriod: safeT, Horizon: 300}, inst.UniformFlow())
+	res, err := Run(context.Background(), inst, Config{Policy: pol, UpdatePeriod: safeT, Horizon: 300}, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestLemma3And4AccountingOnBraess(t *testing.T) {
 		Integrator:   Uniformization,
 		Hook:         acct.Hook(),
 	}
-	if _, err := Run(inst, cfg, inst.UniformFlow()); err != nil {
+	if _, err := Run(context.Background(), inst, cfg, inst.UniformFlow()); err != nil {
 		t.Fatal(err)
 	}
 	if len(acct.Accounts) < 10 {
@@ -203,7 +204,7 @@ func TestBestResponseOscillatesOnKink(t *testing.T) {
 			return false
 		},
 	}
-	res, err := RunBestResponse(inst, cfg, f0)
+	res, err := RunBestResponse(context.Background(), inst, cfg, f0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,11 +278,11 @@ func TestBestResponseVsReplicatorContrast(t *testing.T) {
 	f1Start, _, _ := TwoLinkOscillation(beta, safeT, 0)
 	f0 := flow.Vector{f1Start, 1 - f1Start}
 
-	brRes, err := RunBestResponse(inst, BestResponseConfig{UpdatePeriod: safeT, Horizon: 400 * safeT}, f0)
+	brRes, err := RunBestResponse(context.Background(), inst, BestResponseConfig{UpdatePeriod: safeT, Horizon: 400 * safeT}, f0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	repRes, err := Run(inst, Config{Policy: pol, UpdatePeriod: safeT, Horizon: 400 * safeT}, f0.Clone())
+	repRes, err := Run(context.Background(), inst, Config{Policy: pol, UpdatePeriod: safeT, Horizon: 400 * safeT}, f0.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestUniformLinearRoundAccounting(t *testing.T) {
 		Eps:                      0.05,
 		StopAfterSatisfiedStreak: 50,
 	}
-	res, err := Run(inst, cfg, inst.UniformFlow())
+	res, err := Run(context.Background(), inst, cfg, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestIntegratorsAgree(t *testing.T) {
 			Policy: pol, UpdatePeriod: 0.1, Horizon: 5,
 			Integrator: integ, Step: 0.001,
 		}
-		res, err := Run(inst, cfg, f0.Clone())
+		res, err := Run(context.Background(), inst, cfg, f0.Clone())
 		if err != nil {
 			t.Fatalf("%v: %v", integ, err)
 		}
@@ -357,7 +358,7 @@ func TestTrajectoryRecording(t *testing.T) {
 	inst := mustPigou(t)
 	pol := mustReplicator(t, inst.LMax())
 	cfg := Config{Policy: pol, UpdatePeriod: 0.25, Horizon: 10, RecordEvery: 2}
-	res, err := Run(inst, cfg, inst.UniformFlow())
+	res, err := Run(context.Background(), inst, cfg, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +382,7 @@ func TestHookStopsRun(t *testing.T) {
 		Policy: pol, UpdatePeriod: 0.25, Horizon: 100,
 		Hook: func(info PhaseInfo) bool { return info.Index >= 5 },
 	}
-	res, err := Run(inst, cfg, inst.UniformFlow())
+	res, err := Run(context.Background(), inst, cfg, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +408,7 @@ func TestFeasibilityPreserved(t *testing.T) {
 					return false
 				},
 			}
-			if _, err := Run(inst, cfg, inst.UniformFlow()); err != nil {
+			if _, err := Run(context.Background(), inst, cfg, inst.UniformFlow()); err != nil {
 				t.Fatalf("%s/%v: %v", pol.Name(), integ, err)
 			}
 		}
@@ -423,7 +424,7 @@ func TestBoltzmannSmoothPolicyRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	pol := policy.Policy{Sampler: policy.Boltzmann{C: 1}, Migrator: lin}
-	res, err := Run(inst, Config{Policy: pol, UpdatePeriod: 0.25, Horizon: 200}, inst.UniformFlow())
+	res, err := Run(context.Background(), inst, Config{Policy: pol, UpdatePeriod: 0.25, Horizon: 200}, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +441,7 @@ func TestRunFreshRecordsAndStops(t *testing.T) {
 		Delta: 0.05, Eps: 0.05, StopAfterSatisfiedStreak: 20,
 		RecordEvery: 10,
 	}
-	res, err := RunFresh(inst, cfg, inst.UniformFlow())
+	res, err := RunFresh(context.Background(), inst, cfg, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,11 +459,11 @@ func TestRunFreshRecordsAndStops(t *testing.T) {
 func TestRunFreshEulerMatchesRK4(t *testing.T) {
 	inst := mustPigou(t)
 	pol := mustReplicator(t, inst.LMax())
-	r1, err := RunFresh(inst, Config{Policy: pol, Horizon: 10, Step: 1e-3, Integrator: Euler}, inst.UniformFlow())
+	r1, err := RunFresh(context.Background(), inst, Config{Policy: pol, Horizon: 10, Step: 1e-3, Integrator: Euler}, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunFresh(inst, Config{Policy: pol, Horizon: 10, Step: 1e-2, Integrator: RK4}, inst.UniformFlow())
+	r2, err := RunFresh(context.Background(), inst, Config{Policy: pol, Horizon: 10, Step: 1e-2, Integrator: RK4}, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -478,11 +479,11 @@ func TestWeakAccounting(t *testing.T) {
 	strictCfg := Config{Policy: pol, UpdatePeriod: 0.25, Horizon: 50, Delta: 0.1, Eps: 0.01}
 	weakCfg := strictCfg
 	weakCfg.Weak = true
-	rs, err := Run(inst, strictCfg, inst.UniformFlow())
+	rs, err := Run(context.Background(), inst, strictCfg, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rw, err := Run(inst, weakCfg, inst.UniformFlow())
+	rw, err := Run(context.Background(), inst, weakCfg, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,7 +498,7 @@ func TestWeakAccounting(t *testing.T) {
 func TestPartialFinalPhase(t *testing.T) {
 	inst := mustPigou(t)
 	pol := mustReplicator(t, inst.LMax())
-	res, err := Run(inst, Config{Policy: pol, UpdatePeriod: 0.3, Horizon: 1.0}, inst.UniformFlow())
+	res, err := Run(context.Background(), inst, Config{Policy: pol, UpdatePeriod: 0.3, Horizon: 1.0}, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}

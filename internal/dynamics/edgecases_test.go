@@ -1,6 +1,7 @@
 package dynamics
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestConstantLatenciesAreDegenerate(t *testing.T) {
 	}
 	// Any finite T works; nothing migrates because no path improves on any
 	// other.
-	res, err := Run(inst, Config{Policy: pol, UpdatePeriod: 5, Horizon: 50}, flow.Vector{0.7, 0.3})
+	res, err := Run(context.Background(), inst, Config{Policy: pol, UpdatePeriod: 5, Horizon: 50}, flow.Vector{0.7, 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,13 +45,13 @@ func TestConstantLatenciesAreDegenerate(t *testing.T) {
 func TestUniformizationLongPhase(t *testing.T) {
 	inst := mustPigou(t)
 	pol := mustReplicator(t, inst.LMax())
-	long, err := Run(inst, Config{
+	long, err := Run(context.Background(), inst, Config{
 		Policy: pol, UpdatePeriod: 50, Horizon: 50, Integrator: Uniformization,
 	}, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := Run(inst, Config{
+	ref, err := Run(context.Background(), inst, Config{
 		Policy: pol, UpdatePeriod: 50, Horizon: 50, Integrator: RK4, Step: 0.01,
 	}, inst.UniformFlow())
 	if err != nil {
@@ -68,7 +69,7 @@ func TestQuadraticMigratorConverges(t *testing.T) {
 	q := policy.Quadratic{AlphaParam: 1 / inst.LMax(), LMax: inst.LMax()}
 	pol := policy.Policy{Sampler: policy.Proportional{}, Migrator: q}
 	safeT := policy.SafeUpdatePeriod(q.Alpha(), inst.Beta(), inst.MaxPathLen())
-	res, err := Run(inst, Config{Policy: pol, UpdatePeriod: safeT, Horizon: 3000 * safeT, Integrator: Uniformization},
+	res, err := Run(context.Background(), inst, Config{Policy: pol, UpdatePeriod: safeT, Horizon: 3000 * safeT, Integrator: Uniformization},
 		inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
@@ -102,11 +103,11 @@ func TestRelativeGainConvergesAndIsFaster(t *testing.T) {
 	}
 	horizon := 60.0
 	f0 := flow.Vector{0.9, 0.1}
-	relRes, err := Run(inst, Config{Policy: relPol, UpdatePeriod: relT, Horizon: horizon, Integrator: Uniformization}, f0)
+	relRes, err := Run(context.Background(), inst, Config{Policy: relPol, UpdatePeriod: relT, Horizon: horizon, Integrator: Uniformization}, f0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	linRes, err := Run(inst, Config{Policy: linPol, UpdatePeriod: linT, Horizon: horizon, Integrator: Uniformization}, f0.Clone())
+	linRes, err := Run(context.Background(), inst, Config{Policy: linPol, UpdatePeriod: linT, Horizon: horizon, Integrator: Uniformization}, f0.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestBoundaryBehaviourUniformVsProportional(t *testing.T) {
 	inst := mustPigou(t)
 	f0 := flow.Vector{0, 1} // everything on the constant link
 	uni := mustUniformLinear(t, inst.LMax())
-	uniRes, err := Run(inst, Config{Policy: uni, UpdatePeriod: 0.25, Horizon: 100}, f0)
+	uniRes, err := Run(context.Background(), inst, Config{Policy: uni, UpdatePeriod: 0.25, Horizon: 100}, f0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestBoundaryBehaviourUniformVsProportional(t *testing.T) {
 		t.Errorf("uniform sampling should escape the boundary: %v", uniRes.Final)
 	}
 	rep := mustReplicator(t, inst.LMax())
-	repRes, err := Run(inst, Config{Policy: rep, UpdatePeriod: 0.25, Horizon: 100}, f0.Clone())
+	repRes, err := Run(context.Background(), inst, Config{Policy: rep, UpdatePeriod: 0.25, Horizon: 100}, f0.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestBoundaryBehaviourUniformVsProportional(t *testing.T) {
 // the phase map (Pigou: the x-link dominates until x=1, ℓ1(1)=ℓ2=1).
 func TestBestResponseConvergesOnPigou(t *testing.T) {
 	inst := mustPigou(t)
-	res, err := RunBestResponse(inst, BestResponseConfig{UpdatePeriod: 0.5, Horizon: 40}, inst.UniformFlow())
+	res, err := RunBestResponse(context.Background(), inst, BestResponseConfig{UpdatePeriod: 0.5, Horizon: 40}, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestPhaseInfoConsistency(t *testing.T) {
 			return false
 		},
 	}
-	if _, err := Run(inst, cfg, inst.UniformFlow()); err != nil {
+	if _, err := Run(context.Background(), inst, cfg, inst.UniformFlow()); err != nil {
 		t.Fatal(err)
 	}
 }

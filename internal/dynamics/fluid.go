@@ -1,6 +1,7 @@
 package dynamics
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,7 +13,10 @@ import (
 // true state, migration rates are frozen against the board for the whole
 // phase of length cfg.UpdatePeriod, and the linear within-phase system is
 // integrated with the configured scheme.
-func Run(inst *flow.Instance, cfg Config, f0 flow.Vector) (*Result, error) {
+//
+// Cancellation is checked between phases: when ctx is done the partial
+// result accumulated so far is returned together with ctx.Err().
+func Run(ctx context.Context, inst *flow.Instance, cfg Config, f0 flow.Vector) (*Result, error) {
 	if err := cfg.validate(true); err != nil {
 		return nil, err
 	}
@@ -31,37 +35,23 @@ func Run(inst *flow.Instance, cfg Config, f0 flow.Vector) (*Result, error) {
 		uC     = make([]float64, n)
 	)
 	res := &Result{}
-	streak := 0
+	account := NewRoundAccounting(cfg.Delta, cfg.Eps, cfg.Weak, cfg.StopAfterSatisfiedStreak)
 	t := 0.0
 	for phase := 0; t < cfg.Horizon-1e-12; phase++ {
+		if err := ctx.Err(); err != nil {
+			return finish(inst, res, f, t), err
+		}
 		fe = inst.EdgeFlows(f, fe)
 		le = inst.EdgeLatencies(fe, le)
 		inst.PathLatenciesFromEdges(le, pl)
 		phi := inst.PotentialFromEdges(fe)
 
 		info := PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
-		if cfg.Delta > 0 {
-			if cfg.Weak {
-				info.Unsatisfied = inst.WeakUnsatisfiedVolume(f, pl, cfg.Delta)
-			} else {
-				info.Unsatisfied = inst.UnsatisfiedVolume(f, pl, cfg.Delta)
-			}
-			info.AtEquilibrium = info.Unsatisfied <= cfg.Eps
-			if info.AtEquilibrium {
-				streak++
-			} else {
-				res.UnsatisfiedPhases++
-				streak = 0
-			}
-		}
+		streakStop := account.Observe(inst, &info, res)
 		if cfg.RecordEvery > 0 && phase%cfg.RecordEvery == 0 {
 			res.Trajectory = append(res.Trajectory, Sample{Time: t, Potential: phi, Flow: f.Clone()})
 		}
-		if cfg.Hook != nil && cfg.Hook(info) {
-			res.Stopped = true
-			break
-		}
-		if cfg.StopAfterSatisfiedStreak > 0 && streak >= cfg.StopAfterSatisfiedStreak {
+		if stop := DeliverPhase(cfg.Hook, cfg.Observer, info); stop || streakStop {
 			res.Stopped = true
 			break
 		}
@@ -80,18 +70,25 @@ func Run(inst *flow.Instance, cfg Config, f0 flow.Vector) (*Result, error) {
 		t += tau
 		res.Phases++
 	}
+	return finish(inst, res, f, t), nil
+}
+
+// finish fills the result's terminal fields from the current state; shared
+// by normal completion and cancellation paths.
+func finish(inst *flow.Instance, res *Result, f flow.Vector, t float64) *Result {
 	res.Final = f
 	res.FinalPotential = inst.Potential(f)
 	res.Elapsed = t
-	return res, nil
+	return res
 }
 
 // RunFresh integrates the up-to-date-information dynamics (Eq. 1): migration
 // rates are recomputed from the true state at every derivative evaluation.
 // cfg.UpdatePeriod is ignored; cfg.Step is the reporting granularity and the
 // outer step size (each outer step is one "phase" for hooks and recording).
-// Uniformization is rejected — the fresh system is non-linear.
-func RunFresh(inst *flow.Instance, cfg Config, f0 flow.Vector) (*Result, error) {
+// Uniformization is rejected — the fresh system is non-linear. Cancellation
+// follows the same partial-result contract as Run.
+func RunFresh(ctx context.Context, inst *flow.Instance, cfg Config, f0 flow.Vector) (*Result, error) {
 	if err := cfg.validate(false); err != nil {
 		return nil, err
 	}
@@ -119,36 +116,22 @@ func RunFresh(inst *flow.Instance, cfg Config, f0 flow.Vector) (*Result, error) 
 		rm.derivative(state, out)
 	}
 	res := &Result{}
-	streak := 0
+	account := NewRoundAccounting(cfg.Delta, cfg.Eps, cfg.Weak, cfg.StopAfterSatisfiedStreak)
 	t := 0.0
 	for step := 0; t < cfg.Horizon-1e-12; step++ {
+		if err := ctx.Err(); err != nil {
+			return finish(inst, res, f, t), err
+		}
 		fe = inst.EdgeFlows(f, fe)
 		le = inst.EdgeLatencies(fe, le)
 		inst.PathLatenciesFromEdges(le, pl)
 		phi := inst.PotentialFromEdges(fe)
 		info := PhaseInfo{Index: step, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
-		if cfg.Delta > 0 {
-			if cfg.Weak {
-				info.Unsatisfied = inst.WeakUnsatisfiedVolume(f, pl, cfg.Delta)
-			} else {
-				info.Unsatisfied = inst.UnsatisfiedVolume(f, pl, cfg.Delta)
-			}
-			info.AtEquilibrium = info.Unsatisfied <= cfg.Eps
-			if info.AtEquilibrium {
-				streak++
-			} else {
-				res.UnsatisfiedPhases++
-				streak = 0
-			}
-		}
+		streakStop := account.Observe(inst, &info, res)
 		if cfg.RecordEvery > 0 && step%cfg.RecordEvery == 0 {
 			res.Trajectory = append(res.Trajectory, Sample{Time: t, Potential: phi, Flow: f.Clone()})
 		}
-		if cfg.Hook != nil && cfg.Hook(info) {
-			res.Stopped = true
-			break
-		}
-		if cfg.StopAfterSatisfiedStreak > 0 && streak >= cfg.StopAfterSatisfiedStreak {
+		if stop := DeliverPhase(cfg.Hook, cfg.Observer, info); stop || streakStop {
 			res.Stopped = true
 			break
 		}
@@ -182,8 +165,5 @@ func RunFresh(inst *flow.Instance, cfg Config, f0 flow.Vector) (*Result, error) 
 		t += h
 		res.Phases++
 	}
-	res.Final = f
-	res.FinalPotential = inst.Potential(f)
-	res.Elapsed = t
-	return res, nil
+	return finish(inst, res, f, t), nil
 }

@@ -1,6 +1,7 @@
 package dynamics
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,7 +20,11 @@ type HedgeConfig struct {
 	// RecordEvery records a sample every k phases (0 disables).
 	RecordEvery int
 	// Hook observes phase starts; returning true stops the run.
+	//
+	// Deprecated: use Observer; when both are set, both run.
 	Hook Hook
+	// Observer observes phase starts; compose several with MultiObserver.
+	Observer Observer
 }
 
 // RunHedge simulates the no-regret multiplicative-weights baseline discussed
@@ -33,7 +38,7 @@ type HedgeConfig struct {
 // online-learning comparator: small η converges (it is a time-discretised
 // replicator), large η·β·T overshoots and oscillates just like best
 // response.
-func RunHedge(inst *flow.Instance, cfg HedgeConfig, f0 flow.Vector) (*Result, error) {
+func RunHedge(ctx context.Context, inst *flow.Instance, cfg HedgeConfig, f0 flow.Vector) (*Result, error) {
 	if cfg.Eta <= 0 {
 		return nil, fmt.Errorf("%w: eta %g must be positive", ErrBadConfig, cfg.Eta)
 	}
@@ -42,6 +47,9 @@ func RunHedge(inst *flow.Instance, cfg HedgeConfig, f0 flow.Vector) (*Result, er
 	}
 	if cfg.Horizon <= 0 {
 		return nil, fmt.Errorf("%w: horizon %g must be positive", ErrBadConfig, cfg.Horizon)
+	}
+	if err := ValidateRunShape(ErrBadConfig, cfg.RecordEvery, 0, 0, 0); err != nil {
+		return nil, err
 	}
 	if err := inst.Feasible(f0, 1e-9); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInfeasibleStart, err)
@@ -53,6 +61,9 @@ func RunHedge(inst *flow.Instance, cfg HedgeConfig, f0 flow.Vector) (*Result, er
 	res := &Result{}
 	t := 0.0
 	for phase := 0; t < cfg.Horizon-1e-12; phase++ {
+		if err := ctx.Err(); err != nil {
+			return finish(inst, res, f, t), err
+		}
 		fe = inst.EdgeFlows(f, fe)
 		le = inst.EdgeLatencies(fe, le)
 		inst.PathLatenciesFromEdges(le, pl)
@@ -61,7 +72,7 @@ func RunHedge(inst *flow.Instance, cfg HedgeConfig, f0 flow.Vector) (*Result, er
 		if cfg.RecordEvery > 0 && phase%cfg.RecordEvery == 0 {
 			res.Trajectory = append(res.Trajectory, Sample{Time: t, Potential: phi, Flow: f.Clone()})
 		}
-		if cfg.Hook != nil && cfg.Hook(info) {
+		if DeliverPhase(cfg.Hook, cfg.Observer, info) {
 			res.Stopped = true
 			break
 		}
@@ -91,8 +102,5 @@ func RunHedge(inst *flow.Instance, cfg HedgeConfig, f0 flow.Vector) (*Result, er
 		t += tau
 		res.Phases++
 	}
-	res.Final = f
-	res.FinalPotential = inst.Potential(f)
-	res.Elapsed = t
-	return res, nil
+	return finish(inst, res, f, t), nil
 }

@@ -1,6 +1,7 @@
 package dynamics
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -12,16 +13,16 @@ import (
 func TestHedgeValidation(t *testing.T) {
 	inst := mustPigou(t)
 	f0 := inst.UniformFlow()
-	if _, err := RunHedge(inst, HedgeConfig{Eta: 0, UpdatePeriod: 1, Horizon: 1}, f0); !errors.Is(err, ErrBadConfig) {
+	if _, err := RunHedge(context.Background(), inst, HedgeConfig{Eta: 0, UpdatePeriod: 1, Horizon: 1}, f0); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("eta=0 error = %v", err)
 	}
-	if _, err := RunHedge(inst, HedgeConfig{Eta: 1, UpdatePeriod: 0, Horizon: 1}, f0); !errors.Is(err, ErrBadConfig) {
+	if _, err := RunHedge(context.Background(), inst, HedgeConfig{Eta: 1, UpdatePeriod: 0, Horizon: 1}, f0); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("T=0 error = %v", err)
 	}
-	if _, err := RunHedge(inst, HedgeConfig{Eta: 1, UpdatePeriod: 1, Horizon: 0}, f0); !errors.Is(err, ErrBadConfig) {
+	if _, err := RunHedge(context.Background(), inst, HedgeConfig{Eta: 1, UpdatePeriod: 1, Horizon: 0}, f0); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("horizon=0 error = %v", err)
 	}
-	if _, err := RunHedge(inst, HedgeConfig{Eta: 1, UpdatePeriod: 1, Horizon: 1}, flow.Vector{1, 1}); !errors.Is(err, ErrInfeasibleStart) {
+	if _, err := RunHedge(context.Background(), inst, HedgeConfig{Eta: 1, UpdatePeriod: 1, Horizon: 1}, flow.Vector{1, 1}); !errors.Is(err, ErrInfeasibleStart) {
 		t.Errorf("infeasible error = %v", err)
 	}
 }
@@ -30,7 +31,7 @@ func TestHedgeValidation(t *testing.T) {
 // time-discretised replicator).
 func TestHedgeSmallEtaConverges(t *testing.T) {
 	inst := mustPigou(t)
-	res, err := RunHedge(inst, HedgeConfig{Eta: 0.2, UpdatePeriod: 0.25, Horizon: 200}, inst.UniformFlow())
+	res, err := RunHedge(context.Background(), inst, HedgeConfig{Eta: 0.2, UpdatePeriod: 0.25, Horizon: 200}, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestHedgeLargeEtaOscillates(t *testing.T) {
 			return false
 		},
 	}
-	res, err := RunHedge(inst, cfg, flow.Vector{0.9, 0.1})
+	res, err := RunHedge(context.Background(), inst, cfg, flow.Vector{0.9, 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestHedgeFeasibilityAndRecording(t *testing.T) {
 			return false
 		},
 	}
-	res, err := RunHedge(inst, cfg, inst.UniformFlow())
+	res, err := RunHedge(context.Background(), inst, cfg, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestHedgeFeasibilityAndRecording(t *testing.T) {
 
 func TestHedgeHookStops(t *testing.T) {
 	inst := mustPigou(t)
-	res, err := RunHedge(inst, HedgeConfig{
+	res, err := RunHedge(context.Background(), inst, HedgeConfig{
 		Eta: 0.5, UpdatePeriod: 1, Horizon: 100,
 		Hook: func(info PhaseInfo) bool { return info.Index >= 3 },
 	}, inst.UniformFlow())
@@ -115,12 +116,12 @@ func TestHedgeHookStops(t *testing.T) {
 // Hedge with tiny η tracks the replicator's limit point.
 func TestHedgeMatchesReplicatorLimit(t *testing.T) {
 	inst := mustBraess(t)
-	hres, err := RunHedge(inst, HedgeConfig{Eta: 0.1, UpdatePeriod: 0.1, Horizon: 400}, inst.UniformFlow())
+	hres, err := RunHedge(context.Background(), inst, HedgeConfig{Eta: 0.1, UpdatePeriod: 0.1, Horizon: 400}, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}
 	pol := mustReplicator(t, inst.LMax())
-	rres, err := Run(inst, Config{Policy: pol, UpdatePeriod: 0.1, Horizon: 400, Integrator: Uniformization}, inst.UniformFlow())
+	rres, err := Run(context.Background(), inst, Config{Policy: pol, UpdatePeriod: 0.1, Horizon: 400, Integrator: Uniformization}, inst.UniformFlow())
 	if err != nil {
 		t.Fatal(err)
 	}

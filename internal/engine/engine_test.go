@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"wardrop/internal/dynamics"
+	"wardrop/internal/flow"
+	"wardrop/internal/policy"
+	"wardrop/internal/topo"
+)
+
+func mustPigou(t testing.TB) *flow.Instance {
+	t.Helper()
+	inst, err := topo.Pigou()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func mustReplicator(t testing.TB, inst *flow.Instance) policy.Policy {
+	t.Helper()
+	pol, err := policy.Replicator(inst.LMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Scenario{}); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("nil instance accepted: %v", err)
+	}
+	inst := mustPigou(t)
+	// Engine-level validation still applies: no policy for the fluid engine.
+	if _, err := Run(context.Background(), Scenario{Instance: inst, UpdatePeriod: 1, Horizon: 1}); !errors.Is(err, dynamics.ErrBadConfig) {
+		t.Fatalf("policy-less fluid scenario accepted: %v", err)
+	}
+}
+
+func TestDefaultEngineIsFluid(t *testing.T) {
+	inst := mustPigou(t)
+	pol := mustReplicator(t, inst)
+	sc := Scenario{Instance: inst, Policy: pol, UpdatePeriod: 0.25, Horizon: 2}
+	got, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dynamics.Run(context.Background(), inst, dynamics.Config{
+		Policy: pol, UpdatePeriod: 0.25, Horizon: 2,
+	}, inst.UniformFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("default engine result differs from dynamics.Run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	cases := []struct {
+		eng  Engine
+		want string
+	}{
+		{Fluid{}, "fluid"},
+		{Fluid{Fresh: true}, "fresh"},
+		{BestResponse{}, "bestresponse"},
+		{Agents{N: 10}, "agents"},
+	}
+	for _, c := range cases {
+		if got := c.eng.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSpecBuildRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want Engine
+	}{
+		{Spec{}, Fluid{}},
+		{Spec{Kind: "fluid", Integrator: "uniformization"}, Fluid{Integrator: dynamics.Uniformization}},
+		{Spec{Kind: "fresh", Integrator: "euler", Step: 0.5}, Fluid{Fresh: true, Integrator: dynamics.Euler, Step: 0.5}},
+		{Spec{Kind: "bestresponse"}, BestResponse{}},
+		{Spec{Kind: "agents", N: 7, Seed: 3, Workers: 2}, Agents{N: 7, Seed: 3, Workers: 2}},
+	}
+	for _, c := range cases {
+		got, err := c.spec.Build()
+		if err != nil {
+			t.Fatalf("Build(%+v): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Errorf("Build(%+v) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []Spec{
+		{Kind: "warp"},
+		{Kind: "agents"},
+		{Kind: "fluid", Integrator: "simplectic"},
+	} {
+		if _, err := bad.Build(); !errors.Is(err, ErrBadEngine) {
+			t.Errorf("Build(%+v) err = %v, want ErrBadEngine", bad, err)
+		}
+	}
+	if _, err := New("agents"); !errors.Is(err, ErrBadEngine) {
+		t.Errorf("New(agents) err = %v, want ErrBadEngine", err)
+	}
+	if eng, err := New("bestresponse"); err != nil || eng != (BestResponse{}) {
+		t.Errorf("New(bestresponse) = %v, %v", eng, err)
+	}
+}
+
+func TestAllEnginesRunAndObserve(t *testing.T) {
+	inst := mustPigou(t)
+	pol := mustReplicator(t, inst)
+	for _, eng := range []Engine{
+		Fluid{},
+		Fluid{Fresh: true, Step: 1.0 / 32},
+		BestResponse{},
+		Agents{N: 50, Seed: 9, Workers: 1},
+		Agents{N: 50, Seed: 9, EventDriven: true},
+	} {
+		phases := 0
+		sc := Scenario{
+			Engine: eng, Instance: inst, Policy: pol,
+			UpdatePeriod: 0.25, Horizon: 2, RecordEvery: 1,
+		}
+		res, err := Run(context.Background(), sc, WithObserver(dynamics.ObserverFunc(func(dynamics.PhaseInfo) bool {
+			phases++
+			return false
+		})))
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if phases == 0 {
+			t.Errorf("%s: observer saw no phases", eng.Name())
+		}
+		if len(res.Trajectory) == 0 {
+			t.Errorf("%s: no trajectory recorded", eng.Name())
+		}
+		if err := inst.Feasible(res.Final, 1e-6); err != nil {
+			t.Errorf("%s: infeasible final flow: %v", eng.Name(), err)
+		}
+	}
+}
+
+func TestObserverStopsRun(t *testing.T) {
+	inst := mustPigou(t)
+	pol := mustReplicator(t, inst)
+	sc := Scenario{Instance: inst, Policy: pol, UpdatePeriod: 0.25, Horizon: 100}
+	res, err := Run(context.Background(), sc, WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
+		return info.Index >= 3
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.Phases != 3 {
+		t.Fatalf("stopped=%v phases=%d, want stop after 3 phases", res.Stopped, res.Phases)
+	}
+}
+
+func TestCancellationReturnsPartialResult(t *testing.T) {
+	inst := mustPigou(t)
+	pol := mustReplicator(t, inst)
+	for _, eng := range []Engine{Fluid{}, Agents{N: 40, Seed: 1, Workers: 1}} {
+		ctx, cancel := context.WithCancel(context.Background())
+		sc := Scenario{Engine: eng, Instance: inst, Policy: pol, UpdatePeriod: 0.25, Horizon: 1000}
+		res, err := Run(ctx, sc, WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
+			if info.Index == 4 {
+				cancel()
+			}
+			return false
+		})))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", eng.Name(), err)
+		}
+		if res == nil || res.Phases != 5 {
+			t.Fatalf("%s: partial result %+v, want 5 completed phases", eng.Name(), res)
+		}
+		if err := inst.Feasible(res.Final, 1e-6); err != nil {
+			t.Errorf("%s: infeasible partial final: %v", eng.Name(), err)
+		}
+		cancel()
+	}
+}
+
+func TestWithObserverEmptyKeepsNil(t *testing.T) {
+	var o Options
+	WithObserver()(&o)
+	if o.Observer != nil {
+		t.Fatalf("empty WithObserver set Observer = %#v, want nil", o.Observer)
+	}
+	WithObserver(nil, nil)(&o)
+	if o.Observer != nil {
+		t.Fatalf("all-nil WithObserver set Observer = %#v, want nil", o.Observer)
+	}
+}

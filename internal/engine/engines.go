@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"wardrop/internal/agents"
+	"wardrop/internal/dynamics"
+)
+
+// Fluid integrates the infinite-population fluid-limit ODE: the
+// stale-information dynamics (Eq. 3) under the bulletin-board model by
+// default, or the up-to-date-information dynamics (Eq. 1) when Fresh is set.
+type Fluid struct {
+	// Fresh selects the fresh-information dynamics (Eq. 1); the scenario's
+	// UpdatePeriod is then ignored.
+	Fresh bool
+	// Integrator selects the within-phase scheme (0 = the dynamics default,
+	// RK4).
+	Integrator dynamics.Integrator
+	// Step is the integrator step (0 = the dynamics default).
+	Step float64
+}
+
+// Name returns "fluid" or "fresh".
+func (e Fluid) Name() string {
+	if e.Fresh {
+		return "fresh"
+	}
+	return "fluid"
+}
+
+// Run integrates the scenario's fluid dynamics.
+func (e Fluid) Run(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
+	cfg := dynamics.Config{
+		Policy:                   sc.Policy,
+		UpdatePeriod:             sc.UpdatePeriod,
+		Step:                     e.Step,
+		Horizon:                  sc.Horizon,
+		Integrator:               e.Integrator,
+		Delta:                    sc.Delta,
+		Eps:                      sc.Eps,
+		Weak:                     sc.Weak,
+		StopAfterSatisfiedStreak: sc.StopAfterSatisfiedStreak,
+		RecordEvery:              sc.RecordEvery,
+		Observer:                 opts.Observer,
+	}
+	if e.Fresh {
+		return dynamics.RunFresh(ctx, sc.Instance, cfg, sc.initialFlow())
+	}
+	return dynamics.Run(ctx, sc.Instance, cfg, sc.initialFlow())
+}
+
+// BestResponse integrates the best-response differential inclusion under
+// stale information (Eq. 4) with exact per-phase relaxation. The scenario's
+// Policy is ignored — every activated agent adopts the board's shortest
+// path.
+type BestResponse struct{}
+
+// Name returns "bestresponse".
+func (BestResponse) Name() string { return "bestresponse" }
+
+// Run integrates the scenario's best-response dynamics.
+func (BestResponse) Run(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
+	cfg := dynamics.BestResponseConfig{
+		UpdatePeriod:             sc.UpdatePeriod,
+		Horizon:                  sc.Horizon,
+		RecordEvery:              sc.RecordEvery,
+		Delta:                    sc.Delta,
+		Eps:                      sc.Eps,
+		Weak:                     sc.Weak,
+		StopAfterSatisfiedStreak: sc.StopAfterSatisfiedStreak,
+		Observer:                 opts.Observer,
+	}
+	return dynamics.RunBestResponse(ctx, sc.Instance, cfg, sc.initialFlow())
+}
+
+// Agents runs the finite-N stochastic bulletin-board simulation — the
+// engine whose N → ∞ limit is Fluid.
+type Agents struct {
+	// N is the population size (required, >= 1).
+	N int
+	// Seed makes runs reproducible for a fixed (Seed, Workers) pair.
+	Seed uint64
+	// Workers is the number of simulation goroutines (0 = GOMAXPROCS).
+	Workers int
+	// EventDriven selects the exact global event clock instead of per-phase
+	// Poisson batching (single-threaded reference engine).
+	EventDriven bool
+}
+
+// Name returns "agents".
+func (Agents) Name() string { return "agents" }
+
+// Run simulates the scenario's finite-N stochastic counterpart.
+func (e Agents) Run(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
+	sim, err := agents.New(sc.Instance, agents.Config{
+		N:                        e.N,
+		Policy:                   sc.Policy,
+		UpdatePeriod:             sc.UpdatePeriod,
+		Horizon:                  sc.Horizon,
+		Seed:                     e.Seed,
+		Workers:                  e.Workers,
+		RecordEvery:              sc.RecordEvery,
+		Observer:                 opts.Observer,
+		InitialFlow:              sc.InitialFlow,
+		Delta:                    sc.Delta,
+		Eps:                      sc.Eps,
+		Weak:                     sc.Weak,
+		StopAfterSatisfiedStreak: sc.StopAfterSatisfiedStreak,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if e.EventDriven {
+		return sim.RunEventDrivenContext(ctx)
+	}
+	return sim.RunContext(ctx)
+}
+
+// Spec is the JSON document shape for selecting an engine by name — the
+// form spec/JSON layers (exposed at the root as wardrop.EngineSpec) use to
+// construct engines from configuration instead of Go values.
+type Spec struct {
+	// Kind names the engine: fluid, fresh, bestresponse, agents.
+	Kind string `json:"kind"`
+	// N is the population size (kind=agents).
+	N int `json:"n,omitempty"`
+	// Seed seeds the stochastic engine (kind=agents).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers is the goroutine count (kind=agents; 0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// EventDriven selects the exact event clock (kind=agents).
+	EventDriven bool `json:"eventDriven,omitempty"`
+	// Integrator names the within-phase scheme (kind=fluid/fresh):
+	// euler, rk4, uniformization ("" = default).
+	Integrator string `json:"integrator,omitempty"`
+	// Step is the integrator step (kind=fluid/fresh; 0 = default).
+	Step float64 `json:"step,omitempty"`
+}
+
+// Build materialises the engine.
+func (s Spec) Build() (Engine, error) {
+	switch s.Kind {
+	case "", "fluid", "fresh":
+		integ, err := ParseIntegrator(s.Integrator)
+		if err != nil {
+			return nil, err
+		}
+		return Fluid{Fresh: s.Kind == "fresh", Integrator: integ, Step: s.Step}, nil
+	case "bestresponse", "best-response":
+		return BestResponse{}, nil
+	case "agents":
+		if s.N < 1 {
+			return nil, fmt.Errorf("%w: agents engine requires n >= 1, got %d", ErrBadEngine, s.N)
+		}
+		return Agents{N: s.N, Seed: s.Seed, Workers: s.Workers, EventDriven: s.EventDriven}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown engine kind %q", ErrBadEngine, s.Kind)
+	}
+}
+
+// New returns a default-configured engine by name; the agents engine cannot
+// be built this way (it needs a population — use Spec).
+func New(name string) (Engine, error) {
+	if name == "agents" {
+		return nil, fmt.Errorf("%w: agents engine needs a population; use Spec{Kind: \"agents\", N: ...}", ErrBadEngine)
+	}
+	return Spec{Kind: name}.Build()
+}
+
+// ParseIntegrator resolves an integrator name ("" = the dynamics default).
+func ParseIntegrator(name string) (dynamics.Integrator, error) {
+	switch name {
+	case "":
+		return 0, nil
+	case "euler":
+		return dynamics.Euler, nil
+	case "rk4":
+		return dynamics.RK4, nil
+	case "uniformization":
+		return dynamics.Uniformization, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown integrator %q", ErrBadEngine, name)
+	}
+}

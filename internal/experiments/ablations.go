@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"wardrop/internal/dynamics"
+	"wardrop/internal/engine"
 	"wardrop/internal/report"
 	"wardrop/internal/topo"
 )
@@ -47,22 +50,23 @@ func RunAblationStep(p AblationStepParams) (*report.Table, error) {
 	// sampling (it only ever samples its own path), which would zero out
 	// the comparison.
 	f0 := skewedStart(inst.NumPaths(), 0)
-	exact, err := dynamics.Run(inst, dynamics.Config{
-		Policy: pol, UpdatePeriod: t, Horizon: horizon, Integrator: dynamics.Uniformization,
-	}, f0)
+	scenario := engine.Scenario{
+		Instance: inst, Policy: pol, UpdatePeriod: t, InitialFlow: f0, Horizon: horizon,
+	}
+	integrate := func(eng engine.Fluid) (*engine.Result, error) {
+		scenario.Engine = eng
+		return engine.Run(context.Background(), scenario)
+	}
+	exact, err := integrate(exactFluid)
 	if err != nil {
 		return nil, wrap("ablation-step", err)
 	}
 	for _, step := range p.Steps {
-		eu, err := dynamics.Run(inst, dynamics.Config{
-			Policy: pol, UpdatePeriod: t, Horizon: horizon, Integrator: dynamics.Euler, Step: step,
-		}, f0)
+		eu, err := integrate(engine.Fluid{Integrator: dynamics.Euler, Step: step})
 		if err != nil {
 			return nil, wrap("ablation-step", err)
 		}
-		rk, err := dynamics.Run(inst, dynamics.Config{
-			Policy: pol, UpdatePeriod: t, Horizon: horizon, Integrator: dynamics.RK4, Step: step,
-		}, f0)
+		rk, err := integrate(engine.Fluid{Integrator: dynamics.RK4, Step: step})
 		if err != nil {
 			return nil, wrap("ablation-step", err)
 		}

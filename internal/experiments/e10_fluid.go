@@ -1,8 +1,9 @@
 package experiments
 
 import (
-	"wardrop/internal/agents"
-	"wardrop/internal/dynamics"
+	"context"
+
+	"wardrop/internal/engine"
 	"wardrop/internal/report"
 	"wardrop/internal/stats"
 	"wardrop/internal/topo"
@@ -50,12 +51,16 @@ func RunE10(p E10Params) (*report.Table, error) {
 	if err != nil {
 		return nil, wrap("E10", err)
 	}
-	fluid, err := dynamics.Run(inst, dynamics.Config{
+	// The same scenario runs on both sides of the comparison; only the
+	// engine changes — which is the point of the unified API.
+	scenario := engine.Scenario{
+		Engine:       exactFluid,
+		Instance:     inst,
 		Policy:       pol,
 		UpdatePeriod: p.UpdatePeriod,
 		Horizon:      p.Horizon,
-		Integrator:   dynamics.Uniformization,
-	}, inst.UniformFlow())
+	}
+	fluid, err := engine.Run(context.Background(), scenario)
 	if err != nil {
 		return nil, wrap("E10", err)
 	}
@@ -63,15 +68,8 @@ func RunE10(p E10Params) (*report.Table, error) {
 	for _, n := range p.Ns {
 		sum := 0.0
 		for seed := 1; seed <= p.Seeds; seed++ {
-			sim, err := agents.New(inst, agents.Config{
-				N: n, Policy: pol,
-				UpdatePeriod: p.UpdatePeriod, Horizon: p.Horizon,
-				Seed: uint64(seed), Workers: p.Workers,
-			})
-			if err != nil {
-				return nil, wrap("E10", err)
-			}
-			res, err := sim.Run()
+			scenario.Engine = engine.Agents{N: n, Seed: uint64(seed), Workers: p.Workers}
+			res, err := engine.Run(context.Background(), scenario)
 			if err != nil {
 				return nil, wrap("E10", err)
 			}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"wardrop/internal/dynamics"
+	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/report"
 	"wardrop/internal/stats"
@@ -58,7 +60,7 @@ func RunE11(p E11Params) (*report.Table, error) {
 				return false
 			},
 		}
-		res, err := dynamics.RunHedge(inst, cfg, f0)
+		res, err := dynamics.RunHedge(context.Background(), inst, cfg, f0)
 		if err != nil {
 			return nil, wrap("E11", err)
 		}
@@ -79,14 +81,17 @@ func RunE11(p E11Params) (*report.Table, error) {
 		return nil, wrap("E11", err)
 	}
 	var f1s []float64
-	res, err := dynamics.Run(inst, dynamics.Config{
-		Policy: pol, UpdatePeriod: tSafe, Horizon: float64(p.Phases) * tSafe,
-		Integrator: dynamics.Uniformization,
-		Hook: func(info dynamics.PhaseInfo) bool {
-			f1s = append(f1s, info.Flow[0])
-			return false
-		},
-	}, f0)
+	res, err := engine.Run(context.Background(), engine.Scenario{
+		Engine:       exactFluid,
+		Instance:     inst,
+		Policy:       pol,
+		UpdatePeriod: tSafe,
+		InitialFlow:  f0,
+		Horizon:      float64(p.Phases) * tSafe,
+	}, engine.WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
+		f1s = append(f1s, info.Flow[0])
+		return false
+	})))
 	if err != nil {
 		return nil, wrap("E11", err)
 	}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"wardrop/internal/dynamics"
+	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/report"
 	"wardrop/internal/stats"
@@ -49,16 +51,18 @@ func RunE1(p E1Params) (*report.Table, error) {
 			f1Start, amplitude, _ := dynamics.TwoLinkOscillation(beta, T, 0)
 			f0 := flow.Vector{f1Start, 1 - f1Start}
 			var maxLats, f1s []float64
-			cfg := dynamics.BestResponseConfig{
+			_, err = engine.Run(context.Background(), engine.Scenario{
+				Engine:       engine.BestResponse{},
+				Instance:     inst,
 				UpdatePeriod: T,
+				InitialFlow:  f0,
 				Horizon:      float64(p.Rounds) * T,
-				Hook: func(info dynamics.PhaseInfo) bool {
-					maxLats = append(maxLats, math.Max(info.PathLatencies[0], info.PathLatencies[1]))
-					f1s = append(f1s, info.Flow[0])
-					return false
-				},
-			}
-			if _, err := dynamics.RunBestResponse(inst, cfg, f0); err != nil {
+			}, engine.WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
+				maxLats = append(maxLats, math.Max(info.PathLatencies[0], info.PathLatencies[1]))
+				f1s = append(f1s, info.Flow[0])
+				return false
+			})))
+			if err != nil {
 				return nil, wrap("E1", err)
 			}
 			measured := stats.Mean(maxLats)

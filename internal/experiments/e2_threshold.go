@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"wardrop/internal/dynamics"
+	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/report"
 	"wardrop/internal/topo"
@@ -41,15 +43,17 @@ func RunE2(p E2Params) (*report.Table, error) {
 		f1Start, _, _ := dynamics.TwoLinkOscillation(beta, T, 0)
 		f0 := flow.Vector{f1Start, 1 - f1Start}
 		amp := 0.0
-		cfg := dynamics.BestResponseConfig{
+		_, err = engine.Run(context.Background(), engine.Scenario{
+			Engine:       engine.BestResponse{},
+			Instance:     inst,
 			UpdatePeriod: T,
+			InitialFlow:  f0,
 			Horizon:      float64(p.Rounds) * T,
-			Hook: func(info dynamics.PhaseInfo) bool {
-				amp = math.Max(amp, math.Max(info.PathLatencies[0], info.PathLatencies[1]))
-				return false
-			},
-		}
-		if _, err := dynamics.RunBestResponse(inst, cfg, f0); err != nil {
+		}, engine.WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
+			amp = math.Max(amp, math.Max(info.PathLatencies[0], info.PathLatencies[1]))
+			return false
+		})))
+		if err != nil {
 			return 0, err
 		}
 		return amp, nil

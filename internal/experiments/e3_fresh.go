@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"wardrop/internal/dynamics"
+	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/policy"
 	"wardrop/internal/report"
@@ -62,16 +65,15 @@ func RunE3(p E3Params) (*report.Table, error) {
 				return nil, wrap("E3", err)
 			}
 			var phis []float64
-			cfg := dynamics.Config{
-				Policy:  pol,
-				Horizon: p.Horizon,
-				Step:    p.Step,
-				Hook: func(info dynamics.PhaseInfo) bool {
-					phis = append(phis, info.Potential)
-					return false
-				},
-			}
-			res, err := dynamics.RunFresh(inst, cfg, inst.UniformFlow())
+			res, err := engine.Run(context.Background(), engine.Scenario{
+				Engine:   engine.Fluid{Fresh: true, Step: p.Step},
+				Instance: inst,
+				Policy:   pol,
+				Horizon:  p.Horizon,
+			}, engine.WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
+				phis = append(phis, info.Potential)
+				return false
+			})))
 			if err != nil {
 				return nil, wrap("E3", err)
 			}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"wardrop/internal/dynamics"
+	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/report"
 	"wardrop/internal/topo"
@@ -50,14 +52,15 @@ func RunE4(p E4Params) (*report.Table, error) {
 			return nil, wrap("E4", err)
 		}
 		acct := dynamics.NewAccountant(inst)
-		cfg := dynamics.Config{
+		_, err = engine.Run(context.Background(), engine.Scenario{
+			Engine:       exactFluid,
+			Instance:     inst,
 			Policy:       pol,
 			UpdatePeriod: t,
+			InitialFlow:  inst.SinglePathFlow(0),
 			Horizon:      float64(p.Phases) * t,
-			Integrator:   dynamics.Uniformization,
-			Hook:         acct.Hook(),
-		}
-		if _, err := dynamics.Run(inst, cfg, inst.SinglePathFlow(0)); err != nil {
+		}, engine.WithObserver(dynamics.ObserverFunc(acct.Hook())))
+		if err != nil {
 			return nil, wrap("E4", err)
 		}
 		maxResidual, minV, maxDPhi := 0.0, math.Inf(1), math.Inf(-1)

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"wardrop/internal/dynamics"
+	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/report"
 	"wardrop/internal/stats"
@@ -52,18 +55,19 @@ func RunE5(p E5Params) (*report.Table, error) {
 	for _, mult := range p.Multipliers {
 		t := mult * tSafe
 		var phis, f1s []float64
-		cfg := dynamics.Config{
+		_, err = engine.Run(context.Background(), engine.Scenario{
+			Engine:       exactFluid,
+			Instance:     inst,
 			Policy:       pol,
 			UpdatePeriod: t,
+			InitialFlow:  f0,
 			Horizon:      float64(p.Phases) * t,
-			Integrator:   dynamics.Uniformization,
-			Hook: func(info dynamics.PhaseInfo) bool {
-				phis = append(phis, info.Potential)
-				f1s = append(f1s, info.Flow[0])
-				return false
-			},
-		}
-		if _, err := dynamics.Run(inst, cfg, f0); err != nil {
+		}, engine.WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
+			phis = append(phis, info.Potential)
+			f1s = append(f1s, info.Flow[0])
+			return false
+		})))
+		if err != nil {
 			return nil, wrap("E5", err)
 		}
 		tbl.AddRow(

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"wardrop/internal/dynamics"
+	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/policy"
 	"wardrop/internal/report"
@@ -48,18 +51,19 @@ func RunE9(p E9Params) (*report.Table, error) {
 	for _, c := range p.Cs {
 		pol := policy.Policy{Sampler: policy.Boltzmann{C: c}, Migrator: lin}
 		var phis, f1s []float64
-		cfg := dynamics.Config{
+		_, err = engine.Run(context.Background(), engine.Scenario{
+			Engine:       exactFluid,
+			Instance:     inst,
 			Policy:       pol,
 			UpdatePeriod: tSafe,
+			InitialFlow:  f0,
 			Horizon:      float64(p.Phases) * tSafe,
-			Integrator:   dynamics.Uniformization,
-			Hook: func(info dynamics.PhaseInfo) bool {
-				phis = append(phis, info.Potential)
-				f1s = append(f1s, info.Flow[0])
-				return false
-			},
-		}
-		if _, err := dynamics.Run(inst, cfg, f0); err != nil {
+		}, engine.WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
+			phis = append(phis, info.Potential)
+			f1s = append(f1s, info.Flow[0])
+			return false
+		})))
+		if err != nil {
 			return nil, wrap("E9", err)
 		}
 		tbl.AddRow(
@@ -73,16 +77,18 @@ func RunE9(p E9Params) (*report.Table, error) {
 	// start.
 	f1Start, _, _ := dynamics.TwoLinkOscillation(p.Beta, tSafe, 0)
 	var phis, f1s []float64
-	brCfg := dynamics.BestResponseConfig{
+	_, err = engine.Run(context.Background(), engine.Scenario{
+		Engine:       engine.BestResponse{},
+		Instance:     inst,
 		UpdatePeriod: tSafe,
+		InitialFlow:  flow.Vector{f1Start, 1 - f1Start},
 		Horizon:      float64(p.Phases) * tSafe,
-		Hook: func(info dynamics.PhaseInfo) bool {
-			phis = append(phis, info.Potential)
-			f1s = append(f1s, info.Flow[0])
-			return false
-		},
-	}
-	if _, err := dynamics.RunBestResponse(inst, brCfg, flow.Vector{f1Start, 1 - f1Start}); err != nil {
+	}, engine.WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
+		phis = append(phis, info.Potential)
+		f1s = append(f1s, info.Flow[0])
+		return false
+	})))
+	if err != nil {
 		return nil, wrap("E9", err)
 	}
 	tbl.AddRow(

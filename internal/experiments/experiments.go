@@ -9,10 +9,12 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"wardrop/internal/dynamics"
+	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/policy"
 	"wardrop/internal/solver"
@@ -52,6 +54,11 @@ func phiStar(inst *flow.Instance) (float64, error) {
 	return res.Potential, nil
 }
 
+// exactFluid is the engine every fluid-limit experiment dispatches through:
+// the frozen-board uniformization scheme is exact, so measured artefacts
+// carry no integration error.
+var exactFluid = engine.Fluid{Integrator: dynamics.Uniformization}
+
 // countUnsatisfiedRounds runs the stale dynamics from f0 and returns the
 // number of phases not starting at the configured approximate equilibrium,
 // stopping once `streak` consecutive phases are satisfied (or at maxPhases).
@@ -59,17 +66,18 @@ func phiStar(inst *flow.Instance) (float64, error) {
 // complete rather than truncated).
 func countUnsatisfiedRounds(inst *flow.Instance, pol policy.Policy, f0 flow.Vector,
 	T, delta, eps float64, weak bool, streak, maxPhases int) (int, bool, error) {
-	cfg := dynamics.Config{
+	res, err := engine.Run(context.Background(), engine.Scenario{
+		Engine:                   exactFluid,
+		Instance:                 inst,
 		Policy:                   pol,
 		UpdatePeriod:             T,
+		InitialFlow:              f0,
 		Horizon:                  float64(maxPhases) * T,
-		Integrator:               dynamics.Uniformization,
 		Delta:                    delta,
 		Eps:                      eps,
 		Weak:                     weak,
 		StopAfterSatisfiedStreak: streak,
-	}
-	res, err := dynamics.Run(inst, cfg, f0)
+	})
 	if err != nil {
 		return 0, false, err
 	}
@@ -80,17 +88,18 @@ func countUnsatisfiedRounds(inst *flow.Instance, pol policy.Policy, f0 flow.Vect
 // phase start.
 func potentialSeries(inst *flow.Instance, pol policy.Policy, f0 flow.Vector, T float64, phases int) ([]float64, error) {
 	var phis []float64
-	cfg := dynamics.Config{
+	_, err := engine.Run(context.Background(), engine.Scenario{
+		Engine:       exactFluid,
+		Instance:     inst,
 		Policy:       pol,
 		UpdatePeriod: T,
+		InitialFlow:  f0,
 		Horizon:      float64(phases) * T,
-		Integrator:   dynamics.Uniformization,
-		Hook: func(info dynamics.PhaseInfo) bool {
-			phis = append(phis, info.Potential)
-			return false
-		},
-	}
-	if _, err := dynamics.Run(inst, cfg, f0); err != nil {
+	}, engine.WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
+		phis = append(phis, info.Potential)
+		return false
+	})))
+	if err != nil {
 		return nil, err
 	}
 	return phis, nil

@@ -399,6 +399,10 @@ func (c *Campaign) Validate() error {
 	if math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0) || math.IsNaN(c.Delta) || math.IsNaN(c.Eps) {
 		return fmt.Errorf("%w: horizon/delta/eps must be finite", ErrBadCampaign)
 	}
+	// Fail fast on the engine-level rejection every task would hit anyway.
+	if c.Eps < 0 && (c.Delta > 0 || len(c.Deltas) > 0) {
+		return fmt.Errorf("%w: eps %g must be >= 0 when delta accounting is enabled", ErrBadCampaign, c.Eps)
+	}
 	if c.Horizon <= 0 && c.MaxPhases <= 0 {
 		return fmt.Errorf("%w: need horizon > 0 or maxPhases > 0", ErrBadCampaign)
 	}

@@ -97,22 +97,24 @@ func TestExpandSeedsIndependentOfAxisOrder(t *testing.T) {
 
 func TestParseCampaignErrors(t *testing.T) {
 	cases := map[string]string{
-		"empty topologies": `{"topologies": [], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,
-		"empty policies":   `{"topologies": [{"family":"pigou"}], "policies": [], "updatePeriods": [1], "horizon": 1}`,
-		"no periods":       `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [], "horizon": 1}`,
-		"bad period":       `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [-1], "horizon": 1}`,
-		"period word":      `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": ["soon"], "horizon": 1}`,
-		"bad family":       `{"topologies": [{"family":"moebius"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,
-		"bad kind":         `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"psychic"}], "updatePeriods": [1], "horizon": 1}`,
-		"negative c":       `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"boltzmann","c":-1}], "updatePeriods": [1], "horizon": 1}`,
-		"bad migrator":     `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform","migrator":"teleport"}], "updatePeriods": [1], "horizon": 1}`,
-		"no budget":        `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1]}`,
-		"bad start":        `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "start": "sideways"}`,
-		"negative agents":  `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "agents": [-1]}`,
-		"unknown field":    `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "bogus": true}`,
-		"links too small":  `{"topologies": [{"family":"links","size":1}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,
-		"negative layers":  `{"topologies": [{"family":"layered","size":3,"layers":-2}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,
-		"custom no doc":    `{"topologies": [{"family":"custom"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,
+		"empty topologies":  `{"topologies": [], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,
+		"empty policies":    `{"topologies": [{"family":"pigou"}], "policies": [], "updatePeriods": [1], "horizon": 1}`,
+		"no periods":        `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [], "horizon": 1}`,
+		"bad period":        `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [-1], "horizon": 1}`,
+		"period word":       `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": ["soon"], "horizon": 1}`,
+		"bad family":        `{"topologies": [{"family":"moebius"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,
+		"bad kind":          `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"psychic"}], "updatePeriods": [1], "horizon": 1}`,
+		"negative c":        `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"boltzmann","c":-1}], "updatePeriods": [1], "horizon": 1}`,
+		"bad migrator":      `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform","migrator":"teleport"}], "updatePeriods": [1], "horizon": 1}`,
+		"no budget":         `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1]}`,
+		"bad start":         `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "start": "sideways"}`,
+		"negative agents":   `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "agents": [-1]}`,
+		"unknown field":     `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "bogus": true}`,
+		"links too small":   `{"topologies": [{"family":"links","size":1}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,
+		"negative layers":   `{"topologies": [{"family":"layered","size":3,"layers":-2}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,
+		"custom no doc":     `{"topologies": [{"family":"custom"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,
+		"negative eps":      `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "delta": 0.1, "eps": -1}`,
+		"negative eps axis": `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "deltas": [0.1], "eps": -1}`,
 	}
 	for name, doc := range cases {
 		if _, err := ParseCampaign(strings.NewReader(doc)); err == nil {

@@ -11,16 +11,18 @@ import (
 	"sync"
 	"time"
 
-	"wardrop/internal/agents"
 	"wardrop/internal/dynamics"
+	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/policy"
 	"wardrop/internal/solver"
 )
 
 // Record is one task's outcome — one JSONL line in the streaming result file.
-// Exactly one record is emitted per expanded task, in completion order;
-// records carry the task ID so any downstream consumer can re-sort.
+// Exactly one record is emitted per completed task (including per-task
+// failures), in completion order; tasks aborted by context cancellation get
+// no record, so after an interrupted run len(records) < len(tasks). Records
+// carry the task ID so any downstream consumer can re-sort or re-join.
 type Record struct {
 	// ID is the task ID from the deterministic expansion.
 	ID int `json:"id"`
@@ -62,6 +64,10 @@ type Record struct {
 	// Error is non-empty when the task failed (including recovered panics);
 	// the result fields are zero in that case.
 	Error string `json:"error,omitempty"`
+
+	// aborted marks a task cut short by context cancellation; such records
+	// never enter the stream.
+	aborted bool
 }
 
 // Options configures an engine run.
@@ -77,11 +83,13 @@ type Options struct {
 	Progress func(done, total int, rec Record)
 }
 
-// RunResult is a completed engine run.
+// RunResult is a completed (or cleanly interrupted) engine run.
 type RunResult struct {
 	Campaign *Campaign
 	Tasks    []Task
-	// Records holds one record per task, sorted by task ID.
+	// Records holds one record per completed task, sorted by task ID; on a
+	// cancelled run it covers only the tasks that finished before the
+	// interrupt (match against Tasks by ID, not position).
 	Records []Record
 }
 
@@ -99,7 +107,11 @@ type instEntry struct {
 // Run expands the campaign and executes every task on a bounded worker pool.
 // Task failures (including panics) are recorded per task, not fatal; the
 // returned error is non-nil only for invalid campaigns, context
-// cancellation, or a failing Results writer.
+// cancellation, or a failing Results writer. On cancellation the context is
+// threaded into the running simulations, so in-flight tasks abort between
+// phases; the records completed so far are returned (sorted, exactly the
+// ones already streamed to opts.Results) together with ctx.Err(), letting
+// callers flush partial campaigns cleanly.
 func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 	tasks, err := c.Expand()
 	if err != nil {
@@ -131,12 +143,18 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 		go func() {
 			defer wg.Done()
 			for t := range taskCh {
-				rec := runTaskIsolated(c, t, &cache)
-				select {
-				case recCh <- rec:
-				case <-ctx.Done():
+				rec, aborted := runTaskIsolated(ctx, c, t, &cache)
+				if aborted {
+					// Cancelled mid-simulation: the task did not complete,
+					// so it gets no record.
 					return
 				}
+				// Plain send: the collector drains recCh until it closes
+				// (even after cancellation), so this cannot deadlock — and
+				// a completed task's record must never be dropped, or the
+				// partial-flush guarantee would nondeterministically lose
+				// finished work.
+				recCh <- rec
 			}
 		}()
 	}
@@ -150,6 +168,13 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 	go func() {
 		defer close(taskCh)
 		for _, t := range tasks {
+			// Checked before the select: with idle workers both select cases
+			// are ready after cancellation and Go picks one at random, which
+			// would keep feeding tasks the workers then have to abort.
+			if err := ctx.Err(); err != nil {
+				feedErr <- err
+				return
+			}
 			select {
 			case taskCh <- t:
 			case <-ctx.Done():
@@ -180,19 +205,19 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 			opts.Progress(len(records), len(tasks), rec)
 		}
 	}
+	sortRecords(records)
+	result := &RunResult{Campaign: c, Tasks: tasks, Records: records}
 	// The sink error wins over the cancellation it triggered.
 	if sinkErr != nil {
 		return nil, sinkErr
 	}
 	if err := <-feedErr; err != nil {
-		return nil, err
+		return result, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return result, err
 	}
-
-	sortRecords(records)
-	return &RunResult{Campaign: c, Tasks: tasks, Records: records}, nil
+	return result, nil
 }
 
 // sortRecords orders by task ID.
@@ -201,9 +226,12 @@ func sortRecords(recs []Record) {
 }
 
 // runTaskIsolated runs one task, converting panics into per-task error
-// records so a poisoned cell cannot take down the campaign.
-func runTaskIsolated(c *Campaign, t Task, cache *sync.Map) Record {
-	return isolated(t, func() Record { return runTask(c, t, cache) })
+// records so a poisoned cell cannot take down the campaign. The second
+// return reports that the task was aborted by context cancellation and
+// therefore has no record.
+func runTaskIsolated(ctx context.Context, c *Campaign, t Task, cache *sync.Map) (Record, bool) {
+	rec := isolated(t, func() Record { return runTask(ctx, c, t, cache) })
+	return rec, rec.aborted
 }
 
 func isolated(t Task, fn func() Record) (rec Record) {
@@ -231,7 +259,13 @@ func errorRecord(t Task, err error) Record {
 	}
 }
 
-func runTask(c *Campaign, t Task, cache *sync.Map) Record {
+func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map) Record {
+	// Bail before the instance build and Frank–Wolfe solve — the expensive
+	// pre-engine work — so tasks dequeued around the cancellation instant
+	// abort immediately instead of delaying the partial flush.
+	if ctx.Err() != nil {
+		return Record{aborted: true}
+	}
 	start := time.Now()
 
 	entry := instanceFor(t, cache)
@@ -266,55 +300,32 @@ func runTask(c *Campaign, t Task, cache *sync.Map) Record {
 		return errorRecord(t, err)
 	}
 
-	var res *dynamics.Result
-	unsatAgent := 0
+	// Both populations dispatch through the unified engine API: the fluid
+	// limit (exact uniformization) for Agents == 0, the finite-N stochastic
+	// engine otherwise. The (δ,ε) round accounting and the satisfied-streak
+	// stop are native to both engines, so agent cells report the same
+	// quantities as fluid cells without any hook emulation here.
+	var eng engine.Engine = engine.Fluid{Integrator: dynamics.Uniformization}
 	if t.Agents > 0 {
-		// The agent simulator has no built-in (δ,ε) accounting; mirror the
-		// fluid dynamics' round counting and satisfied-streak stop through
-		// its phase hook so agent cells report the same quantities.
-		streak := 0
-		hook := func(info dynamics.PhaseInfo) bool {
-			if t.Delta <= 0 {
-				return false
-			}
-			var atEq bool
-			if c.Weak {
-				atEq = inst.AtWeakApproxEquilibrium(info.Flow, info.PathLatencies, t.Delta, c.Eps)
-			} else {
-				atEq = inst.AtApproxEquilibrium(info.Flow, info.PathLatencies, t.Delta, c.Eps)
-			}
-			if atEq {
-				streak++
-			} else {
-				unsatAgent++
-				streak = 0
-			}
-			return c.Streak > 0 && streak >= c.Streak
+		eng = engine.Agents{N: t.Agents, Seed: t.Seed, Workers: 1}
+	}
+	res, err := engine.Run(ctx, engine.Scenario{
+		Engine:                   eng,
+		Instance:                 inst,
+		Policy:                   pol,
+		UpdatePeriod:             T,
+		InitialFlow:              f0,
+		Horizon:                  horizon,
+		Delta:                    t.Delta,
+		Eps:                      c.Eps,
+		Weak:                     c.Weak,
+		StopAfterSatisfiedStreak: c.Streak,
+	})
+	if err != nil {
+		if engine.IsCancellation(err) {
+			return Record{aborted: true}
 		}
-		sim, err := agents.New(inst, agents.Config{
-			N: t.Agents, Policy: pol, UpdatePeriod: T, Horizon: horizon,
-			Seed: t.Seed, Workers: 1, InitialFlow: f0, Hook: hook,
-		})
-		if err != nil {
-			return errorRecord(t, err)
-		}
-		res, err = sim.Run()
-		if err != nil {
-			return errorRecord(t, err)
-		}
-		res.UnsatisfiedPhases = unsatAgent
-	} else {
-		res, err = dynamics.Run(inst, dynamics.Config{
-			Policy: pol, UpdatePeriod: T, Horizon: horizon,
-			Integrator:               dynamics.Uniformization,
-			Delta:                    t.Delta,
-			Eps:                      c.Eps,
-			Weak:                     c.Weak,
-			StopAfterSatisfiedStreak: c.Streak,
-		}, f0)
-		if err != nil {
-			return errorRecord(t, err)
-		}
+		return errorRecord(t, err)
 	}
 
 	rec := Record{

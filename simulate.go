@@ -1,6 +1,8 @@
 package wardrop
 
 import (
+	"context"
+
 	"wardrop/internal/agents"
 	"wardrop/internal/dynamics"
 	"wardrop/internal/solver"
@@ -52,19 +54,27 @@ func NewAccountant(inst *Instance) *Accountant { return dynamics.NewAccountant(i
 
 // Simulate integrates the stale-information dynamics (Eq. 3) under the
 // bulletin-board model.
+//
+// Deprecated: use Run with a Scenario (the default FluidEngine); Run adds
+// context cancellation, engine selection and composable observers. Simulate
+// remains as a thin adapter and produces byte-identical results.
 func Simulate(inst *Instance, cfg SimConfig, f0 Flow) (*SimResult, error) {
-	return dynamics.Run(inst, cfg, f0)
+	return dynamics.Run(context.Background(), inst, cfg, f0)
 }
 
 // SimulateFresh integrates the up-to-date-information dynamics (Eq. 1).
+//
+// Deprecated: use Run with Scenario{Engine: FluidEngine{Fresh: true}, ...}.
 func SimulateFresh(inst *Instance, cfg SimConfig, f0 Flow) (*SimResult, error) {
-	return dynamics.RunFresh(inst, cfg, f0)
+	return dynamics.RunFresh(context.Background(), inst, cfg, f0)
 }
 
 // SimulateBestResponse integrates the best-response differential inclusion
 // under stale information (Eq. 4) with exact per-phase relaxation.
+//
+// Deprecated: use Run with Scenario{Engine: BestResponseEngine{}, ...}.
 func SimulateBestResponse(inst *Instance, cfg BestResponseConfig, f0 Flow) (*SimResult, error) {
-	return dynamics.RunBestResponse(inst, cfg, f0)
+	return dynamics.RunBestResponse(context.Background(), inst, cfg, f0)
 }
 
 // TwoLinkOscillation returns the §3.2 closed forms: the periodic start
@@ -84,6 +94,10 @@ type AgentSim = agents.Sim
 
 // NewAgentSim validates the configuration and distributes N agents over
 // worker shards.
+//
+// Deprecated: use Run with Scenario{Engine: AgentsEngine{N: ..., Seed: ...},
+// ...}; keep NewAgentSim only when the Sim value itself is needed (e.g. for
+// EmpiricalFlow between runs).
 func NewAgentSim(inst *Instance, cfg AgentConfig) (*AgentSim, error) {
 	return agents.New(inst, cfg)
 }

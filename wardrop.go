@@ -15,9 +15,12 @@
 //   - pick a Policy — Replicator (proportional sampling + linear migration,
 //     Theorem 7), UniformLinear (Theorem 6), or any Sampler/Migrator combo —
 //     and a bulletin-board period, e.g. the provably safe SafeUpdatePeriod;
-//   - run the fluid dynamics with Simulate / SimulateFresh /
-//     SimulateBestResponse, or the finite-N stochastic counterpart with
-//     NewAgentSim;
+//   - declare a Scenario (instance + policy + information model + initial
+//     flow + run shape), pick an Engine — FluidEngine (stale Eq. 3, or fresh
+//     Eq. 1), BestResponseEngine (Eq. 4) or AgentsEngine (finite N) — and
+//     execute it with Run(ctx, scenario, opts...), attaching Observers
+//     (TrajectoryRecorder, EquilibriumStopper, ProgressReporter, or your
+//     own) to watch or stop the run;
 //   - compute reference equilibria with SolveEquilibrium and compare using
 //     the potential and the (δ,ε)-equilibrium metrics on Instance.
 //
@@ -25,11 +28,19 @@
 //
 //	inst, _ := wardrop.Pigou()
 //	pol, _ := wardrop.Replicator(inst.LMax())
-//	T := wardrop.SafeUpdatePeriodFor(pol, inst)
-//	res, _ := wardrop.Simulate(inst, wardrop.SimConfig{
-//		Policy: pol, UpdatePeriod: T, Horizon: 100,
-//	}, inst.UniformFlow())
+//	T, _ := wardrop.SafeUpdatePeriodFor(pol, inst)
+//	res, _ := wardrop.Run(ctx, wardrop.Scenario{
+//		Instance: inst, Policy: pol, UpdatePeriod: T, Horizon: 100,
+//	})
 //	fmt.Println(res.Final, res.FinalPotential)
+//
+// Swapping the dynamics is one field, not a different function:
+//
+//	wardrop.Scenario{Engine: wardrop.AgentsEngine{N: 10000, Seed: 7}, ...}
+//
+// The pre-redesign entry points Simulate, SimulateFresh,
+// SimulateBestResponse and NewAgentSim remain as deprecated thin adapters
+// with byte-identical results.
 package wardrop
 
 import (
