@@ -25,14 +25,14 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("wardeq", flag.ContinueOnError)
-	topoName := fs.String("topo", "braess", "topology: pigou|braess|kink|links|grid|layered")
+	topoName := fs.String("topo", "braess", "topology: any registered family (see wardsim -list)")
 	beta := fs.Float64("beta", 4, "kink slope (topo=kink)")
 	m := fs.Int("m", 8, "link count / grid side")
 	seed := fs.Uint64("seed", 1, "seed (topo=layered)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	inst, err := buildTopo(*topoName, *beta, *m, *seed)
+	inst, err := wardrop.CampaignTopology{Family: *topoName, Size: *m, Beta: *beta}.Build(*seed)
 	if err != nil {
 		return err
 	}
@@ -54,23 +54,4 @@ func run(args []string) error {
 	fmt.Printf("optimal cost      : %.9g\n", optCost)
 	fmt.Printf("price of anarchy  : %.6g\n", poa)
 	return nil
-}
-
-func buildTopo(name string, beta float64, m int, seed uint64) (*wardrop.Instance, error) {
-	switch name {
-	case "pigou":
-		return wardrop.Pigou()
-	case "braess":
-		return wardrop.Braess()
-	case "kink":
-		return wardrop.TwoLinkKink(beta)
-	case "links":
-		return wardrop.LinearParallelLinks(m)
-	case "grid":
-		return wardrop.GridNetwork(m)
-	case "layered":
-		return wardrop.LayeredRandom(3, m, seed)
-	default:
-		return nil, fmt.Errorf("unknown topology %q", name)
-	}
 }

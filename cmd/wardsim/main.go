@@ -1,7 +1,9 @@
-// Command wardsim runs one rerouting-dynamics simulation on a named topology
-// and emits the trajectory (time, potential, flows) as CSV on stdout. It
-// dispatches through the unified wardrop.Run API: the -policy and -agents
-// flags select the engine (fluid limit, best response, or finite-N agents).
+// Command wardsim runs one rerouting-dynamics simulation and emits the
+// trajectory (time, potential, flows) as CSV on stdout. It dispatches
+// through the unified wardrop.Run API and the component catalog: the -topo,
+// -policy and -agents flags select registered components (fluid limit, best
+// response, or finite-N agents), and -scenario runs a declarative scenario
+// file instead of flags.
 //
 // SIGINT cancels the run context; the partial trajectory simulated so far is
 // flushed before exiting.
@@ -11,12 +13,15 @@
 //	wardsim -topo braess -policy replicator -T 0.1 -horizon 50
 //	wardsim -topo kink -beta 8 -policy bestresponse -T 0.5 -horizon 20
 //	wardsim -topo links -m 16 -policy uniform -T safe -horizon 100 -agents 1000
+//	wardsim -scenario run.json
+//	wardsim -list
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/signal"
@@ -31,27 +36,35 @@ func main() {
 	// Drop the handler after the first SIGINT so a second Ctrl+C terminates
 	// the process even if the partial-trajectory flush blocks.
 	context.AfterFunc(ctx, stop)
-	if err := run(ctx, os.Args[1:]); err != nil {
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wardsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, args []string) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wardsim", flag.ContinueOnError)
-	topoName := fs.String("topo", "braess", "topology: pigou|braess|kink|links|grid|layered")
+	topoName := fs.String("topo", "braess", "topology: any registered family (see -list)")
 	instFile := fs.String("instance", "", "JSON instance file (overrides -topo)")
+	scenFile := fs.String("scenario", "", "JSON scenario file (overrides every other selection flag)")
 	beta := fs.Float64("beta", 4, "kink slope (topo=kink)")
-	m := fs.Int("m", 8, "link count (topo=links) / grid side (topo=grid)")
-	seed := fs.Uint64("seed", 1, "seed (topo=layered, agent sim)")
-	policyName := fs.String("policy", "replicator", "policy: replicator|uniform|boltzmann|bestresponse")
+	m := fs.Int("m", 8, "link count (topo=links) / grid side (topo=grid) / layer width (topo=layered)")
+	seed := fs.Uint64("seed", 1, "seed (seeded topologies, agent sim)")
+	policyName := fs.String("policy", "replicator", "policy: any registered sampler (see -list), or bestresponse")
 	c := fs.Float64("c", 4, "Boltzmann concentration (policy=boltzmann)")
 	period := fs.String("T", "safe", "bulletin-board period: a number, or 'safe'")
 	horizon := fs.Float64("horizon", 50, "simulated time")
 	every := fs.Int("every", 1, "record every k phases")
 	agentsN := fs.Int("agents", 0, "if > 0, run the finite-N stochastic simulator instead of the fluid limit")
+	list := fs.Bool("list", false, "print the registered component catalog and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		return wardrop.WriteCatalog(stdout)
+	}
+	if *scenFile != "" {
+		return runScenario(ctx, *scenFile, stdout)
 	}
 	// Reject bad run-shape flags up front instead of passing them to the
 	// simulators (where e.g. -every 0 silently disables recording and
@@ -76,7 +89,9 @@ func run(ctx context.Context, args []string) error {
 		inst, err = wardrop.ParseInstance(f)
 		f.Close()
 	} else {
-		inst, err = buildTopo(*topoName, *beta, *m, *seed)
+		// The flags map onto the catalog's topology parameters; any
+		// registered family is selectable by name.
+		inst, err = wardrop.CampaignTopology{Family: *topoName, Size: *m, Beta: *beta}.Build(*seed)
 	}
 	if err != nil {
 		return err
@@ -102,10 +117,11 @@ func run(ctx context.Context, args []string) error {
 			f1, _, _ := wardrop.TwoLinkOscillation(*beta, T, 0)
 			scenario.InitialFlow = wardrop.Flow{f1, 1 - f1}
 		}
-		return emit(wardrop.Run(ctx, scenario))
+		res, err := wardrop.Run(ctx, scenario)
+		return emit(stdout, res, err)
 	}
 
-	pol, err := buildPolicy(*policyName, *c, inst)
+	pol, err := wardrop.CampaignPolicy{Kind: *policyName, C: *c}.Build(inst)
 	if err != nil {
 		return err
 	}
@@ -125,43 +141,28 @@ func run(ctx context.Context, args []string) error {
 	} else {
 		scenario.Engine = wardrop.FluidEngine{Integrator: wardrop.Uniformization}
 	}
-	return emit(wardrop.Run(ctx, scenario))
+	res, err := wardrop.Run(ctx, scenario)
+	return emit(stdout, res, err)
 }
 
-func buildTopo(name string, beta float64, m int, seed uint64) (*wardrop.Instance, error) {
-	switch name {
-	case "pigou":
-		return wardrop.Pigou()
-	case "braess":
-		return wardrop.Braess()
-	case "kink":
-		return wardrop.TwoLinkKink(beta)
-	case "links":
-		return wardrop.LinearParallelLinks(m)
-	case "grid":
-		return wardrop.GridNetwork(m)
-	case "layered":
-		return wardrop.LayeredRandom(3, m, seed)
-	default:
-		return nil, fmt.Errorf("unknown topology %q", name)
+// runScenario executes a declarative scenario file through the same emit
+// path as the flag-driven runs.
+func runScenario(ctx context.Context, path string, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
 	}
-}
-
-func buildPolicy(name string, c float64, inst *wardrop.Instance) (wardrop.Policy, error) {
-	switch name {
-	case "replicator":
-		return wardrop.Replicator(inst.LMax())
-	case "uniform":
-		return wardrop.UniformLinear(inst.LMax())
-	case "boltzmann":
-		lin, err := wardrop.NewLinearMigrator(inst.LMax())
-		if err != nil {
-			return wardrop.Policy{}, err
-		}
-		return wardrop.Policy{Sampler: wardrop.BoltzmannSampler{C: c}, Migrator: lin}, nil
-	default:
-		return wardrop.Policy{}, fmt.Errorf("unknown policy %q", name)
+	sc, err := wardrop.ParseScenario(f)
+	f.Close()
+	if err != nil {
+		return err
 	}
+	scenario, err := sc.Scenario()
+	if err != nil {
+		return err
+	}
+	res, err := wardrop.Run(ctx, scenario)
+	return emit(stdout, res, err)
 }
 
 func parsePeriod(s string, safe float64) (float64, error) {
@@ -178,22 +179,22 @@ func parsePeriod(s string, safe float64) (float64, error) {
 // emit prints the recorded trajectory as CSV. On context cancellation the
 // partial trajectory is flushed with an interruption marker instead of the
 // run dying mid-write.
-func emit(res *wardrop.Result, err error) error {
+func emit(w io.Writer, res *wardrop.Result, err error) error {
 	interrupted := err != nil && res != nil && wardrop.IsInterrupt(err)
 	if err != nil && !interrupted {
 		return err
 	}
-	fmt.Println("time,potential,flows...")
+	fmt.Fprintln(w, "time,potential,flows...")
 	for _, s := range res.Trajectory {
-		fmt.Printf("%g,%g", s.Time, s.Potential)
+		fmt.Fprintf(w, "%g,%g", s.Time, s.Potential)
 		for _, f := range s.Flow {
-			fmt.Printf(",%g", f)
+			fmt.Fprintf(w, ",%g", f)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Printf("# phases=%d elapsed=%g finalPotential=%g\n", res.Phases, res.Elapsed, res.FinalPotential)
+	fmt.Fprintf(w, "# phases=%d elapsed=%g finalPotential=%g\n", res.Phases, res.Elapsed, res.FinalPotential)
 	if interrupted {
-		fmt.Println("# interrupted: partial trajectory flushed")
+		fmt.Fprintln(w, "# interrupted: partial trajectory flushed")
 		return err
 	}
 	return nil

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,10 +18,11 @@ func TestRunErrors(t *testing.T) {
 		{"-T", "-3"},
 		{"-T", "soon"},
 		{"-instance", "/nonexistent/file.json"},
+		{"-scenario", "/nonexistent/file.json"},
 		{"-nonsense-flag"},
 	}
 	for _, args := range cases {
-		if err := run(context.Background(), args); err == nil {
+		if err := run(context.Background(), args, io.Discard); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -39,7 +42,7 @@ func TestRunShapeFlagValidation(t *testing.T) {
 		{[]string{"-agents", "-1"}, "-agents"},
 	}
 	for _, c := range cases {
-		err := run(context.Background(), c.args)
+		err := run(context.Background(), c.args, io.Discard)
 		if err == nil {
 			t.Errorf("args %v accepted", c.args)
 			continue
@@ -51,25 +54,25 @@ func TestRunShapeFlagValidation(t *testing.T) {
 }
 
 func TestRunFluidSmoke(t *testing.T) {
-	if err := run(context.Background(), []string{"-topo", "pigou", "-policy", "replicator", "-horizon", "2", "-every", "4"}); err != nil {
+	if err := run(context.Background(), []string{"-topo", "pigou", "-policy", "replicator", "-horizon", "2", "-every", "4"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBestResponseSmoke(t *testing.T) {
-	if err := run(context.Background(), []string{"-topo", "kink", "-beta", "4", "-policy", "bestresponse", "-T", "0.5", "-horizon", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-topo", "kink", "-beta", "4", "-policy", "bestresponse", "-T", "0.5", "-horizon", "2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAgentsSmoke(t *testing.T) {
-	if err := run(context.Background(), []string{"-topo", "braess", "-policy", "uniform", "-horizon", "2", "-agents", "50"}); err != nil {
+	if err := run(context.Background(), []string{"-topo", "braess", "-policy", "uniform", "-horizon", "2", "-agents", "50"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBoltzmannSmoke(t *testing.T) {
-	if err := run(context.Background(), []string{"-topo", "links", "-m", "4", "-policy", "boltzmann", "-c", "2", "-horizon", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-topo", "links", "-m", "4", "-policy", "boltzmann", "-c", "2", "-horizon", "2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -87,7 +90,7 @@ func TestRunInstanceFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), []string{"-instance", path, "-horizon", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-instance", path, "-horizon", "2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	// Malformed file surfaces a spec error.
@@ -95,8 +98,109 @@ func TestRunInstanceFile(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), []string{"-instance", bad}); err == nil || !strings.Contains(err.Error(), "spec") {
+	if err := run(context.Background(), []string{"-instance", bad}, io.Discard); err == nil || !strings.Contains(err.Error(), "spec") {
 		t.Errorf("bad instance error = %v", err)
+	}
+}
+
+// A scenario file selecting the same components as a flag-driven run must
+// reproduce its output byte for byte — the declarative format is a second
+// front door to the same dispatch, not a second implementation.
+func TestScenarioReproducesFlagRun(t *testing.T) {
+	var flags bytes.Buffer
+	args := []string{"-topo", "braess", "-policy", "replicator", "-T", "safe", "-horizon", "5", "-every", "2"}
+	if err := run(context.Background(), args, &flags); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := `{
+	  "topology": {"family": "braess"},
+	  "policy": {"kind": "replicator"},
+	  "updatePeriod": "safe",
+	  "engine": {"kind": "fluid", "integrator": "uniformization"},
+	  "horizon": 5,
+	  "recordEvery": 2
+	}`
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var scen bytes.Buffer
+	if err := run(context.Background(), []string{"-scenario", path}, &scen); err != nil {
+		t.Fatal(err)
+	}
+	if flags.String() != scen.String() {
+		t.Errorf("scenario output differs from flag-driven run:\nflags:\n%s\nscenario:\n%s", flags.String(), scen.String())
+	}
+}
+
+func TestScenarioAgentsSmoke(t *testing.T) {
+	doc := `{
+	  "topology": {"family": "links", "size": 4},
+	  "policy": {"kind": "uniform"},
+	  "updatePeriod": 0.25,
+	  "engine": {"kind": "agents", "n": 50, "seed": 7},
+	  "horizon": 2,
+	  "recordEvery": 1
+	}`
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-scenario", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "time,potential") {
+		t.Errorf("no trajectory emitted:\n%s", out.String())
+	}
+}
+
+func TestScenarioRejectsBadDocs(t *testing.T) {
+	cases := map[string]string{
+		"no selection":   `{"policy": {"kind": "uniform"}, "horizon": 5}`,
+		"both selectors": `{"topology": {"family": "pigou"}, "instance": {"nodes": []}, "policy": {"kind": "uniform"}, "horizon": 5}`,
+		"no policy":      `{"topology": {"family": "pigou"}, "horizon": 5}`,
+		"no budget":      `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}}`,
+		"unknown field":  `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 5, "bogus": 1}`,
+		"bad family":     `{"topology": {"family": "moebius"}, "policy": {"kind": "uniform"}, "horizon": 5}`,
+	}
+	for name, doc := range cases {
+		path := filepath.Join(t.TempDir(), "scenario.json")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(context.Background(), []string{"-scenario", path}, io.Discard); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// -list prints the registered catalog: every builtin component family must
+// appear under its kind heading.
+func TestListPrintsBuiltinCatalog(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, kind := range []string{"latency:", "topology:", "policy:", "migrator:", "engine:", "integrator:", "start:"} {
+		if !strings.Contains(s, kind) {
+			t.Errorf("-list output missing kind %q", kind)
+		}
+	}
+	for _, name := range []string{
+		"constant", "linear", "polynomial", "monomial", "bpr", "mm1", "pwl", "kink",
+		"pigou", "braess", "links", "grid", "layered", "custom",
+		"uniform", "replicator", "proportional", "boltzmann",
+		"alphalinear", "betterresponse",
+		"fluid", "fresh", "bestresponse", "agents",
+		"euler", "rk4", "uniformization",
+		"worst", "skewed",
+	} {
+		if !strings.Contains(s, "  "+name+"(") {
+			t.Errorf("-list output missing builtin %q", name)
+		}
 	}
 }
 
@@ -105,7 +209,7 @@ func TestRunInstanceFile(t *testing.T) {
 func TestRunCancelledContextFlushesPartial(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(ctx, []string{"-topo", "pigou", "-policy", "replicator", "-horizon", "50"})
+	err := run(ctx, []string{"-topo", "pigou", "-policy", "replicator", "-horizon", "50"}, io.Discard)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -124,7 +228,7 @@ func TestParsePeriod(t *testing.T) {
 }
 
 func TestBestResponseRejectsAgents(t *testing.T) {
-	err := run(context.Background(), []string{"-topo", "kink", "-policy", "bestresponse", "-agents", "100", "-horizon", "2"})
+	err := run(context.Background(), []string{"-topo", "kink", "-policy", "bestresponse", "-agents", "100", "-horizon", "2"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "-agents") {
 		t.Fatalf("bestresponse+agents accepted: %v", err)
 	}

@@ -47,8 +47,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	outDir := fs.String("out", "", "output directory for <name>.jsonl and <name>.csv (default: no files)")
 	verbose := fs.Bool("v", false, "report per-task progress on stderr")
 	dryRun := fs.Bool("dry-run", false, "expand and list tasks without running them")
+	list := fs.Bool("list", false, "print the registered component catalog and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		return wardrop.WriteCatalog(stdout)
 	}
 	if *specPath == "" {
 		return fmt.Errorf("missing required -spec")

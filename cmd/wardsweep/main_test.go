@@ -171,3 +171,22 @@ func TestSweepWorkerInvariance(t *testing.T) {
 		t.Errorf("summary differs between 1 and 8 workers:\n%s\nvs\n%s", outs[0], outs[1])
 	}
 }
+
+// -list prints the registered component catalog without needing a -spec.
+func TestListPrintsBuiltinCatalog(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, kind := range []string{"latency:", "topology:", "policy:", "migrator:", "engine:", "start:"} {
+		if !strings.Contains(s, kind) {
+			t.Errorf("-list output missing kind %q", kind)
+		}
+	}
+	for _, name := range []string{"kink", "layered", "custom", "boltzmann", "alphalinear", "agents", "skewed"} {
+		if !strings.Contains(s, "  "+name+"(") {
+			t.Errorf("-list output missing builtin %q", name)
+		}
+	}
+}

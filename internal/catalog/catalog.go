@@ -1,0 +1,244 @@
+// Package catalog is the library's component model: a generic named-
+// constructor registry into which every pluggable component family — latency
+// kinds, topology families, rerouting policies, engines, integrators, start
+// distributions — self-registers under a stable name together with parameter
+// documentation. The spec layers (instance files, campaign files, scenario
+// files) and the CLIs dispatch through these registries instead of private
+// switches, so adding a component — builtin or user-registered — never means
+// editing a core package.
+//
+// An Entry's Build receives the raw JSON of the selecting document (the
+// latency object, the topology object, …) and decodes whatever parameters it
+// needs: builtin entries read the document's well-known flat fields
+// (DecodeArgs), user-registered entries read the document's nested "params"
+// object (DecodeParams), which the spec structs pass through verbatim so
+// custom components can carry arbitrary parameters without schema changes.
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	// ErrUnknown indicates a name with no registered entry.
+	ErrUnknown = errors.New("catalog: unknown component")
+	// ErrRegister indicates an invalid or conflicting registration.
+	ErrRegister = errors.New("catalog: invalid registration")
+)
+
+// Param documents one parameter of a registered component, for listings
+// (wardsim -list) and error messages.
+type Param struct {
+	// Name is the JSON field the component reads.
+	Name string
+	// Type is a human-readable type label ("float", "int", "[]float", …).
+	Type string
+	// Doc is a one-line description.
+	Doc string
+}
+
+// Entry is one registered component: a stable name, documentation, and a
+// constructor decoding its parameters from the selecting JSON document.
+type Entry[T any] struct {
+	// Name is the registry key ("linear", "grid", "boltzmann", …).
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Params documents the parameters Build reads, in display order.
+	Params []Param
+	// Build decodes parameters from the selecting document and constructs
+	// the component. args is the raw JSON object that named this entry (nil
+	// when the caller has no document, e.g. name-only CLI flags).
+	Build func(args json.RawMessage) (T, error)
+}
+
+// Description is the non-generic view of a registered entry, the shape
+// listings and the root Catalog() export share across component kinds.
+type Description struct {
+	// Kind is the owning registry's component kind ("latency", "topology", …).
+	Kind string
+	// Name, Doc and Params mirror the entry.
+	Name   string
+	Doc    string
+	Params []Param
+}
+
+// Registry is a named-constructor registry for one component kind. The zero
+// value is not usable; create with NewRegistry. Registries are safe for
+// concurrent use: builtins register at package initialisation, users at any
+// time before (or between) runs.
+type Registry[T any] struct {
+	kind    string
+	mu      sync.RWMutex
+	entries map[string]Entry[T]
+	aliases map[string]string
+}
+
+// NewRegistry returns an empty registry for the given component kind (the
+// label used in listings and error messages, e.g. "latency").
+func NewRegistry[T any](kind string) *Registry[T] {
+	return &Registry[T]{
+		kind:    kind,
+		entries: make(map[string]Entry[T]),
+		aliases: make(map[string]string),
+	}
+}
+
+// Kind returns the registry's component kind label.
+func (r *Registry[T]) Kind() string { return r.kind }
+
+// Register adds an entry. Empty names, nil constructors and duplicate names
+// (including collisions with aliases) are rejected.
+func (r *Registry[T]) Register(e Entry[T]) error {
+	if e.Name == "" {
+		return fmt.Errorf("%w: empty %s name", ErrRegister, r.kind)
+	}
+	if e.Build == nil {
+		return fmt.Errorf("%w: %s %q has no constructor", ErrRegister, r.kind, e.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.Name]; dup {
+		return fmt.Errorf("%w: %s %q already registered", ErrRegister, r.kind, e.Name)
+	}
+	if _, dup := r.aliases[e.Name]; dup {
+		return fmt.Errorf("%w: %s %q already registered as an alias", ErrRegister, r.kind, e.Name)
+	}
+	r.entries[e.Name] = e
+	return nil
+}
+
+// MustRegister is Register panicking on error — for package-initialisation
+// registration of builtins, where a failure is a programming error.
+func (r *Registry[T]) MustRegister(e Entry[T]) {
+	if err := r.Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Alias makes alias resolve to the canonical entry. Aliases are excluded
+// from Names and Describe so listings stay canonical.
+func (r *Registry[T]) Alias(alias, canonical string) error {
+	if alias == "" {
+		return fmt.Errorf("%w: empty %s alias", ErrRegister, r.kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[canonical]; !ok {
+		return fmt.Errorf("%w: %s alias %q targets unregistered %q", ErrRegister, r.kind, alias, canonical)
+	}
+	if _, dup := r.entries[alias]; dup {
+		return fmt.Errorf("%w: %s %q already registered", ErrRegister, r.kind, alias)
+	}
+	if _, dup := r.aliases[alias]; dup {
+		return fmt.Errorf("%w: %s alias %q already registered", ErrRegister, r.kind, alias)
+	}
+	r.aliases[alias] = canonical
+	return nil
+}
+
+// Lookup resolves a name (or alias) to its entry.
+func (r *Registry[T]) Lookup(name string) (Entry[T], bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if canonical, ok := r.aliases[name]; ok {
+		name = canonical
+	}
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Build resolves the name and runs its constructor on args. Unknown names
+// report the registered set, so spec typos surface the fix.
+func (r *Registry[T]) Build(name string, args json.RawMessage) (T, error) {
+	e, ok := r.Lookup(name)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("%w: %s %q (registered: %s)",
+			ErrUnknown, r.kind, name, strings.Join(r.Names(), ", "))
+	}
+	return e.Build(args)
+}
+
+// Names returns the registered canonical names in sorted (deterministic)
+// order, excluding aliases.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the registered entries as kind-tagged descriptions in
+// sorted name order — the deterministic listing the CLIs render.
+func (r *Registry[T]) Describe() []Description {
+	names := r.Names()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Description, 0, len(names))
+	for _, n := range names {
+		e := r.entries[n]
+		out = append(out, Description{Kind: r.kind, Name: e.Name, Doc: e.Doc, Params: e.Params})
+	}
+	return out
+}
+
+// DecodeArgs decodes a selecting document's parameters into v: the flat
+// well-known fields first, then the nested "params" object on top (fields
+// present there override their flat counterparts). Builtin entries use it so
+// both spellings work — canonical flat fields, or the nested object users
+// know from custom components — and parameters never silently vanish into
+// an ignored channel. Fields belonging to other components of the same
+// document are tolerated (the spec layer's strict decoding has already
+// rejected genuinely unknown fields). Nil or empty args leave v at its zero
+// value.
+func DecodeArgs(args json.RawMessage, v any) error {
+	if len(args) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(args, v); err != nil {
+		return err
+	}
+	return DecodeParams(args, v)
+}
+
+// WrapSentinel tags err with a package's sentinel error unless it already
+// wraps it — the one definition of the "classify but don't double-wrap"
+// idiom every catalog-dispatching package (spec, sweep, engine, scenario)
+// applies to errors crossing its boundary.
+func WrapSentinel(sentinel, err error) error {
+	if err == nil || errors.Is(err, sentinel) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", sentinel, err)
+}
+
+// DecodeParams decodes a selecting document's nested "params" object into v
+// — the parameter channel for user-registered components, whose fields the
+// typed spec structs cannot carry flat. A missing or empty params object
+// leaves v untouched.
+func DecodeParams(args json.RawMessage, v any) error {
+	if len(args) == 0 {
+		return nil
+	}
+	var doc struct {
+		Params json.RawMessage `json:"params"`
+	}
+	if err := json.Unmarshal(args, &doc); err != nil {
+		return err
+	}
+	if len(doc.Params) == 0 {
+		return nil
+	}
+	return json.Unmarshal(doc.Params, v)
+}

@@ -1,0 +1,135 @@
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func newTestRegistry(t *testing.T) *Registry[int] {
+	t.Helper()
+	r := NewRegistry[int]("widget")
+	for name, v := range map[string]int{"beta": 2, "alpha": 1, "gamma": 3} {
+		v := v
+		r.MustRegister(Entry[int]{
+			Name:  name,
+			Doc:   "the " + name + " widget",
+			Build: func(json.RawMessage) (int, error) { return v, nil },
+		})
+	}
+	return r
+}
+
+func TestRegistryBuildAndLookup(t *testing.T) {
+	r := newTestRegistry(t)
+	v, err := r.Build("beta", nil)
+	if err != nil || v != 2 {
+		t.Errorf("Build(beta) = %d, %v", v, err)
+	}
+	if _, ok := r.Lookup("alpha"); !ok {
+		t.Error("Lookup(alpha) missed")
+	}
+	if _, ok := r.Lookup("delta"); ok {
+		t.Error("Lookup(delta) hit")
+	}
+}
+
+func TestRegistryUnknownNamesRegisteredSet(t *testing.T) {
+	r := newTestRegistry(t)
+	_, err := r.Build("delta", nil)
+	if !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v, want ErrUnknown", err)
+	}
+	// The error teaches the fix: kind, offending name, and the full set.
+	for _, want := range []string{"widget", `"delta"`, "alpha, beta, gamma"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	r := newTestRegistry(t)
+	cases := map[string]Entry[int]{
+		"empty name": {Build: func(json.RawMessage) (int, error) { return 0, nil }},
+		"nil build":  {Name: "delta"},
+		"duplicate":  {Name: "alpha", Build: func(json.RawMessage) (int, error) { return 0, nil }},
+	}
+	for name, e := range cases {
+		if err := r.Register(e); !errors.Is(err, ErrRegister) {
+			t.Errorf("%s: err = %v, want ErrRegister", name, err)
+		}
+	}
+}
+
+func TestRegistryAlias(t *testing.T) {
+	r := newTestRegistry(t)
+	if err := r.Alias("a", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := r.Build("a", nil); err != nil || v != 1 {
+		t.Errorf("Build(alias) = %d, %v", v, err)
+	}
+	// Aliases stay out of the deterministic listing.
+	if names := r.Names(); !reflect.DeepEqual(names, []string{"alpha", "beta", "gamma"}) {
+		t.Errorf("Names() = %v", names)
+	}
+	// Alias targets must exist; alias names must be free.
+	if err := r.Alias("x", "nope"); !errors.Is(err, ErrRegister) {
+		t.Errorf("dangling alias err = %v", err)
+	}
+	if err := r.Alias("beta", "alpha"); !errors.Is(err, ErrRegister) {
+		t.Errorf("shadowing alias err = %v", err)
+	}
+	if err := r.Register(Entry[int]{Name: "a", Build: func(json.RawMessage) (int, error) { return 0, nil }}); !errors.Is(err, ErrRegister) {
+		t.Errorf("registering over alias err = %v", err)
+	}
+}
+
+func TestRegistryDescribeDeterministic(t *testing.T) {
+	r := newTestRegistry(t)
+	a, b := r.Describe(), r.Describe()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Describe not deterministic")
+	}
+	if len(a) != 3 || a[0].Name != "alpha" || a[0].Kind != "widget" || a[2].Name != "gamma" {
+		t.Errorf("Describe() = %+v", a)
+	}
+}
+
+func TestDecodeArgs(t *testing.T) {
+	var v struct {
+		A int `json:"a"`
+		B int `json:"b"`
+	}
+	if err := DecodeArgs(nil, &v); err != nil || v.A != 0 {
+		t.Errorf("nil args: %+v, %v", v, err)
+	}
+	if err := DecodeArgs(json.RawMessage(`{"a": 3, "other": true}`), &v); err != nil || v.A != 3 {
+		t.Errorf("flat args: %+v, %v", v, err)
+	}
+	if err := DecodeArgs(json.RawMessage(`{"a": "x"}`), &v); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	// A nested params object overrides its flat counterparts, so parameters
+	// placed there by mistake (or by habit, from custom components) still
+	// reach builtin builders instead of silently reading as zero.
+	v.A, v.B = 0, 0
+	if err := DecodeArgs(json.RawMessage(`{"a": 1, "b": 5, "params": {"a": 9}}`), &v); err != nil || v.A != 9 || v.B != 5 {
+		t.Errorf("params override: %+v, %v", v, err)
+	}
+}
+
+func TestDecodeParams(t *testing.T) {
+	var v struct {
+		A int `json:"a"`
+	}
+	if err := DecodeParams(json.RawMessage(`{"kind": "w"}`), &v); err != nil || v.A != 0 {
+		t.Errorf("absent params: %+v, %v", v, err)
+	}
+	if err := DecodeParams(json.RawMessage(`{"kind": "w", "params": {"a": 7}}`), &v); err != nil || v.A != 7 {
+		t.Errorf("nested params: %+v, %v", v, err)
+	}
+}

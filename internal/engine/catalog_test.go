@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"wardrop/internal/topo"
+)
+
+func TestEngineCatalogAlias(t *testing.T) {
+	eng, err := (Spec{Kind: "best-response"}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eng.(BestResponse); !ok {
+		t.Errorf("best-response built %T", eng)
+	}
+	// Aliases stay out of the deterministic listing.
+	if names := Catalog.Names(); !reflect.DeepEqual(names, []string{"agents", "bestresponse", "fluid", "fresh"}) {
+		t.Errorf("engine names = %v", names)
+	}
+}
+
+func TestUnknownEngineAndIntegrator(t *testing.T) {
+	if _, err := (Spec{Kind: "warpdrive"}).Build(); !errors.Is(err, ErrBadEngine) {
+		t.Errorf("unknown engine err = %v", err)
+	}
+	if _, err := ParseIntegrator("simpson"); !errors.Is(err, ErrBadEngine) {
+		t.Errorf("unknown integrator err = %v", err)
+	}
+}
+
+func TestStartCatalog(t *testing.T) {
+	inst, err := topo.LinearParallelLinks(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "uniform", "worst", "skewed"} {
+		f, err := BuildStart(name, inst)
+		if err != nil {
+			t.Fatalf("start %q: %v", name, err)
+		}
+		sum := 0.0
+		for _, v := range f {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("start %q: mass %g, want 1", name, sum)
+		}
+	}
+	// worst concentrates everything on the highest free-flow-latency path;
+	// skewed leaves every path strictly positive.
+	worst, _ := BuildStart("worst", inst)
+	nonzero := 0
+	for _, v := range worst {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Errorf("worst start spread over %d paths", nonzero)
+	}
+	skewed, _ := BuildStart("skewed", inst)
+	for i, v := range skewed {
+		if v <= 0 {
+			t.Errorf("skewed start left path %d at %g", i, v)
+		}
+	}
+	if _, err := BuildStart("sideways", inst); err == nil {
+		t.Error("unknown start accepted")
+	}
+}

@@ -2,9 +2,11 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"wardrop/internal/agents"
+	"wardrop/internal/catalog"
 	"wardrop/internal/dynamics"
 )
 
@@ -120,9 +122,12 @@ func (e Agents) Run(ctx context.Context, sc Scenario, opts Options) (*Result, er
 
 // Spec is the JSON document shape for selecting an engine by name — the
 // form spec/JSON layers (exposed at the root as wardrop.EngineSpec) use to
-// construct engines from configuration instead of Go values.
+// construct engines from configuration instead of Go values. Construction
+// dispatches through the engine Catalog, so user-registered engines are
+// selectable too; their parameters travel in Params.
 type Spec struct {
-	// Kind names the engine: fluid, fresh, bestresponse, agents.
+	// Kind names the engine: fluid (default), fresh, bestresponse, agents,
+	// or any registered engine.
 	Kind string `json:"kind"`
 	// N is the population size (kind=agents).
 	N int `json:"n,omitempty"`
@@ -137,28 +142,33 @@ type Spec struct {
 	Integrator string `json:"integrator,omitempty"`
 	// Step is the integrator step (kind=fluid/fresh; 0 = default).
 	Step float64 `json:"step,omitempty"`
+	// Params carries a user-registered engine's parameters (decode with
+	// catalog.DecodeParams). Builtin kinds read the flat fields above and
+	// also honour overrides placed here (a field present in both spellings
+	// resolves to the params value).
+	Params json.RawMessage `json:"params,omitempty"`
 }
 
-// Build materialises the engine.
+// Build materialises the engine through the Catalog.
 func (s Spec) Build() (Engine, error) {
-	switch s.Kind {
-	case "", "fluid", "fresh":
-		integ, err := ParseIntegrator(s.Integrator)
-		if err != nil {
-			return nil, err
-		}
-		return Fluid{Fresh: s.Kind == "fresh", Integrator: integ, Step: s.Step}, nil
-	case "bestresponse", "best-response":
-		return BestResponse{}, nil
-	case "agents":
-		if s.N < 1 {
-			return nil, fmt.Errorf("%w: agents engine requires n >= 1, got %d", ErrBadEngine, s.N)
-		}
-		return Agents{N: s.N, Seed: s.Seed, Workers: s.Workers, EventDriven: s.EventDriven}, nil
-	default:
-		return nil, fmt.Errorf("%w: unknown engine kind %q", ErrBadEngine, s.Kind)
+	kind := s.Kind
+	if kind == "" {
+		kind = "fluid"
 	}
+	args, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEngine, err)
+	}
+	eng, err := Catalog.Build(kind, args)
+	if err != nil {
+		return nil, badEngine(err)
+	}
+	return eng, nil
 }
+
+// badEngine wraps errors from the catalog layer with the package sentinel,
+// leaving already-tagged errors untouched.
+func badEngine(err error) error { return catalog.WrapSentinel(ErrBadEngine, err) }
 
 // New returns a default-configured engine by name; the agents engine cannot
 // be built this way (it needs a population — use Spec).
@@ -169,18 +179,15 @@ func New(name string) (Engine, error) {
 	return Spec{Kind: name}.Build()
 }
 
-// ParseIntegrator resolves an integrator name ("" = the dynamics default).
+// ParseIntegrator resolves an integrator name through the Integrators
+// registry ("" = the dynamics default).
 func ParseIntegrator(name string) (dynamics.Integrator, error) {
-	switch name {
-	case "":
+	if name == "" {
 		return 0, nil
-	case "euler":
-		return dynamics.Euler, nil
-	case "rk4":
-		return dynamics.RK4, nil
-	case "uniformization":
-		return dynamics.Uniformization, nil
-	default:
-		return 0, fmt.Errorf("%w: unknown integrator %q", ErrBadEngine, name)
 	}
+	integ, err := Integrators.Build(name, nil)
+	if err != nil {
+		return 0, badEngine(err)
+	}
+	return integ, nil
 }

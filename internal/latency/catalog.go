@@ -1,0 +1,135 @@
+package latency
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"wardrop/internal/catalog"
+)
+
+// Catalog is the registry of latency-function kinds. The JSON spec layer
+// (spec.Latency) and every file format embedding latency documents dispatch
+// construction through it; users add kinds with Register (exposed at the
+// root as wardrop.RegisterLatency) instead of editing the spec package.
+var Catalog = newCatalog()
+
+// catalogArgs mirrors the flat JSON fields of a latency document — the
+// parameter vocabulary shared by the builtin kinds (spec.Latency carries the
+// same fields for programmatic construction).
+type catalogArgs struct {
+	C        float64   `json:"c"`
+	Slope    float64   `json:"slope"`
+	Offset   float64   `json:"offset"`
+	Coeffs   []float64 `json:"coeffs"`
+	Coef     float64   `json:"coef"`
+	Degree   int       `json:"degree"`
+	FreeTime float64   `json:"freeTime"`
+	Capacity float64   `json:"capacity"`
+	Xs       []float64 `json:"xs"`
+	Ys       []float64 `json:"ys"`
+	Beta     float64   `json:"beta"`
+}
+
+// builtin wraps a constructor on the shared flat-args vocabulary into a
+// catalog Build func.
+func builtin(build func(a catalogArgs) (Function, error)) func(json.RawMessage) (Function, error) {
+	return func(raw json.RawMessage) (Function, error) {
+		var a catalogArgs
+		if err := catalog.DecodeArgs(raw, &a); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadParam, err)
+		}
+		return build(a)
+	}
+}
+
+func newCatalog() *catalog.Registry[Function] {
+	r := catalog.NewRegistry[Function]("latency")
+	r.MustRegister(catalog.Entry[Function]{
+		Name: "constant",
+		Doc:  "load-independent latency ℓ(x) = c",
+		Params: []catalog.Param{
+			{Name: "c", Type: "float", Doc: "the constant latency"},
+		},
+		Build: builtin(func(a catalogArgs) (Function, error) {
+			return Constant{C: a.C}, nil
+		}),
+	})
+	r.MustRegister(catalog.Entry[Function]{
+		Name: "linear",
+		Doc:  "affine latency ℓ(x) = slope·x + offset",
+		Params: []catalog.Param{
+			{Name: "slope", Type: "float", Doc: "per-unit-load latency increase"},
+			{Name: "offset", Type: "float", Doc: "free-flow latency"},
+		},
+		Build: builtin(func(a catalogArgs) (Function, error) {
+			return Linear{Slope: a.Slope, Offset: a.Offset}, nil
+		}),
+	})
+	r.MustRegister(catalog.Entry[Function]{
+		Name: "polynomial",
+		Doc:  "ℓ(x) = Σ coeffs[i]·x^i with non-negative coefficients",
+		Params: []catalog.Param{
+			{Name: "coeffs", Type: "[]float", Doc: "coefficients, constant term first"},
+		},
+		Build: builtin(func(a catalogArgs) (Function, error) {
+			return NewPolynomial(a.Coeffs...)
+		}),
+	})
+	r.MustRegister(catalog.Entry[Function]{
+		Name: "monomial",
+		Doc:  "ℓ(x) = coef·x^degree",
+		Params: []catalog.Param{
+			{Name: "coef", Type: "float", Doc: "coefficient"},
+			{Name: "degree", Type: "int", Doc: "exponent"},
+		},
+		Build: builtin(func(a catalogArgs) (Function, error) {
+			return Monomial{Coef: a.Coef, Degree: a.Degree}, nil
+		}),
+	})
+	r.MustRegister(catalog.Entry[Function]{
+		Name: "bpr",
+		Doc:  "Bureau of Public Roads latency freeTime·(1 + 0.15·(x/capacity)⁴)",
+		Params: []catalog.Param{
+			{Name: "freeTime", Type: "float", Doc: "free-flow travel time (>= 0)"},
+			{Name: "capacity", Type: "float", Doc: "edge capacity (> 0)"},
+		},
+		Build: builtin(func(a catalogArgs) (Function, error) {
+			return NewBPR(a.FreeTime, a.Capacity)
+		}),
+	})
+	r.MustRegister(catalog.Entry[Function]{
+		Name: "mm1",
+		Doc:  "M/M/1 queueing latency x/(capacity − x)",
+		Params: []catalog.Param{
+			{Name: "capacity", Type: "float", Doc: "service capacity (> 1 so ℓ stays finite on [0,1])"},
+		},
+		Build: builtin(func(a catalogArgs) (Function, error) {
+			return NewMM1(a.Capacity)
+		}),
+	})
+	r.MustRegister(catalog.Entry[Function]{
+		Name: "pwl",
+		Doc:  "continuous piecewise-linear latency through breakpoints (xs[i], ys[i])",
+		Params: []catalog.Param{
+			{Name: "xs", Type: "[]float", Doc: "breakpoint loads, strictly increasing"},
+			{Name: "ys", Type: "[]float", Doc: "breakpoint latencies, non-decreasing and non-negative"},
+		},
+		Build: builtin(func(a catalogArgs) (Function, error) {
+			return NewPiecewiseLinear(a.Xs, a.Ys)
+		}),
+	})
+	r.MustRegister(catalog.Entry[Function]{
+		Name: "kink",
+		Doc:  "the paper's §3.2 oscillation latency max{0, beta·(x − ½)}",
+		Params: []catalog.Param{
+			{Name: "beta", Type: "float", Doc: "slope above half load (> 0)"},
+		},
+		Build: builtin(func(a catalogArgs) (Function, error) {
+			if a.Beta <= 0 {
+				return nil, fmt.Errorf("%w: kink beta %g must be positive", ErrBadParam, a.Beta)
+			}
+			return Kink(a.Beta), nil
+		}),
+	})
+	return r
+}

@@ -1,0 +1,140 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"wardrop/internal/catalog"
+)
+
+// SamplerChoice is a materialised sampling-rule selection: the constructed
+// sampler plus the stable cell label the sweep layer aggregates under.
+// Catalog entries decode and validate their parameters once and return a
+// SamplerChoice, so labels and construction cannot disagree.
+type SamplerChoice struct {
+	// Key is the stable cell label ("uniform", "boltzmann(c=4)", …).
+	Key string
+	// Sampler is the constructed sampling rule.
+	Sampler Sampler
+}
+
+// MigratorChoice is a materialised migration-rule selection. Migration rules
+// are sized to the instance (the default linear rule needs ℓmax), so the
+// choice carries a constructor instead of a finished value.
+type MigratorChoice struct {
+	// KeySuffix is appended to the sampler's label ("", "+alphalinear(0.5)",
+	// "+betterresponse", …). The default linear rule contributes nothing.
+	KeySuffix string
+	// New constructs the rule for an instance with the given ℓmax.
+	New func(lmax float64) (Migrator, error)
+}
+
+// Samplers is the registry of sampling-rule kinds; Migrators the registry of
+// migration rules. The sweep policy layer and the CLIs dispatch through
+// them; users add rules with Register (wardrop.RegisterPolicy /
+// wardrop.RegisterMigrator).
+var (
+	Samplers  = newSamplers()
+	Migrators = newMigrators()
+)
+
+// samplerArgs mirrors the flat JSON fields of a policy document that the
+// builtin samplers read.
+type samplerArgs struct {
+	C float64 `json:"c"`
+}
+
+// migratorArgs mirrors the flat JSON fields the builtin migrators read.
+type migratorArgs struct {
+	Alpha float64 `json:"alpha"`
+}
+
+func newSamplers() *catalog.Registry[SamplerChoice] {
+	r := catalog.NewRegistry[SamplerChoice]("policy")
+	r.MustRegister(catalog.Entry[SamplerChoice]{
+		Name: "uniform",
+		Doc:  "sample each of the commodity's paths uniformly (§5.1)",
+		Build: func(json.RawMessage) (SamplerChoice, error) {
+			return SamplerChoice{Key: "uniform", Sampler: Uniform{}}, nil
+		},
+	})
+	r.MustRegister(catalog.Entry[SamplerChoice]{
+		Name: "replicator",
+		Doc:  "sample proportionally to path flow (§5.2, the replicator's rule)",
+		Build: func(json.RawMessage) (SamplerChoice, error) {
+			return SamplerChoice{Key: "replicator", Sampler: Proportional{}}, nil
+		},
+	})
+	r.MustRegister(catalog.Entry[SamplerChoice]{
+		Name: "proportional",
+		Doc:  "alias of replicator, keeping its own cell label",
+		Build: func(json.RawMessage) (SamplerChoice, error) {
+			return SamplerChoice{Key: "proportional", Sampler: Proportional{}}, nil
+		},
+	})
+	r.MustRegister(catalog.Entry[SamplerChoice]{
+		Name: "boltzmann",
+		Doc:  "logit / smoothed-best-response sampling exp(−c·ℓ_Q)/Σ exp(−c·ℓ) (§2.2)",
+		Params: []catalog.Param{
+			{Name: "c", Type: "float", Doc: "concentration (>= 0; large c approximates best response)"},
+		},
+		Build: func(raw json.RawMessage) (SamplerChoice, error) {
+			var a samplerArgs
+			if err := catalog.DecodeArgs(raw, &a); err != nil {
+				return SamplerChoice{}, fmt.Errorf("%w: %v", ErrBadParam, err)
+			}
+			if a.C < 0 {
+				return SamplerChoice{}, fmt.Errorf("%w: boltzmann c %g must be >= 0", ErrBadParam, a.C)
+			}
+			return SamplerChoice{
+				Key:     fmt.Sprintf("boltzmann(c=%g)", a.C),
+				Sampler: Boltzmann{C: a.C},
+			}, nil
+		},
+	})
+	return r
+}
+
+func newMigrators() *catalog.Registry[MigratorChoice] {
+	r := catalog.NewRegistry[MigratorChoice]("migrator")
+	r.MustRegister(catalog.Entry[MigratorChoice]{
+		Name: "linear",
+		Doc:  "the paper's (1/ℓmax)-smooth rule µ = (ℓ_P − ℓ_Q)/ℓmax (the default)",
+		Build: func(json.RawMessage) (MigratorChoice, error) {
+			return MigratorChoice{
+				New: func(lmax float64) (Migrator, error) { return NewLinear(lmax) },
+			}, nil
+		},
+	})
+	r.MustRegister(catalog.Entry[MigratorChoice]{
+		Name: "alphalinear",
+		Doc:  "µ = min{1, alpha·(ℓ_P − ℓ_Q)}, parameterised by its smoothness constant",
+		Params: []catalog.Param{
+			{Name: "alpha", Type: "float", Doc: "smoothness constant (> 0)"},
+		},
+		Build: func(raw json.RawMessage) (MigratorChoice, error) {
+			var a migratorArgs
+			if err := catalog.DecodeArgs(raw, &a); err != nil {
+				return MigratorChoice{}, fmt.Errorf("%w: %v", ErrBadParam, err)
+			}
+			if a.Alpha <= 0 {
+				return MigratorChoice{}, fmt.Errorf("%w: alphalinear alpha %g must be positive", ErrBadParam, a.Alpha)
+			}
+			return MigratorChoice{
+				KeySuffix: fmt.Sprintf("+alphalinear(%g)", a.Alpha),
+				New:       func(float64) (Migrator, error) { return NewAlphaLinear(a.Alpha) },
+			}, nil
+		},
+	})
+	r.MustRegister(catalog.Entry[MigratorChoice]{
+		Name: "betterresponse",
+		Doc:  "always switch to a strictly better path (not α-smooth; oscillates; no safe period)",
+		Build: func(json.RawMessage) (MigratorChoice, error) {
+			return MigratorChoice{
+				KeySuffix: "+betterresponse",
+				New:       func(float64) (Migrator, error) { return BetterResponse{}, nil },
+			}, nil
+		},
+	})
+	return r
+}

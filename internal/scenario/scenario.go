@@ -1,0 +1,273 @@
+// Package scenario declares the single-run counterpart of a sweep campaign
+// cell: one declarative JSON document selecting an instance (embedded or by
+// topology family), a rerouting policy, an update period, an engine, a start
+// distribution and the run shape, materialised into an engine.Scenario ready
+// for engine.Run. Every component resolves through the catalog registries,
+// so user-registered latency kinds, topology families, policies and engines
+// are selectable from scenario files without touching core packages.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"wardrop/internal/catalog"
+	"wardrop/internal/engine"
+	"wardrop/internal/flow"
+	"wardrop/internal/policy"
+	"wardrop/internal/spec"
+	"wardrop/internal/sweep"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadScenario indicates a structurally invalid scenario specification.
+	ErrBadScenario = errors.New("scenario: invalid scenario specification")
+)
+
+// badScenario wraps errors from the component layers with the package
+// sentinel, leaving already-tagged errors untouched.
+func badScenario(err error) error { return catalog.WrapSentinel(ErrBadScenario, err) }
+
+// Spec is the JSON document shape of one simulation run.
+type Spec struct {
+	// Name labels the scenario (informational).
+	Name string `json:"name,omitempty"`
+
+	// Instance embeds a full instance document; Topology selects a
+	// registered topology family instead. Exactly one must be set.
+	Instance json.RawMessage `json:"instance,omitempty"`
+	Topology *sweep.Topology `json:"topology,omitempty"`
+	// Seed feeds seeded topology families (e.g. layered).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Policy selects the rerouting policy. Required by every engine except
+	// bestresponse, which ignores it.
+	Policy *sweep.PolicySpec `json:"policy,omitempty"`
+
+	// UpdatePeriod is the bulletin-board period: a number, or "safe" for
+	// the per-(instance, policy) provably safe period of Corollary 5.
+	// Omitted = safe.
+	UpdatePeriod *sweep.Period `json:"updatePeriod,omitempty"`
+
+	// Engine selects the dynamics. Omitted = the default fluid engine with
+	// its default RK4 integrator — note wardsim's flag path picks the exact
+	// uniformization integrator instead, so a scenario reproducing a
+	// flag-driven run byte for byte must say so explicitly:
+	// {"kind": "fluid", "integrator": "uniformization"}.
+	Engine *engine.Spec `json:"engine,omitempty"`
+
+	// Start selects the initial-flow distribution: uniform (default),
+	// worst, skewed, or any registered start.
+	Start string `json:"start,omitempty"`
+
+	// Run shape. Horizon is the simulated-time budget; MaxPhases, if
+	// positive, overrides it with MaxPhases·T.
+	Horizon   float64 `json:"horizon,omitempty"`
+	MaxPhases int     `json:"maxPhases,omitempty"`
+	// RecordEvery records a trajectory sample every k phases (0 disables).
+	RecordEvery int `json:"recordEvery,omitempty"`
+
+	// Delta and Eps parameterise the (δ,ε)-equilibrium accounting
+	// (Delta <= 0 disables it); Weak selects the Definition 4 metric;
+	// Streak stops the run after that many consecutive satisfied phases.
+	Delta  float64 `json:"delta,omitempty"`
+	Eps    float64 `json:"eps,omitempty"`
+	Weak   bool    `json:"weak,omitempty"`
+	Streak int     `json:"streak,omitempty"`
+}
+
+// Parse decodes a JSON scenario specification, rejecting unknown fields, and
+// validates it.
+func Parse(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadScenario, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// period resolves the update-period selection (omitted = safe).
+func (s *Spec) period() sweep.Period {
+	if s.UpdatePeriod == nil {
+		return sweep.Period{Safe: true}
+	}
+	return *s.UpdatePeriod
+}
+
+// buildEngine materialises the engine selection (omitted = default fluid).
+func (s *Spec) buildEngine() (engine.Engine, error) {
+	if s.Engine == nil {
+		return engine.Fluid{}, nil
+	}
+	return s.Engine.Build()
+}
+
+// Validate rejects structurally invalid scenarios at parse time, before any
+// instance is built: the cheap shape checks plus one resolution of every
+// selected component through its catalog.
+func (s *Spec) Validate() error {
+	if err := s.validateShape(); err != nil {
+		return err
+	}
+	if len(s.Instance) > 0 {
+		if _, err := spec.Decode(bytes.NewReader(s.Instance)); err != nil {
+			return badScenario(err)
+		}
+	}
+	if s.Topology != nil {
+		if err := s.Topology.Validate(); err != nil {
+			return badScenario(err)
+		}
+	}
+	eng, err := s.buildEngine()
+	if err != nil {
+		return badScenario(err)
+	}
+	if err := s.validatePolicyFor(eng); err != nil {
+		return err
+	}
+	if s.Policy != nil {
+		if err := s.Policy.Validate(); err != nil {
+			return badScenario(err)
+		}
+	}
+	if _, err := engine.LookupStart(s.Start); err != nil {
+		return badScenario(err)
+	}
+	return nil
+}
+
+// validateShape checks the scalar run-shape fields and selector exclusivity
+// — everything that needs no catalog resolution. Scenario() repeats only
+// these cheap checks; the component resolutions it performs anyway surface
+// the rest.
+func (s *Spec) validateShape() error {
+	if len(s.Instance) == 0 && s.Topology == nil {
+		return fmt.Errorf("%w: need an instance document or a topology selection", ErrBadScenario)
+	}
+	if len(s.Instance) > 0 && s.Topology != nil {
+		return fmt.Errorf("%w: instance and topology are mutually exclusive", ErrBadScenario)
+	}
+	if s.period().Safe && s.Policy == nil {
+		return fmt.Errorf("%w: the safe update period requires a policy (give a numeric updatePeriod)", ErrBadScenario)
+	}
+	if math.IsNaN(s.Horizon) || math.IsInf(s.Horizon, 0) || math.IsNaN(s.Delta) || math.IsNaN(s.Eps) {
+		return fmt.Errorf("%w: horizon/delta/eps must be finite", ErrBadScenario)
+	}
+	if s.Horizon <= 0 && s.MaxPhases <= 0 {
+		return fmt.Errorf("%w: need horizon > 0 or maxPhases > 0", ErrBadScenario)
+	}
+	if s.MaxPhases < 0 {
+		return fmt.Errorf("%w: maxPhases %d must be >= 0", ErrBadScenario, s.MaxPhases)
+	}
+	if s.RecordEvery < 0 {
+		return fmt.Errorf("%w: recordEvery %d must be >= 0", ErrBadScenario, s.RecordEvery)
+	}
+	if s.Streak < 0 {
+		return fmt.Errorf("%w: streak %d must be >= 0", ErrBadScenario, s.Streak)
+	}
+	if s.Eps < 0 && s.Delta > 0 {
+		return fmt.Errorf("%w: eps %g must be >= 0 when delta accounting is enabled", ErrBadScenario, s.Eps)
+	}
+	return nil
+}
+
+// validatePolicyFor rejects policy-less scenarios on engines that need one
+// (every engine except best response ignores it).
+func (s *Spec) validatePolicyFor(eng engine.Engine) error {
+	if _, bestResponse := eng.(engine.BestResponse); s.Policy == nil && !bestResponse {
+		return fmt.Errorf("%w: engine %q requires a policy", ErrBadScenario, eng.Name())
+	}
+	return nil
+}
+
+// Scenario materialises the specification: instance, policy, resolved
+// period, initial flow, engine and run shape, ready for engine.Run. It does
+// not re-run the full Validate — each component is decoded and built exactly
+// once here, surfacing the same errors — only the cheap shape checks are
+// repeated so hand-constructed Specs fail fast too.
+func (s *Spec) Scenario() (engine.Scenario, error) {
+	if err := s.validateShape(); err != nil {
+		return engine.Scenario{}, err
+	}
+	eng, err := s.buildEngine()
+	if err != nil {
+		return engine.Scenario{}, badScenario(err)
+	}
+	if err := s.validatePolicyFor(eng); err != nil {
+		return engine.Scenario{}, err
+	}
+
+	var inst *flow.Instance
+	if s.Topology != nil {
+		inst, err = s.Topology.Build(s.Seed)
+	} else {
+		var doc spec.Instance
+		doc, err = spec.Decode(bytes.NewReader(s.Instance))
+		if err == nil {
+			inst, err = doc.Build()
+		}
+	}
+	if err != nil {
+		return engine.Scenario{}, badScenario(err)
+	}
+
+	var pol policy.Policy
+	if s.Policy != nil {
+		pol, err = s.Policy.Build(inst)
+		if err != nil {
+			return engine.Scenario{}, badScenario(err)
+		}
+	}
+
+	period := s.period()
+	T := period.T
+	if period.Safe {
+		T, err = policy.SafeUpdatePeriodFor(pol, inst.Beta(), inst.MaxPathLen())
+		if err != nil {
+			return engine.Scenario{}, badScenario(err)
+		}
+		if T <= 0 || math.IsInf(T, 0) || math.IsNaN(T) {
+			return engine.Scenario{}, fmt.Errorf("%w: degenerate safe period %g", ErrBadScenario, T)
+		}
+	}
+
+	horizon := s.Horizon
+	if s.MaxPhases > 0 {
+		horizon = float64(s.MaxPhases) * T
+	}
+
+	f0, err := engine.BuildStart(s.Start, inst)
+	if err != nil {
+		return engine.Scenario{}, badScenario(err)
+	}
+
+	return engine.Scenario{
+		Engine:                   eng,
+		Instance:                 inst,
+		Policy:                   pol,
+		UpdatePeriod:             T,
+		InitialFlow:              f0,
+		Horizon:                  horizon,
+		Delta:                    s.Delta,
+		Eps:                      s.Eps,
+		Weak:                     s.Weak,
+		StopAfterSatisfiedStreak: s.Streak,
+		RecordEvery:              s.RecordEvery,
+	}, nil
+}
+
+// Marshal encodes the specification as indented JSON.
+func (s *Spec) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,279 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"wardrop/internal/engine"
+	"wardrop/internal/policy"
+	"wardrop/internal/sweep"
+	"wardrop/internal/topo"
+)
+
+const braessScenario = `{
+  "name": "braess-replicator",
+  "topology": {"family": "braess"},
+  "policy": {"kind": "replicator"},
+  "updatePeriod": "safe",
+  "horizon": 10,
+  "recordEvery": 2
+}`
+
+func TestParseAndRun(t *testing.T) {
+	s, err := Parse(strings.NewReader(braessScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Instance == nil || sc.UpdatePeriod <= 0 || sc.Horizon != 10 || sc.RecordEvery != 2 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+	res, err := engine.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases == 0 || len(res.Trajectory) == 0 {
+		t.Errorf("phases=%d trajectory=%d", res.Phases, len(res.Trajectory))
+	}
+}
+
+// A scenario file must reproduce the equivalent hand-assembled engine run
+// exactly: same instance, policy, safe period, start flow and engine — the
+// declarative layer adds no behavior of its own.
+func TestScenarioMatchesHandAssembledRun(t *testing.T) {
+	s, err := Parse(strings.NewReader(braessScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inst, err := topo.Braess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policy.Replicator(inst.LMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	T, err := policy.SafeUpdatePeriodFor(pol, inst.Beta(), inst.MaxPathLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Run(context.Background(), engine.Scenario{
+		Instance:     inst,
+		Policy:       pol,
+		UpdatePeriod: T,
+		Horizon:      10,
+		RecordEvery:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FinalPotential != want.FinalPotential || got.Phases != want.Phases || got.Elapsed != want.Elapsed {
+		t.Errorf("scenario run (phi=%g phases=%d) differs from hand-assembled run (phi=%g phases=%d)",
+			got.FinalPotential, got.Phases, want.FinalPotential, want.Phases)
+	}
+	for i := range want.Final {
+		if got.Final[i] != want.Final[i] {
+			t.Errorf("final[%d] = %g, want %g", i, got.Final[i], want.Final[i])
+		}
+	}
+}
+
+func TestEmbeddedInstance(t *testing.T) {
+	doc := `{
+	  "instance": {
+	    "nodes": ["s", "t"],
+	    "edges": [
+	      {"from": "s", "to": "t", "latency": {"kind": "linear", "slope": 1}},
+	      {"from": "s", "to": "t", "latency": {"kind": "constant", "c": 1}}
+	    ],
+	    "commodities": [{"source": "s", "sink": "t", "demand": 1}]
+	  },
+	  "policy": {"kind": "uniform"},
+	  "updatePeriod": 0.25,
+	  "maxPhases": 8
+	}`
+	s, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// maxPhases converts to horizon = maxPhases·T.
+	if sc.Horizon != 8*0.25 {
+		t.Errorf("horizon = %g, want 2", sc.Horizon)
+	}
+	if sc.Instance.NumPaths() != 2 {
+		t.Errorf("paths = %d", sc.Instance.NumPaths())
+	}
+}
+
+func TestBestResponseNeedsNoPolicy(t *testing.T) {
+	doc := `{
+	  "topology": {"family": "kink", "beta": 4},
+	  "engine": {"kind": "bestresponse"},
+	  "updatePeriod": 0.5,
+	  "horizon": 5
+	}`
+	s, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sc.Engine.(engine.BestResponse); !ok {
+		t.Errorf("engine = %T", sc.Engine)
+	}
+	if _, err := engine.Run(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartDistributions(t *testing.T) {
+	for _, start := range []string{"", "uniform", "worst", "skewed"} {
+		doc := `{
+		  "topology": {"family": "pigou"},
+		  "policy": {"kind": "uniform"},
+		  "updatePeriod": 0.25,
+		  "horizon": 1,
+		  "start": "` + start + `"}`
+		doc = strings.Replace(doc, `"start": ""`, `"name": "default"`, 1)
+		s, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("start %q: %v", start, err)
+		}
+		sc, err := s.Scenario()
+		if err != nil {
+			t.Fatalf("start %q: %v", start, err)
+		}
+		sum := 0.0
+		for _, f := range sc.InitialFlow {
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("start %q: initial flow mass %g, want 1", start, sum)
+		}
+	}
+}
+
+func TestSeededTopology(t *testing.T) {
+	doc := `{
+	  "topology": {"family": "layered", "size": 2},
+	  "seed": 99,
+	  "policy": {"kind": "uniform"},
+	  "updatePeriod": 0.1,
+	  "horizon": 1
+	}`
+	a, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := a.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := a.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := sa.Instance.PathLatencies(sa.Instance.UniformFlow())
+	lb := sb.Instance.PathLatencies(sb.Instance.UniformFlow())
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("seeded topology not deterministic: %v vs %v", la, lb)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]string{
+		"nothing selected": `{"policy": {"kind": "uniform"}, "horizon": 1}`,
+		"both selected":    `{"topology": {"family": "pigou"}, "instance": {"nodes": ["s","t"], "edges": [{"from":"s","to":"t","latency":{"kind":"constant"}}], "commodities": [{"source":"s","sink":"t","demand":1}]}, "policy": {"kind": "uniform"}, "horizon": 1}`,
+		"bad family":       `{"topology": {"family": "moebius"}, "policy": {"kind": "uniform"}, "horizon": 1}`,
+		"bad policy":       `{"topology": {"family": "pigou"}, "policy": {"kind": "psychic"}, "horizon": 1}`,
+		"missing policy":   `{"topology": {"family": "pigou"}, "horizon": 1}`,
+		"safe without policy": `{"topology": {"family": "kink", "beta": 4},
+		  "engine": {"kind": "bestresponse"}, "horizon": 1}`,
+		"no budget":          `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}}`,
+		"negative phases":    `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1, "maxPhases": -1}`,
+		"negative record":    `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1, "recordEvery": -1}`,
+		"negative streak":    `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1, "streak": -1}`,
+		"negative eps":       `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1, "delta": 0.1, "eps": -1}`,
+		"bad engine":         `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1, "engine": {"kind": "warpdrive"}}`,
+		"agents without n":   `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1, "engine": {"kind": "agents"}}`,
+		"bad start":          `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1, "start": "sideways"}`,
+		"bad period":         `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1, "updatePeriod": -1}`,
+		"unknown field":      `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1, "bogus": 1}`,
+		"malformed instance": `{"instance": {"nodes": [], "bogus": 1}, "policy": {"kind": "uniform"}, "horizon": 1}`,
+		"bad json":           `{`,
+	}
+	for name, doc := range cases {
+		_, err := Parse(strings.NewReader(doc))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrBadScenario) {
+			t.Errorf("%s: error %v does not wrap ErrBadScenario", name, err)
+		}
+	}
+}
+
+// A structurally valid but unbuildable instance document (decodes fine,
+// fails construction) surfaces at Scenario() time, wrapped in the package
+// sentinel.
+func TestUnbuildableInstanceFailsAtScenario(t *testing.T) {
+	doc := `{"instance": {"nodes": ["s"], "edges": [], "commodities": []}, "policy": {"kind": "uniform"}, "horizon": 1}`
+	s, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Scenario(); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("Scenario() err = %v, want ErrBadScenario", err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := &Spec{
+		Name:         "rt",
+		Topology:     &sweep.Topology{Family: "links", Size: 4},
+		Policy:       &sweep.PolicySpec{Kind: "boltzmann", C: 2},
+		UpdatePeriod: &sweep.Period{T: 0.5},
+		Engine:       &engine.Spec{Kind: "agents", N: 100, Seed: 7},
+		Start:        "skewed",
+		Horizon:      5,
+		RecordEvery:  1,
+		Delta:        0.2,
+		Eps:          0.1,
+		Streak:       3,
+	}
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, data)
+	}
+	if back.Topology.Family != "links" || back.Policy.C != 2 || back.Engine.N != 100 || back.UpdatePeriod.T != 0.5 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+}

@@ -1,0 +1,54 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"wardrop/internal/catalog"
+	"wardrop/internal/flow"
+	"wardrop/internal/topo"
+)
+
+// The "custom" topology family — a full instance document embedded in a
+// campaign or scenario file — is owned by this package (it owns the instance
+// file format) and registered into the topology catalog at initialisation.
+// Any consumer of the topology catalog that can reach a JSON file imports
+// spec, so the family is always available where documents are parsed.
+func init() {
+	topo.Catalog.MustRegister(catalog.Entry[topo.Builder]{
+		Name: "custom",
+		Doc:  "an embedded instance document (nodes, edges, commodities)",
+		Params: []catalog.Param{
+			{Name: "instance", Type: "object", Doc: "full instance specification"},
+		},
+		Build: buildCustomTopology,
+	})
+}
+
+// buildCustomTopology validates the embedded document eagerly (construction
+// errors must surface at parse time, before any worker starts) and labels
+// the cell with a digest of the document, so distinct custom instances in
+// one campaign never collide in aggregation keys or the instance cache.
+func buildCustomTopology(args json.RawMessage) (topo.Builder, error) {
+	var a struct {
+		Instance json.RawMessage `json:"instance"`
+	}
+	if err := catalog.DecodeArgs(args, &a); err != nil {
+		return topo.Builder{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if len(a.Instance) == 0 {
+		return topo.Builder{}, fmt.Errorf("%w: custom topology requires an instance document", ErrBadSpec)
+	}
+	doc, err := Decode(bytes.NewReader(a.Instance))
+	if err != nil {
+		return topo.Builder{}, err
+	}
+	h := fnv.New32a()
+	h.Write(a.Instance)
+	return topo.Builder{
+		Key: fmt.Sprintf("custom(%08x)", h.Sum32()),
+		New: func(uint64) (*flow.Instance, error) { return doc.Build() },
+	}, nil
+}

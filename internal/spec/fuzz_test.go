@@ -1,0 +1,34 @@
+package spec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode asserts the decode contract: Decode never panics, and every
+// failure wraps ErrBadSpec so callers can classify it. Structurally valid
+// small documents are also built, which must not panic either (build
+// failures may carry graph/flow errors and are fine).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(pigouJSON))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"nodes": [], "bogus": 1}`))
+	f.Add([]byte(`{"nodes": ["s","t"], "edges": [{"from":"s","to":"t","latency":{"kind":"kink","beta":-1}}], "commodities": [{"source":"s","sink":"t","demand":1}]}`))
+	f.Add([]byte(`{"nodes": ["s","t"], "edges": [{"from":"s","to":"t","latency":{"kind":"mystery","params":{"a":1}}},{"from":"s","to":"t","latency":{"kind":"constant","c":1}}], "commodities": [{"source":"s","sink":"t","demand":1}], "kShortestPaths": 2}`))
+	f.Add([]byte(`{"nodes": ["a"], "edges": [{"from":"a","to":"a","latency":{"kind":"pwl","xs":[0],"ys":[0]}}], "commodities": [{"source":"a","sink":"a","demand":-1}], "maxPathLen": -3}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("Decode failure does not wrap ErrBadSpec: %v", err)
+			}
+			return
+		}
+		// Keep path enumeration trivially cheap: fuzzing is about panics and
+		// error classification, not about building large instances.
+		if len(s.Nodes) <= 6 && len(s.Edges) <= 12 {
+			_, _ = s.Build()
+		}
+	})
+}

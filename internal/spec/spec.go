@@ -10,10 +10,14 @@ import (
 	"fmt"
 	"io"
 
+	"wardrop/internal/catalog"
 	"wardrop/internal/flow"
 	"wardrop/internal/graph"
 	"wardrop/internal/latency"
 )
+
+// The spec package contributes the "custom" topology family (an embedded
+// instance document) to the topology catalog — see custom.go.
 
 // Sentinel errors.
 var (
@@ -31,6 +35,12 @@ type Instance struct {
 	Commodities []Commodity `json:"commodities"`
 	// MaxPathLen optionally bounds path enumeration (0 = all simple paths).
 	MaxPathLen int `json:"maxPathLen,omitempty"`
+	// KShortestPaths optionally restricts each commodity's strategy space to
+	// its k cheapest free-flow paths (Yen's algorithm) instead of full
+	// enumeration — use on graphs whose simple-path count explodes. Mutually
+	// exclusive with MaxPathLen, which Yen's enumeration would silently
+	// ignore.
+	KShortestPaths int `json:"kShortestPaths,omitempty"`
 }
 
 // Edge is one directed edge.
@@ -48,10 +58,12 @@ type Commodity struct {
 	Demand float64 `json:"demand"`
 }
 
-// Latency is a tagged union of the library's latency functions.
+// Latency is a tagged union of the library's latency functions, resolved
+// through the latency catalog — any registered kind (builtin or user-added)
+// is selectable by name.
 type Latency struct {
 	// Kind selects the function: constant, linear, polynomial, monomial,
-	// bpr, mm1, pwl, kink.
+	// bpr, mm1, pwl, kink, or any registered latency kind.
 	Kind string `json:"kind"`
 
 	C        float64   `json:"c,omitempty"`        // constant
@@ -65,34 +77,30 @@ type Latency struct {
 	Xs       []float64 `json:"xs,omitempty"`       // pwl
 	Ys       []float64 `json:"ys,omitempty"`       // pwl
 	Beta     float64   `json:"beta,omitempty"`     // kink
+
+	// Params carries a user-registered kind's parameters (decode with
+	// catalog.DecodeParams). Builtin kinds read the flat fields above and
+	// also honour overrides placed here (a field present in both spellings
+	// resolves to the params value).
+	Params json.RawMessage `json:"params,omitempty"`
 }
 
-// Build materialises the latency function.
+// Build materialises the latency function through the latency catalog.
 func (l Latency) Build() (latency.Function, error) {
-	switch l.Kind {
-	case "constant":
-		return latency.Constant{C: l.C}, nil
-	case "linear":
-		return latency.Linear{Slope: l.Slope, Offset: l.Offset}, nil
-	case "polynomial":
-		return latency.NewPolynomial(l.Coeffs...)
-	case "monomial":
-		return latency.Monomial{Coef: l.Coef, Degree: l.Degree}, nil
-	case "bpr":
-		return latency.NewBPR(l.FreeTime, l.Capacity)
-	case "mm1":
-		return latency.NewMM1(l.Capacity)
-	case "pwl":
-		return latency.NewPiecewiseLinear(l.Xs, l.Ys)
-	case "kink":
-		if l.Beta <= 0 {
-			return nil, fmt.Errorf("%w: kink beta %g must be positive", ErrBadSpec, l.Beta)
-		}
-		return latency.Kink(l.Beta), nil
-	default:
-		return nil, fmt.Errorf("%w: unknown latency kind %q", ErrBadSpec, l.Kind)
+	args, err := json.Marshal(l)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
+	f, err := latency.Catalog.Build(l.Kind, args)
+	if err != nil {
+		return nil, badSpec(err)
+	}
+	return f, nil
 }
+
+// badSpec wraps errors from the catalog layer with the package sentinel,
+// leaving already-tagged errors untouched.
+func badSpec(err error) error { return catalog.WrapSentinel(ErrBadSpec, err) }
 
 // Build materialises the instance: graph construction, latency functions,
 // commodities, path enumeration.
@@ -105,6 +113,15 @@ func (s Instance) Build() (*flow.Instance, error) {
 	}
 	if len(s.Commodities) == 0 {
 		return nil, fmt.Errorf("%w: no commodities", ErrBadSpec)
+	}
+	if s.MaxPathLen < 0 {
+		return nil, fmt.Errorf("%w: maxPathLen %d must be >= 0", ErrBadSpec, s.MaxPathLen)
+	}
+	if s.KShortestPaths < 0 {
+		return nil, fmt.Errorf("%w: kShortestPaths %d must be >= 0", ErrBadSpec, s.KShortestPaths)
+	}
+	if s.KShortestPaths > 0 && s.MaxPathLen > 0 {
+		return nil, fmt.Errorf("%w: kShortestPaths and maxPathLen are mutually exclusive (Yen's enumeration ignores the length bound)", ErrBadSpec)
 	}
 	g := graph.New()
 	for _, name := range s.Nodes {
@@ -143,7 +160,8 @@ func (s Instance) Build() (*flow.Instance, error) {
 		}
 		comms = append(comms, flow.Commodity{Name: c.Name, Source: src, Sink: sink, Demand: c.Demand})
 	}
-	return flow.NewInstance(g, lats, comms, flow.WithMaxPathLen(s.MaxPathLen))
+	return flow.NewInstance(g, lats, comms,
+		flow.WithMaxPathLen(s.MaxPathLen), flow.WithKShortestPaths(s.KShortestPaths))
 }
 
 // Decode reads a JSON instance specification without building it, rejecting

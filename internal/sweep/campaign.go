@@ -17,10 +17,14 @@ import (
 	"math"
 	"strconv"
 
+	"wardrop/internal/catalog"
+	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/policy"
-	"wardrop/internal/spec"
 	"wardrop/internal/topo"
+
+	// Register the "custom" topology family (embedded instance documents).
+	_ "wardrop/internal/spec"
 )
 
 // Sentinel errors.
@@ -28,6 +32,10 @@ var (
 	// ErrBadCampaign indicates a structurally invalid campaign specification.
 	ErrBadCampaign = errors.New("sweep: invalid campaign specification")
 )
+
+// badCampaign wraps errors from the catalog and component layers with the
+// package sentinel, leaving already-tagged errors untouched.
+func badCampaign(err error) error { return catalog.WrapSentinel(ErrBadCampaign, err) }
 
 // Campaign is the JSON document shape: the axes whose cross product is the
 // task list, plus run-shape scalars shared by every task.
@@ -81,9 +89,12 @@ type Campaign struct {
 	Streak int `json:"streak,omitempty"`
 }
 
-// Topology selects one instance family plus its parameters.
+// Topology selects one instance family plus its parameters, resolved
+// through the topology catalog — any registered family (builtin or
+// user-added) is selectable by name.
 type Topology struct {
-	// Family: pigou, braess, kink, links, grid, layered, custom.
+	// Family: pigou, braess, kink, links, grid, layered, custom, or any
+	// registered topology family.
 	Family string `json:"family"`
 	// Size is the family's size knob: link count (links), grid side (grid),
 	// layer width (layered).
@@ -94,200 +105,164 @@ type Topology struct {
 	Beta float64 `json:"beta,omitempty"`
 	// Instance embeds a full instance spec (family=custom).
 	Instance json.RawMessage `json:"instance,omitempty"`
+	// Params carries a user-registered family's parameters (decode with
+	// catalog.DecodeParams). Builtin families read the flat fields above and
+	// also honour overrides placed here (a field present in both spellings
+	// resolves to the params value).
+	Params json.RawMessage `json:"params,omitempty"`
 }
 
-// Key renders the topology as a stable human-readable cell label.
+// builder resolves the family through the topology catalog, decoding and
+// validating the parameters.
+func (t Topology) builder() (topo.Builder, error) {
+	args, err := t.args()
+	if err != nil {
+		return topo.Builder{}, err
+	}
+	return topo.Catalog.Build(t.Family, args)
+}
+
+// args renders the selecting document for the catalog. The embedded custom
+// instance is spliced in verbatim rather than re-marshalled: the "custom"
+// family labels cells with a digest of the document bytes, and re-encoding
+// (compaction, HTML escaping) would silently change the labels of existing
+// campaign files across releases.
+func (t Topology) args() (json.RawMessage, error) {
+	inst := t.Instance
+	t.Instance = nil
+	b, err := json.Marshal(t)
+	if err != nil {
+		return nil, err
+	}
+	if len(inst) == 0 {
+		return b, nil
+	}
+	// b is a non-empty JSON object (family is never omitted); splice the
+	// verbatim instance bytes before the closing brace.
+	var buf bytes.Buffer
+	buf.Grow(len(b) + len(inst) + len(`,"instance":`))
+	buf.Write(b[:len(b)-1])
+	buf.WriteString(`,"instance":`)
+	buf.Write(inst)
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// Key renders the topology as a stable human-readable cell label. Invalid
+// selections fall back to the bare family name; they never survive
+// Validate, so only valid topologies are ever aggregated.
 func (t Topology) Key() string {
-	switch t.Family {
-	case "links":
-		return fmt.Sprintf("links(m=%d)", t.Size)
-	case "grid":
-		return fmt.Sprintf("grid(n=%d)", t.Size)
-	case "layered":
-		return fmt.Sprintf("layered(l=%d,w=%d)", t.layersOrDefault(), t.Size)
-	case "kink":
-		return fmt.Sprintf("kink(beta=%g)", t.Beta)
-	case "custom":
-		// Distinct custom documents must label (and cache as) distinct
-		// topologies, so tag the label with a digest of the document.
-		h := fnv.New32a()
-		h.Write(t.Instance)
-		return fmt.Sprintf("custom(%08x)", h.Sum32())
-	default:
+	b, err := t.builder()
+	if err != nil {
 		return t.Family
 	}
-}
-
-func (t Topology) layersOrDefault() int {
-	if t.Layers > 0 {
-		return t.Layers
-	}
-	return 3
+	return b.Key
 }
 
 // seeded reports whether the instance itself depends on the task seed.
-func (t Topology) seeded() bool { return t.Family == "layered" }
+func (t Topology) seeded() bool {
+	b, err := t.builder()
+	return err == nil && b.Seeded
+}
 
-// Build materialises the instance. Only layered uses the seed.
+// Build materialises the instance. Only seeded families use the seed.
 func (t Topology) Build(seed uint64) (*flow.Instance, error) {
-	switch t.Family {
-	case "pigou":
-		return topo.Pigou()
-	case "braess":
-		return topo.Braess()
-	case "kink":
-		return topo.TwoLinkKink(t.Beta)
-	case "links":
-		return topo.LinearParallelLinks(t.Size)
-	case "grid":
-		return topo.Grid(t.Size)
-	case "layered":
-		return topo.LayeredRandom(t.layersOrDefault(), t.Size, seed)
-	case "custom":
-		if len(t.Instance) == 0 {
-			return nil, fmt.Errorf("%w: custom topology requires an instance document", ErrBadCampaign)
-		}
-		doc, err := spec.Decode(bytes.NewReader(t.Instance))
-		if err != nil {
-			return nil, err
-		}
-		return doc.Build()
-	default:
-		return nil, fmt.Errorf("%w: unknown topology family %q", ErrBadCampaign, t.Family)
+	b, err := t.builder()
+	if err != nil {
+		return nil, badCampaign(err)
 	}
+	return b.New(seed)
 }
 
-// validate rejects obviously bad parameters at parse time so errors surface
+// Validate rejects obviously bad parameters at parse time so errors surface
 // before any worker starts.
-func (t Topology) validate() error {
-	switch t.Family {
-	case "pigou", "braess":
-		return nil
-	case "kink":
-		if t.Beta <= 0 {
-			return fmt.Errorf("%w: kink beta %g must be positive", ErrBadCampaign, t.Beta)
-		}
-		return nil
-	case "links":
-		if t.Size < 2 {
-			return fmt.Errorf("%w: links size %d must be >= 2", ErrBadCampaign, t.Size)
-		}
-		return nil
-	case "grid":
-		if t.Size < 2 {
-			return fmt.Errorf("%w: grid size %d must be >= 2", ErrBadCampaign, t.Size)
-		}
-		return nil
-	case "layered":
-		if t.Size < 1 {
-			return fmt.Errorf("%w: layered width %d must be >= 1", ErrBadCampaign, t.Size)
-		}
-		if t.Layers < 0 {
-			return fmt.Errorf("%w: layered layers %d must be >= 0 (0 = default)", ErrBadCampaign, t.Layers)
-		}
-		return nil
-	case "custom":
-		if len(t.Instance) == 0 {
-			return fmt.Errorf("%w: custom topology requires an instance document", ErrBadCampaign)
-		}
-		_, err := spec.Decode(bytes.NewReader(t.Instance))
-		return err
-	default:
-		return fmt.Errorf("%w: unknown topology family %q", ErrBadCampaign, t.Family)
-	}
+func (t Topology) Validate() error {
+	_, err := t.builder()
+	return badCampaign(err)
 }
 
-// PolicySpec selects a rerouting policy: a sampling rule plus an optional
-// non-default migration rule.
+// PolicySpec selects a rerouting policy — a sampling rule plus an optional
+// non-default migration rule — resolved through the policy catalogs, so any
+// registered sampler or migrator (builtin or user-added) is selectable by
+// name.
 type PolicySpec struct {
-	// Kind is the sampling rule: uniform, replicator (proportional),
-	// boltzmann.
+	// Kind is the sampling rule: uniform, replicator (or its alias
+	// proportional), boltzmann, or any registered sampler.
 	Kind string `json:"kind"`
 	// C is the Boltzmann concentration (kind=boltzmann).
 	C float64 `json:"c,omitempty"`
 	// Migrator overrides the migration rule: "" or "linear" (default,
 	// (1/ℓmax)-smooth), "alphalinear" (min{1, α·gain}), "betterresponse"
-	// (not α-smooth; incompatible with the "safe" period).
+	// (not α-smooth; incompatible with the "safe" period), or any registered
+	// migrator.
 	Migrator string `json:"migrator,omitempty"`
 	// Alpha is the alphalinear smoothness parameter.
 	Alpha float64 `json:"alpha,omitempty"`
+	// Params carries user-registered sampler/migrator parameters (decode
+	// with catalog.DecodeParams); builtin rules use the flat fields above.
+	// Like the flat fields, the object is one per-policy-document namespace
+	// shared by the sampler and the migrator selections — registrants should
+	// avoid reusing the builtin parameter names (c, alpha) for unrelated
+	// custom parameters, as builtins also honour overrides placed here.
+	Params json.RawMessage `json:"params,omitempty"`
 }
 
-// Key renders the policy as a stable cell label.
+// choices resolves the sampling and migration rules through the policy
+// catalogs, decoding and validating parameters.
+func (p PolicySpec) choices() (policy.SamplerChoice, policy.MigratorChoice, error) {
+	args, err := json.Marshal(p)
+	if err != nil {
+		return policy.SamplerChoice{}, policy.MigratorChoice{}, err
+	}
+	sc, err := policy.Samplers.Build(p.Kind, args)
+	if err != nil {
+		return policy.SamplerChoice{}, policy.MigratorChoice{}, err
+	}
+	migrator := p.Migrator
+	if migrator == "" {
+		migrator = "linear"
+	}
+	mc, err := policy.Migrators.Build(migrator, args)
+	if err != nil {
+		return policy.SamplerChoice{}, policy.MigratorChoice{}, err
+	}
+	return sc, mc, nil
+}
+
+// Key renders the policy as a stable cell label: the sampler's label plus
+// the migrator's suffix (the default linear rule contributes nothing).
+// Invalid selections fall back to the bare names; they never survive
+// Validate.
 func (p PolicySpec) Key() string {
-	s := p.Kind
-	if p.Kind == "boltzmann" {
-		s = fmt.Sprintf("boltzmann(c=%g)", p.C)
+	sc, mc, err := p.choices()
+	if err != nil {
+		if p.Migrator == "" || p.Migrator == "linear" {
+			return p.Kind
+		}
+		return p.Kind + "+" + p.Migrator
 	}
-	switch p.Migrator {
-	case "", "linear":
-		return s
-	case "alphalinear":
-		return fmt.Sprintf("%s+alphalinear(%g)", s, p.Alpha)
-	default:
-		return s + "+" + p.Migrator
-	}
+	return sc.Key + mc.KeySuffix
 }
 
 // Build materialises the policy for an instance (the default linear migrator
 // is sized to the instance's ℓmax).
 func (p PolicySpec) Build(inst *flow.Instance) (policy.Policy, error) {
-	var sampler policy.Sampler
-	switch p.Kind {
-	case "uniform":
-		sampler = policy.Uniform{}
-	case "replicator", "proportional":
-		sampler = policy.Proportional{}
-	case "boltzmann":
-		if p.C < 0 {
-			return policy.Policy{}, fmt.Errorf("%w: boltzmann c %g must be >= 0", ErrBadCampaign, p.C)
-		}
-		sampler = policy.Boltzmann{C: p.C}
-	default:
-		return policy.Policy{}, fmt.Errorf("%w: unknown policy kind %q", ErrBadCampaign, p.Kind)
+	sc, mc, err := p.choices()
+	if err != nil {
+		return policy.Policy{}, badCampaign(err)
 	}
-	var migrator policy.Migrator
-	switch p.Migrator {
-	case "", "linear":
-		lin, err := policy.NewLinear(inst.LMax())
-		if err != nil {
-			return policy.Policy{}, err
-		}
-		migrator = lin
-	case "alphalinear":
-		al, err := policy.NewAlphaLinear(p.Alpha)
-		if err != nil {
-			return policy.Policy{}, err
-		}
-		migrator = al
-	case "betterresponse":
-		migrator = policy.BetterResponse{}
-	default:
-		return policy.Policy{}, fmt.Errorf("%w: unknown migrator %q", ErrBadCampaign, p.Migrator)
+	migrator, err := mc.New(inst.LMax())
+	if err != nil {
+		return policy.Policy{}, badCampaign(err)
 	}
-	return policy.Policy{Sampler: sampler, Migrator: migrator}, nil
+	return policy.Policy{Sampler: sc.Sampler, Migrator: migrator}, nil
 }
 
-func (p PolicySpec) validate() error {
-	switch p.Kind {
-	case "uniform", "replicator", "proportional":
-	case "boltzmann":
-		if p.C < 0 {
-			return fmt.Errorf("%w: boltzmann c %g must be >= 0", ErrBadCampaign, p.C)
-		}
-	default:
-		return fmt.Errorf("%w: unknown policy kind %q", ErrBadCampaign, p.Kind)
-	}
-	switch p.Migrator {
-	case "", "linear", "betterresponse":
-	case "alphalinear":
-		if p.Alpha <= 0 {
-			return fmt.Errorf("%w: alphalinear alpha %g must be positive", ErrBadCampaign, p.Alpha)
-		}
-	default:
-		return fmt.Errorf("%w: unknown migrator %q", ErrBadCampaign, p.Migrator)
-	}
-	return nil
+// Validate rejects bad sampler/migrator selections at parse time, before
+// any instance exists to size the migration rule against.
+func (p PolicySpec) Validate() error {
+	_, _, err := p.choices()
+	return badCampaign(err)
 }
 
 // Period is one update-period axis value: either the literal "safe" (resolve
@@ -354,6 +329,45 @@ type Task struct {
 	Delta     float64
 	SeedIndex int
 	Seed      uint64
+
+	// meta caches the catalog resolution performed once per axis entry at
+	// expansion time (labels and seededness only — plain comparable values),
+	// so workers do not re-pay the resolution (for custom topologies, a full
+	// decode of the embedded instance document) per task. Hand-constructed
+	// tasks leave it nil and resolve lazily.
+	meta *taskMeta
+}
+
+// taskMeta is the expansion-time catalog resolution shared by every task of
+// one (topology, policy) axis pair.
+type taskMeta struct {
+	topoKey   string
+	policyKey string
+	seeded    bool
+}
+
+// topologyLabel, policyLabel and topologySeeded return the cached
+// resolution, falling back to fresh catalog lookups for tasks not created by
+// Expand.
+func (t Task) topologyLabel() string {
+	if t.meta != nil {
+		return t.meta.topoKey
+	}
+	return t.Topology.Key()
+}
+
+func (t Task) policyLabel() string {
+	if t.meta != nil {
+		return t.meta.policyKey
+	}
+	return t.Policy.Key()
+}
+
+func (t Task) topologySeeded() bool {
+	if t.meta != nil {
+		return t.meta.seeded
+	}
+	return t.Topology.seeded()
 }
 
 // cellKey is the shared aggregation-cell label: every axis except the seed.
@@ -364,7 +378,7 @@ func cellKey(topology, policy, period string, agents int, delta float64) string 
 
 // CellKey is the task's aggregation cell (every axis except the seed).
 func (t Task) CellKey() string {
-	return cellKey(t.Topology.Key(), t.Policy.Key(), t.Period.String(), t.Agents, t.Delta)
+	return cellKey(t.topologyLabel(), t.policyLabel(), t.Period.String(), t.Agents, t.Delta)
 }
 
 // Validate checks the campaign's axes and scalars without building instances.
@@ -379,12 +393,12 @@ func (c *Campaign) Validate() error {
 		return fmt.Errorf("%w: no update periods", ErrBadCampaign)
 	}
 	for _, t := range c.Topologies {
-		if err := t.validate(); err != nil {
+		if err := t.Validate(); err != nil {
 			return err
 		}
 	}
 	for _, p := range c.Policies {
-		if err := p.validate(); err != nil {
+		if err := p.Validate(); err != nil {
 			return err
 		}
 	}
@@ -409,10 +423,8 @@ func (c *Campaign) Validate() error {
 	if c.MaxPhases < 0 {
 		return fmt.Errorf("%w: maxPhases %d must be >= 0", ErrBadCampaign, c.MaxPhases)
 	}
-	switch c.Start {
-	case "", "uniform", "worst", "skewed":
-	default:
-		return fmt.Errorf("%w: unknown start %q (want uniform, worst or skewed)", ErrBadCampaign, c.Start)
+	if _, err := engine.LookupStart(c.Start); err != nil {
+		return badCampaign(err)
 	}
 	for _, d := range c.Deltas {
 		if d <= 0 {
@@ -444,13 +456,20 @@ func (c *Campaign) Expand() ([]Task, error) {
 	tasks := make([]Task, 0, len(c.Topologies)*len(c.Policies)*len(c.UpdatePeriods)*len(agents)*len(deltas)*seeds)
 	id := 0
 	for _, tp := range c.Topologies {
+		// Resolve the catalog once per axis entry; every task of the entry
+		// shares the result instead of re-paying resolution in the workers.
+		b, err := tp.builder()
+		if err != nil {
+			return nil, badCampaign(err)
+		}
 		// Seeds are a pure function of (BaseSeed, topology, replicate):
 		// fold the topology label into the base so distinct topologies get
 		// independent streams while cells sharing one stay paired.
 		h := fnv.New64a()
-		h.Write([]byte(tp.Key()))
+		h.Write([]byte(b.Key))
 		topoBase := c.BaseSeed ^ h.Sum64()
 		for _, pol := range c.Policies {
+			meta := &taskMeta{topoKey: b.Key, policyKey: pol.Key(), seeded: b.Seeded}
 			for _, per := range c.UpdatePeriods {
 				for _, n := range agents {
 					for _, d := range deltas {
@@ -464,6 +483,7 @@ func (c *Campaign) Expand() ([]Task, error) {
 								Delta:     d,
 								SeedIndex: s,
 								Seed:      topo.DeriveSeed(topoBase, uint64(s)),
+								meta:      meta,
 							})
 							id++
 						}

@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"wardrop/internal/flow"
+	"wardrop/internal/topo"
+)
+
+// sampleTopologies gives one representative selection per registered
+// topology family. The determinism test fails when a registered family has
+// no sample, so new families cannot silently escape coverage.
+var sampleTopologies = map[string]Topology{
+	"pigou":   {Family: "pigou"},
+	"braess":  {Family: "braess"},
+	"kink":    {Family: "kink", Beta: 4},
+	"links":   {Family: "links", Size: 5},
+	"grid":    {Family: "grid", Size: 3},
+	"layered": {Family: "layered", Size: 2, Layers: 2},
+	"custom": {Family: "custom", Instance: json.RawMessage(`{
+	  "nodes": ["s", "t"],
+	  "edges": [
+	    {"from": "s", "to": "t", "latency": {"kind": "linear", "slope": 2}},
+	    {"from": "s", "to": "t", "latency": {"kind": "constant", "c": 1}}
+	  ],
+	  "commodities": [{"source": "s", "sink": "t", "demand": 1}]
+	}`)},
+}
+
+// fingerprint summarises an instance for equality comparison: structure plus
+// the path latencies at the uniform flow (which exercise every latency
+// function).
+func fingerprint(t *testing.T, inst *flow.Instance) []float64 {
+	t.Helper()
+	fp := []float64{float64(inst.NumPaths()), float64(inst.NumCommodities()), float64(inst.MaxPathLen()), inst.LMax(), inst.Beta()}
+	return append(fp, inst.PathLatencies(inst.UniformFlow())...)
+}
+
+// Every registered topology family must be deterministic: the same family,
+// parameters and seed always produce the same instance. Cell aggregation,
+// the sweep instance cache and replicate pairing all assume this.
+func TestEveryRegisteredTopologyFamilyDeterministic(t *testing.T) {
+	const seed = 12345
+	for _, family := range topo.Catalog.Names() {
+		sample, ok := sampleTopologies[family]
+		if !ok {
+			t.Errorf("registered topology family %q has no determinism sample; add one", family)
+			continue
+		}
+		if err := sample.Validate(); err != nil {
+			t.Errorf("%s: validate: %v", family, err)
+			continue
+		}
+		a, err := sample.Build(seed)
+		if err != nil {
+			t.Errorf("%s: build: %v", family, err)
+			continue
+		}
+		b, err := sample.Build(seed)
+		if err != nil {
+			t.Errorf("%s: rebuild: %v", family, err)
+			continue
+		}
+		fa, fb := fingerprint(t, a), fingerprint(t, b)
+		if len(fa) != len(fb) {
+			t.Errorf("%s: fingerprints differ in length: %d vs %d", family, len(fa), len(fb))
+			continue
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Errorf("%s: fingerprint[%d] = %g vs %g (not deterministic)", family, i, fa[i], fb[i])
+			}
+		}
+		if sample.Key() != sample.Key() {
+			t.Errorf("%s: Key not deterministic", family)
+		}
+	}
+}
+
+// Seeded families must actually respond to the seed (otherwise pairing
+// replicates across cells is meaningless), and unseeded families must
+// ignore it.
+func TestSeededFamiliesUseTheSeed(t *testing.T) {
+	for _, family := range topo.Catalog.Names() {
+		sample, ok := sampleTopologies[family]
+		if !ok {
+			continue // reported by the determinism test
+		}
+		a, err := sample.Build(1)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		b, err := sample.Build(2)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		fa, fb := fingerprint(t, a), fingerprint(t, b)
+		same := len(fa) == len(fb)
+		if same {
+			for i := range fa {
+				if fa[i] != fb[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if sample.seeded() && same {
+			t.Errorf("%s: seeded family ignored the seed", family)
+		}
+		if !sample.seeded() && !same {
+			t.Errorf("%s: unseeded family depends on the seed", family)
+		}
+	}
+}
+
+// The builtin cell labels are pinned byte for byte: golden result files and
+// aggregation keys from earlier releases must keep parsing into the same
+// cells after the catalog rewire.
+func TestBuiltinTopologyKeysPinned(t *testing.T) {
+	cases := map[string]string{
+		"pigou":   "pigou",
+		"braess":  "braess",
+		"kink":    "kink(beta=4)",
+		"links":   "links(m=5)",
+		"grid":    "grid(n=3)",
+		"layered": "layered(l=2,w=2)",
+	}
+	for family, want := range cases {
+		if got := sampleTopologies[family].Key(); got != want {
+			t.Errorf("%s: Key() = %q, want %q", family, got, want)
+		}
+	}
+	// Layered with the default layer count.
+	if got := (Topology{Family: "layered", Size: 4}).Key(); got != "layered(l=3,w=4)" {
+		t.Errorf("layered default Key() = %q, want layered(l=3,w=4)", got)
+	}
+}
+
+// The custom-topology label digests the embedded document's verbatim bytes
+// — exactly as pre-catalog releases did — so archived sweep results keep
+// joining against re-runs of the same campaign file. Whitespace variants of
+// one document are distinct topologies, as before.
+func TestCustomTopologyKeyDigestsVerbatimBytes(t *testing.T) {
+	pretty := json.RawMessage("{\n  \"nodes\": [\"s\", \"t\"],\n  \"edges\": [\n    {\"from\": \"s\", \"to\": \"t\", \"latency\": {\"kind\": \"linear\", \"slope\": 1}},\n    {\"from\": \"s\", \"to\": \"t\", \"latency\": {\"kind\": \"constant\", \"c\": 1}}\n  ],\n  \"commodities\": [{\"source\": \"s\", \"sink\": \"t\", \"demand\": 1}]\n}")
+	h := fnv.New32a()
+	h.Write(pretty)
+	want := fmt.Sprintf("custom(%08x)", h.Sum32())
+	if got := (Topology{Family: "custom", Instance: pretty}).Key(); got != want {
+		t.Errorf("Key() = %q, want %q (digest must cover the verbatim document bytes)", got, want)
+	}
+	var compacted bytes.Buffer
+	if err := json.Compact(&compacted, pretty); err != nil {
+		t.Fatal(err)
+	}
+	if got := (Topology{Family: "custom", Instance: compacted.Bytes()}).Key(); got == want {
+		t.Error("whitespace variants of the document unexpectedly share a label")
+	}
+}
+
+// The builtin policy labels are pinned byte for byte as well.
+func TestBuiltinPolicyKeysPinned(t *testing.T) {
+	cases := []struct {
+		spec PolicySpec
+		want string
+	}{
+		{PolicySpec{Kind: "uniform"}, "uniform"},
+		{PolicySpec{Kind: "replicator"}, "replicator"},
+		{PolicySpec{Kind: "proportional"}, "proportional"},
+		{PolicySpec{Kind: "boltzmann", C: 4}, "boltzmann(c=4)"},
+		{PolicySpec{Kind: "uniform", Migrator: "linear"}, "uniform"},
+		{PolicySpec{Kind: "uniform", Migrator: "alphalinear", Alpha: 0.5}, "uniform+alphalinear(0.5)"},
+		{PolicySpec{Kind: "replicator", Migrator: "betterresponse"}, "replicator+betterresponse"},
+		{PolicySpec{Kind: "boltzmann", C: 2, Migrator: "alphalinear", Alpha: 1.5}, "boltzmann(c=2)+alphalinear(1.5)"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Key(); got != c.want {
+			t.Errorf("%+v: Key() = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzParseCampaign asserts the campaign parse contract: ParseCampaign never
+// panics, every failure wraps ErrBadCampaign, and every accepted campaign
+// expands into its task list without error (validation and expansion must
+// agree on what is valid).
+func FuzzParseCampaign(f *testing.F) {
+	f.Add([]byte(demoCampaign))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"topologies": [{"family":"moebius"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`))
+	f.Add([]byte(`{"topologies": [{"family":"kink","beta":-2}], "policies": [{"kind":"boltzmann","c":-1}], "updatePeriods": ["safe"], "horizon": 1}`))
+	f.Add([]byte(`{"topologies": [{"family":"custom","instance":{"nodes":[]}}], "policies": [{"kind":"uniform","migrator":"teleport"}], "updatePeriods": ["soon"], "maxPhases": -1}`))
+	f.Add([]byte(`{"topologies": [{"family":"layered","size":2,"layers":-1}], "policies": [{"kind":"uniform"}], "updatePeriods": [0.5], "horizon": 1, "deltas": [-0.1], "start": "sideways"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseCampaign(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadCampaign) {
+				t.Fatalf("ParseCampaign failure does not wrap ErrBadCampaign: %v", err)
+			}
+			return
+		}
+		// Bound the cross product before expanding: the fuzzer may write
+		// huge axis sizes, and this test is about panics and error
+		// classification, not about materialising giant task lists.
+		size := len(c.Topologies) * len(c.Policies) * len(c.UpdatePeriods)
+		if n := len(c.Agents); n > 0 {
+			size *= n
+		}
+		if n := len(c.Deltas); n > 0 {
+			size *= n
+		}
+		if n := c.Seeds; n > 1 {
+			size *= n
+		}
+		if size > 4096 {
+			t.Skip("cross product too large for a fuzz iteration")
+		}
+		if _, err := c.Expand(); err != nil {
+			t.Fatalf("validated campaign failed to expand: %v", err)
+		}
+	})
+}

@@ -248,8 +248,8 @@ func isolated(t Task, fn func() Record) (rec Record) {
 func errorRecord(t Task, err error) Record {
 	return Record{
 		ID:        t.ID,
-		Topology:  t.Topology.Key(),
-		Policy:    t.Policy.Key(),
+		Topology:  t.topologyLabel(),
+		Policy:    t.policyLabel(),
 		Period:    t.Period.String(),
 		Agents:    t.Agents,
 		Delta:     t.Delta,
@@ -330,8 +330,8 @@ func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map) Record {
 
 	rec := Record{
 		ID:        t.ID,
-		Topology:  t.Topology.Key(),
-		Policy:    t.Policy.Key(),
+		Topology:  t.topologyLabel(),
+		Policy:    t.policyLabel(),
 		Period:    t.Period.String(),
 		T:         T,
 		Agents:    t.Agents,
@@ -361,10 +361,12 @@ func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map) Record {
 
 // instanceFor returns the cached (instance, Φ*) pair for the task's topology
 // cell, building and solving at most once per cell. Seed-dependent families
-// (layered) cache per seed.
+// (layered) cache per seed. Labels and seededness come from the task's
+// expansion-time catalog resolution, so cache hits pay no JSON work; the
+// catalog constructor runs once per cell inside the entry's once.
 func instanceFor(t Task, cache *sync.Map) *instEntry {
-	key := t.Topology.Key()
-	if t.Topology.seeded() {
+	key := t.topologyLabel()
+	if t.topologySeeded() {
 		key = fmt.Sprintf("%s#%d", key, t.Seed)
 	}
 	v, _ := cache.LoadOrStore(key, &instEntry{})
@@ -393,50 +395,12 @@ func instanceFor(t Task, cache *sync.Map) *instEntry {
 	return entry
 }
 
-// startFlow builds the campaign's initial flow on an instance.
+// startFlow builds the campaign's initial flow on an instance through the
+// start-distribution catalog.
 func startFlow(inst *flow.Instance, start string) (flow.Vector, error) {
-	switch start {
-	case "", "uniform":
-		return inst.UniformFlow(), nil
-	case "worst":
-		f := make(flow.Vector, inst.NumPaths())
-		freeFlow := inst.PathLatencies(make(flow.Vector, inst.NumPaths()))
-		for i := 0; i < inst.NumCommodities(); i++ {
-			lo, _ := inst.CommodityRange(i)
-			f[lo+worstPath(inst, i, freeFlow)] = inst.Commodity(i).Demand
-		}
-		return f, nil
-	case "skewed":
-		// 90% of each commodity's demand on its worst path, the rest spread
-		// evenly — keeps proportional sampling non-degenerate (it cannot
-		// leave a path with exactly zero flow).
-		f := make(flow.Vector, inst.NumPaths())
-		freeFlow := inst.PathLatencies(make(flow.Vector, inst.NumPaths()))
-		for i := 0; i < inst.NumCommodities(); i++ {
-			lo, hi := inst.CommodityRange(i)
-			d := inst.Commodity(i).Demand
-			rest := 0.1 * d / float64(hi-lo)
-			for g := lo; g < hi; g++ {
-				f[g] = rest
-			}
-			f[lo+worstPath(inst, i, freeFlow)] += 0.9 * d
-		}
-		return f, nil
-	default:
-		return nil, fmt.Errorf("%w: unknown start %q", ErrBadCampaign, start)
+	f, err := engine.BuildStart(start, inst)
+	if err != nil {
+		return nil, badCampaign(err)
 	}
-}
-
-// worstPath returns the commodity-local index of the path with the highest
-// free-flow latency — the adversarial start of the scaling experiments.
-// freeFlow is the instance's path-latency vector at zero flow.
-func worstPath(inst *flow.Instance, commodity int, freeFlow []float64) int {
-	lo, hi := inst.CommodityRange(commodity)
-	best, bestVal := 0, math.Inf(-1)
-	for g := lo; g < hi; g++ {
-		if freeFlow[g] > bestVal {
-			best, bestVal = g-lo, freeFlow[g]
-		}
-	}
-	return best
+	return f, nil
 }

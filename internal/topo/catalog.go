@@ -1,0 +1,142 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"wardrop/internal/catalog"
+	"wardrop/internal/flow"
+)
+
+// Builder is a materialised topology selection: the stable cell label the
+// sweep and scenario layers aggregate under, whether the instance depends on
+// the seed, and the seed-taking constructor. Catalog entries decode and
+// validate their parameters once and return a Builder, so label computation
+// and construction cannot disagree.
+type Builder struct {
+	// Key is the stable human-readable cell label ("links(m=8)", …).
+	Key string
+	// Seeded reports that New's result depends on the seed (random families).
+	Seeded bool
+	// New constructs the instance. Unseeded families ignore the seed.
+	New func(seed uint64) (*flow.Instance, error)
+}
+
+// Catalog is the registry of topology families. The sweep campaign layer,
+// the scenario layer and the CLIs dispatch instance construction through it;
+// users add families with Register (wardrop.RegisterTopology). The "custom"
+// family (an embedded instance document) is contributed by the spec package,
+// which owns the instance file format.
+var Catalog = newCatalog()
+
+// catalogArgs mirrors the flat JSON fields of a topology document (the same
+// fields sweep.Topology carries for programmatic construction).
+type catalogArgs struct {
+	Size   int     `json:"size"`
+	Layers int     `json:"layers"`
+	Beta   float64 `json:"beta"`
+}
+
+// builtin wraps a constructor on the shared flat-args vocabulary into a
+// catalog Build func.
+func builtin(build func(a catalogArgs) (Builder, error)) func(json.RawMessage) (Builder, error) {
+	return func(raw json.RawMessage) (Builder, error) {
+		var a catalogArgs
+		if err := catalog.DecodeArgs(raw, &a); err != nil {
+			return Builder{}, fmt.Errorf("%w: %v", ErrBadParam, err)
+		}
+		return build(a)
+	}
+}
+
+// fixed returns a Builder for a parameterless, seed-independent family.
+func fixed(key string, build func() (*flow.Instance, error)) Builder {
+	return Builder{Key: key, New: func(uint64) (*flow.Instance, error) { return build() }}
+}
+
+func newCatalog() *catalog.Registry[Builder] {
+	r := catalog.NewRegistry[Builder]("topology")
+	r.MustRegister(catalog.Entry[Builder]{
+		Name:  "pigou",
+		Doc:   "the Pigou network: ℓ1(x) = x against ℓ2(x) = 1, demand 1",
+		Build: builtin(func(catalogArgs) (Builder, error) { return fixed("pigou", Pigou), nil }),
+	})
+	r.MustRegister(catalog.Entry[Builder]{
+		Name:  "braess",
+		Doc:   "the Braess paradox network with the zero-latency bridge",
+		Build: builtin(func(catalogArgs) (Builder, error) { return fixed("braess", Braess), nil }),
+	})
+	r.MustRegister(catalog.Entry[Builder]{
+		Name: "kink",
+		Doc:  "the paper's §3.2 two-link oscillation instance",
+		Params: []catalog.Param{
+			{Name: "beta", Type: "float", Doc: "kink slope (> 0)"},
+		},
+		Build: builtin(func(a catalogArgs) (Builder, error) {
+			if a.Beta <= 0 {
+				return Builder{}, fmt.Errorf("%w: kink beta %g must be positive", ErrBadParam, a.Beta)
+			}
+			return fixed(fmt.Sprintf("kink(beta=%g)", a.Beta), func() (*flow.Instance, error) {
+				return TwoLinkKink(a.Beta)
+			}), nil
+		}),
+	})
+	r.MustRegister(catalog.Entry[Builder]{
+		Name: "links",
+		Doc:  "m parallel links with staggered affine latencies",
+		Params: []catalog.Param{
+			{Name: "size", Type: "int", Doc: "link count m (>= 2)"},
+		},
+		Build: builtin(func(a catalogArgs) (Builder, error) {
+			if a.Size < 2 {
+				return Builder{}, fmt.Errorf("%w: links size %d must be >= 2", ErrBadParam, a.Size)
+			}
+			return fixed(fmt.Sprintf("links(m=%d)", a.Size), func() (*flow.Instance, error) {
+				return LinearParallelLinks(a.Size)
+			}), nil
+		}),
+	})
+	r.MustRegister(catalog.Entry[Builder]{
+		Name: "grid",
+		Doc:  "n×n directed grid, corner to corner, affine latencies",
+		Params: []catalog.Param{
+			{Name: "size", Type: "int", Doc: "grid side n (>= 2)"},
+		},
+		Build: builtin(func(a catalogArgs) (Builder, error) {
+			if a.Size < 2 {
+				return Builder{}, fmt.Errorf("%w: grid size %d must be >= 2", ErrBadParam, a.Size)
+			}
+			return fixed(fmt.Sprintf("grid(n=%d)", a.Size), func() (*flow.Instance, error) {
+				return Grid(a.Size)
+			}), nil
+		}),
+	})
+	r.MustRegister(catalog.Entry[Builder]{
+		Name: "layered",
+		Doc:  "layered random DAG with seed-deterministic affine latencies",
+		Params: []catalog.Param{
+			{Name: "size", Type: "int", Doc: "nodes per hidden layer (>= 1)"},
+			{Name: "layers", Type: "int", Doc: "hidden-layer count (0 = default 3)"},
+		},
+		Build: builtin(func(a catalogArgs) (Builder, error) {
+			if a.Size < 1 {
+				return Builder{}, fmt.Errorf("%w: layered width %d must be >= 1", ErrBadParam, a.Size)
+			}
+			if a.Layers < 0 {
+				return Builder{}, fmt.Errorf("%w: layered layers %d must be >= 0 (0 = default)", ErrBadParam, a.Layers)
+			}
+			layers := a.Layers
+			if layers == 0 {
+				layers = 3
+			}
+			return Builder{
+				Key:    fmt.Sprintf("layered(l=%d,w=%d)", layers, a.Size),
+				Seeded: true,
+				New: func(seed uint64) (*flow.Instance, error) {
+					return LayeredRandom(layers, a.Size, seed)
+				},
+			}, nil
+		}),
+	})
+	return r
+}

@@ -22,7 +22,15 @@
 //     (TrajectoryRecorder, EquilibriumStopper, ProgressReporter, or your
 //     own) to watch or stop the run;
 //   - compute reference equilibria with SolveEquilibrium and compare using
-//     the potential and the (δ,ε)-equilibrium metrics on Instance.
+//     the potential and the (δ,ε)-equilibrium metrics on Instance;
+//   - or skip the Go assembly entirely: ParseScenario loads a declarative
+//     scenario file (instance-or-topology, policy, update period, engine and
+//     run shape — the single-run counterpart of a campaign cell), and every
+//     component in it resolves through the registry-driven catalog — extend
+//     the library with RegisterLatency, RegisterTopology, RegisterPolicy and
+//     RegisterMigrator, and the new names become selectable from instance
+//     documents, scenario files, campaign axes and the CLIs alike (list
+//     everything with Catalog or wardsim -list).
 //
 // The quickstart example:
 //
