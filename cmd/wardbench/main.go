@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	wardbench                 # run everything
-//	wardbench -exp e1,e8      # run a subset
-//	wardbench -csv out/       # also write one CSV per table
+//	wardbench                              # run everything
+//	wardbench -exp e1,e8                   # run a subset
+//	wardbench -csv out/                    # also write one CSV per table
+//	wardbench -benchjson BENCH_kernel.json # also emit machine-readable results
 package main
 
 import (
@@ -14,7 +15,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"wardrop/internal/experiments"
 	"wardrop/internal/report"
@@ -31,6 +34,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("wardbench", flag.ContinueOnError)
 	expFlag := fs.String("exp", "all", "comma-separated experiment ids (e1..e12, ablation) or 'all'")
 	csvDir := fs.String("csv", "", "directory to write per-experiment CSV files (optional)")
+	benchJSON := fs.String("benchjson", "", "file to write machine-readable results (ns, allocs, headline metric per experiment plus kernel-vs-reference benchmarks)")
+	benchGrid := fs.Int("benchgrid", 6, "grid size for the kernel benchmark suite in -benchjson (0 skips the suite)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,10 +77,25 @@ func run(args []string) error {
 		}
 	}
 
+	var exps []expEntry
 	for _, id := range ids {
+		var m0 runtime.MemStats
+		var start time.Time
+		if *benchJSON != "" {
+			runtime.ReadMemStats(&m0)
+			start = time.Now()
+		}
 		tbl, err := runners[id]()
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *benchJSON != "" {
+			wall := time.Since(start)
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			e := expEntry{ID: id, WallNs: float64(wall.Nanoseconds()), AllocsPerOp: int64(m1.Mallocs - m0.Mallocs)}
+			e.Metric, e.Value, _ = headline(id, tbl)
+			exps = append(exps, e)
 		}
 		fmt.Println(tbl.Render())
 		if *csvDir != "" {
@@ -96,6 +116,20 @@ func run(args []string) error {
 			}
 			fmt.Printf("wrote %s\n\n", path)
 		}
+	}
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			return err
+		}
+		if err := writeBenchJSON(f, *benchGrid, exps); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
 	}
 	return nil
 }

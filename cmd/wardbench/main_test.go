@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"wardrop/internal/report"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
@@ -32,5 +35,50 @@ func TestRunSingleExperimentAndCSV(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_kernel.json")
+	// -benchgrid 0 skips the (slow) kernel suite; the experiment entries
+	// and document shape are what this test pins.
+	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Schema != "wardrop/bench/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "e1" {
+		t.Fatalf("experiments = %+v", rep.Experiments)
+	}
+	e := rep.Experiments[0]
+	if e.WallNs <= 0 || e.AllocsPerOp <= 0 {
+		t.Errorf("entry not measured: %+v", e)
+	}
+	if e.Metric != "worst-rel-amp-err" {
+		t.Errorf("headline metric = %q", e.Metric)
+	}
+}
+
+func TestHeadlineCoversEveryExperiment(t *testing.T) {
+	// Every runnable id must map to a headline extractor (or be knowingly
+	// headline-free); a new experiment without one should fail loudly here.
+	tbl := &report.Table{Rows: [][]string{
+		{"1", "1", "1", "1", "1", "1"},
+		{"2", "2", "2", "2", "2", "2"},
+	}}
+	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "ablation", "e6s", "e7s", "e8s"} {
+		if name, _, ok := headline(id, tbl); !ok || name == "" {
+			t.Errorf("experiment %s has no headline metric", id)
+		}
 	}
 }

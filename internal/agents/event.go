@@ -6,6 +6,7 @@ import (
 
 	"wardrop/internal/board"
 	"wardrop/internal/dynamics"
+	"wardrop/internal/flow"
 	"wardrop/internal/policy"
 )
 
@@ -54,54 +55,53 @@ func (s *Sim) RunEventDrivenContext(ctx context.Context) (*dynamics.Result, erro
 	for _, a := range all {
 		counts[s.inst.GlobalIndex(int(a.commodity), int(a.path))]++
 	}
-	empirical := func() []float64 {
-		f := make([]float64, len(counts))
-		for g, c := range counts {
-			f[g] = c * s.weights[s.inst.CommodityOf(g)]
-		}
-		return f
-	}
 
 	res := &dynamics.Result{}
 	nPaths := s.inst.NumPaths()
-	var fe, le []float64
-	pl := make([]float64, nPaths)
+	ws := s.cfg.Workspace
+	ws.Reset()
+	ev := flow.NewEvaluator(s.inst, ws)
+	curF := flow.Vector(ws.Floats(nPaths))
+	prevF := ws.Floats(nPaths)
+	changed := make([]int, 0, nPaths)
 	probTab := make([][]float64, s.inst.NumCommodities())
 	for i := range probTab {
 		n := s.inst.NumCommodityPaths(i)
-		probTab[i] = make([]float64, n*n)
+		probTab[i] = ws.Floats(n * n)
+	}
+	sharedSampler := policy.OriginInvariant(s.cfg.Policy.Sampler)
+
+	// refresh brings the evaluator in line with the current counts: between
+	// board refreshes only individually activated agents moved, so the
+	// incremental path touches a handful of edges (bit-identical to the
+	// full reference evaluation either way).
+	refresh := func() {
+		for g := range curF {
+			curF[g] = counts[g] * s.weights[s.inst.CommodityOf(g)]
+		}
+		syncEvaluator(ev, curF, prevF, &changed)
 	}
 
 	post := func(t float64, phase int) (dynamics.PhaseInfo, board.Snapshot) {
-		f := empirical()
-		fe = s.inst.EdgeFlows(f, fe)
-		le = s.inst.EdgeLatencies(fe, le)
-		s.inst.PathLatenciesFromEdges(le, pl)
-		phi := s.inst.PotentialFromEdges(fe)
+		refresh()
+		pl := ev.PathLatencies()
 		snap := board.Snapshot{
 			Time:          t,
-			EdgeLatencies: append([]float64(nil), le...),
-			PathLatencies: append([]float64(nil), pl...),
-			PathFlows:     f,
+			EdgeLatencies: ev.EdgeLatencies(),
+			PathLatencies: pl,
+			PathFlows:     curF,
 		}
 		b.Post(snap)
-		for i := range probTab {
-			lo, hi := s.inst.CommodityRange(i)
-			n := hi - lo
-			for origin := 0; origin < n; origin++ {
-				s.cfg.Policy.Sampler.Probabilities(origin, snap.PathFlows[lo:hi], snap.PathLatencies[lo:hi],
-					probTab[i][origin*n:(origin+1)*n])
-			}
-		}
-		return dynamics.PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}, snap
+		s.fillProbTab(probTab, sharedSampler, snap)
+		return dynamics.PhaseInfo{Index: phase, Time: t, Flow: curF, PathLatencies: pl, Potential: ev.Potential()}, snap
 	}
 
 	// partial fills the result's terminal fields from the current empirical
 	// state; shared by completion and cancellation paths.
 	partial := func(elapsed float64) *dynamics.Result {
-		final := empirical()
-		res.Final = final
-		res.FinalPotential = s.inst.Potential(final)
+		refresh()
+		res.Final = curF.Clone()
+		res.FinalPotential = ev.Potential()
 		res.Elapsed = elapsed
 		return res
 	}

@@ -73,6 +73,10 @@ type Config struct {
 	// StopAfterSatisfiedStreak stops the run once this many consecutive
 	// phases started at the configured approximate equilibrium (0 disables).
 	StopAfterSatisfiedStreak int
+	// Workspace, if non-nil, supplies the run's evaluation scratch (board
+	// latencies, sampling tables, flow buffers; Reset at run entry); nil
+	// allocates privately. See flow.Workspace for the reuse contract.
+	Workspace *flow.Workspace
 }
 
 // Sim is a configured simulation bound to an instance. Create with New, run
@@ -198,6 +202,18 @@ func New(inst *flow.Instance, cfg Config) (*Sim, error) {
 // times agent weights).
 func (s *Sim) EmpiricalFlow() flow.Vector {
 	f := make(flow.Vector, s.inst.NumPaths())
+	s.empiricalInto(f)
+	return f
+}
+
+// empiricalInto writes the current empirical flow into f, reusing the
+// caller's buffer. The accumulation (shard-major, ascending path, zero
+// counts skipped) is exactly EmpiricalFlow's, so the reused-buffer value is
+// bitwise the allocating one.
+func (s *Sim) empiricalInto(f flow.Vector) {
+	for g := range f {
+		f[g] = 0
+	}
 	for w := range s.counts {
 		for g, c := range s.counts[w] {
 			if c != 0 {
@@ -205,7 +221,6 @@ func (s *Sim) EmpiricalFlow() flow.Vector {
 			}
 		}
 	}
-	return f
 }
 
 // Run simulates until the horizon (or a hook stop) and returns the result.
@@ -225,6 +240,14 @@ func newAcct(cfg Config) dynamics.RoundAccounting {
 // match the dynamics package. Cancellation is checked between phases: when
 // ctx is done the partial result accumulated so far is returned together
 // with ctx.Err().
+//
+// Board refreshes run on the compiled flow.Evaluator kernel: because a
+// phase only moves agents between a few paths, the refresh diffs the
+// empirical flow against the previous phase and applies an incremental
+// update touching only the affected edges and dependent paths (falling
+// back to a full evaluation when the phase churned most of the strategy
+// space). Both modes are bit-identical to the full reference evaluation,
+// so the board — and hence every sampled decision — is unchanged.
 func (s *Sim) RunContext(ctx context.Context) (*dynamics.Result, error) {
 	b, err := board.New(s.cfg.UpdatePeriod)
 	if err != nil {
@@ -232,45 +255,67 @@ func (s *Sim) RunContext(ctx context.Context) (*dynamics.Result, error) {
 	}
 	res := &dynamics.Result{}
 	nPaths := s.inst.NumPaths()
-	var fe, le []float64
-	pl := make([]float64, nPaths)
+	ws := s.cfg.Workspace
+	ws.Reset()
+	ev := flow.NewEvaluator(s.inst, ws)
+	// Double-buffered empirical flow: curF is the phase-start state posted
+	// on the board (stable while shards run), prevF the previous phase's,
+	// so the refresh knows exactly which paths changed.
+	curF := flow.Vector(ws.Floats(nPaths))
+	prevF := ws.Floats(nPaths)
+	changed := make([]int, 0, nPaths)
 
 	// Per-phase sampler probability tables: probTab[i] is an n_i×n_i
 	// row-major table, row = origin. Computed once per phase (board frozen),
-	// shared read-only by all workers.
+	// shared read-only by all workers; the backing memory comes from the
+	// run's workspace.
 	probTab := make([][]float64, s.inst.NumCommodities())
 	for i := range probTab {
 		n := s.inst.NumCommodityPaths(i)
-		probTab[i] = make([]float64, n*n)
+		probTab[i] = ws.Floats(n * n)
 	}
+	sharedSampler := policy.OriginInvariant(s.cfg.Policy.Sampler)
 
 	rngs := make([]*RNG, s.cfg.Workers)
 	for w := range rngs {
 		rngs[w] = NewRNG(s.cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(w+1)))
 	}
 
+	// refresh brings the evaluator in line with the current agent counts.
+	refresh := func() {
+		s.empiricalInto(curF)
+		syncEvaluator(ev, curF, prevF, &changed)
+	}
+	// finish fills the result's terminal fields from the current empirical
+	// state; shared by normal completion and cancellation paths.
+	finish := func(t float64) *dynamics.Result {
+		refresh()
+		res.Final = curF.Clone()
+		res.FinalPotential = ev.Potential()
+		res.Elapsed = t
+		return res
+	}
+
 	account := newAcct(s.cfg)
 	t := 0.0
 	for phase := 0; t < s.cfg.Horizon-1e-12; phase++ {
 		if err := ctx.Err(); err != nil {
-			return s.finish(res, t), err
+			return finish(t), err
 		}
-		f := s.EmpiricalFlow()
-		fe = s.inst.EdgeFlows(f, fe)
-		le = s.inst.EdgeLatencies(fe, le)
-		s.inst.PathLatenciesFromEdges(le, pl)
-		phi := s.inst.PotentialFromEdges(fe)
+		refresh()
+		pl := ev.PathLatencies()
+		phi := ev.Potential()
 		b.Post(board.Snapshot{
 			Time:          t,
-			EdgeLatencies: append([]float64(nil), le...),
-			PathLatencies: append([]float64(nil), pl...),
-			PathFlows:     f,
+			EdgeLatencies: ev.EdgeLatencies(),
+			PathLatencies: pl,
+			PathFlows:     curF,
 		})
 
-		info := dynamics.PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
+		info := dynamics.PhaseInfo{Index: phase, Time: t, Flow: curF, PathLatencies: pl, Potential: phi}
 		streakStop := account.Observe(s.inst, &info, res)
 		if s.cfg.RecordEvery > 0 && phase%s.cfg.RecordEvery == 0 {
-			res.Trajectory = append(res.Trajectory, dynamics.Sample{Time: t, Potential: phi, Flow: f.Clone()})
+			res.Trajectory = append(res.Trajectory, dynamics.Sample{Time: t, Potential: phi, Flow: curF.Clone()})
 		}
 		if stop := s.observePhase(info); stop || streakStop {
 			res.Stopped = true
@@ -279,60 +324,92 @@ func (s *Sim) RunContext(ctx context.Context) (*dynamics.Result, error) {
 
 		// Fill per-commodity sampling tables from the board.
 		snap, _ := b.Read()
-		for i := range probTab {
-			lo, hi := s.inst.CommodityRange(i)
-			n := hi - lo
-			flows := snap.PathFlows[lo:hi]
-			lats := snap.PathLatencies[lo:hi]
-			for origin := 0; origin < n; origin++ {
-				s.cfg.Policy.Sampler.Probabilities(origin, flows, lats, probTab[i][origin*n:(origin+1)*n])
-			}
-		}
+		s.fillProbTab(probTab, sharedSampler, snap)
 
 		tau := math.Min(s.cfg.UpdatePeriod, s.cfg.Horizon-t)
-		var (
-			wg      sync.WaitGroup
-			aborted atomic.Bool
-		)
-		for w := 0; w < s.cfg.Workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				if !s.runShard(ctx, w, rngs[w], snap, probTab, tau) {
-					aborted.Store(true)
-				}
-			}(w)
+		phaseDone := true
+		if s.cfg.Workers == 1 {
+			// Single-worker runs (the sweep engine's per-task default) stay
+			// on this goroutine: no spawn, no barrier, no per-phase
+			// allocation — and the same RNG stream as the spawned form.
+			phaseDone = s.runShard(ctx, 0, rngs[0], snap, probTab, tau)
+		} else {
+			var (
+				wg      sync.WaitGroup
+				aborted atomic.Bool
+			)
+			for w := 0; w < s.cfg.Workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					if !s.runShard(ctx, w, rngs[w], snap, probTab, tau) {
+						aborted.Store(true)
+					}
+				}(w)
+			}
+			wg.Wait()
+			phaseDone = !aborted.Load()
 		}
-		wg.Wait()
 		// Shards bail between agents once ctx is done, so even a single
 		// giant phase (Horizon <= UpdatePeriod, large N) stays
 		// interruptible. Only a genuinely abandoned phase returns here —
 		// a phase that completed despite a late cancellation is counted
 		// normally and the loop-top check reports the cancellation at the
 		// next phase boundary, matching the fluid engine.
-		if aborted.Load() {
-			return s.finish(res, t), ctx.Err()
+		if !phaseDone {
+			return finish(t), ctx.Err()
 		}
 		t += tau
 		res.Phases++
 	}
-	return s.finish(res, t), nil
-}
-
-// finish fills the result's terminal fields from the current empirical
-// state; shared by normal completion and cancellation paths.
-func (s *Sim) finish(res *dynamics.Result, t float64) *dynamics.Result {
-	final := s.EmpiricalFlow()
-	res.Final = final
-	res.FinalPotential = s.inst.Potential(final)
-	res.Elapsed = t
-	return res
+	return finish(t), nil
 }
 
 // observePhase delivers a phase start to the configured hook and observer
 // under the shared composition rule.
 func (s *Sim) observePhase(info dynamics.PhaseInfo) bool {
 	return dynamics.DeliverPhase(s.cfg.Hook, s.cfg.Observer, info)
+}
+
+// syncEvaluator diffs curF against prevF, applies the (incremental when
+// sparse) kernel update, and records curF as the evaluator's last-seen
+// state. changed is reused diff scratch. It is the one definition of the
+// between-phase refresh bookkeeping, shared by the batched and
+// event-driven engines so their boards can never desynchronize.
+func syncEvaluator(ev *flow.Evaluator, curF flow.Vector, prevF []float64, changed *[]int) {
+	cs := (*changed)[:0]
+	for g := range curF {
+		if curF[g] != prevF[g] {
+			cs = append(cs, g)
+		}
+	}
+	*changed = cs
+	ev.Update(curF, cs)
+	copy(prevF, curF)
+}
+
+// fillProbTab fills the per-commodity sampling tables (probTab[i] is an
+// n_i×n_i row-major table, row = origin) from the board snapshot. With an
+// origin-invariant (shared) sampler one row is computed per commodity and
+// copied across origins instead of re-deriving it n times. Shared by the
+// batched and event-driven engines so they sample identically.
+func (s *Sim) fillProbTab(probTab [][]float64, shared bool, snap board.Snapshot) {
+	for i := range probTab {
+		lo, hi := s.inst.CommodityRange(i)
+		n := hi - lo
+		flows := snap.PathFlows[lo:hi]
+		lats := snap.PathLatencies[lo:hi]
+		if shared && n > 0 {
+			s.cfg.Policy.Sampler.Probabilities(0, flows, lats, probTab[i][:n])
+			for origin := 1; origin < n; origin++ {
+				copy(probTab[i][origin*n:(origin+1)*n], probTab[i][:n])
+			}
+			continue
+		}
+		for origin := 0; origin < n; origin++ {
+			s.cfg.Policy.Sampler.Probabilities(origin, flows, lats, probTab[i][origin*n:(origin+1)*n])
+		}
+	}
 }
 
 // runShard advances one shard through a phase of length tau against the

@@ -16,8 +16,11 @@ import (
 var ErrBadPeriod = errors.New("board: update period must be positive")
 
 // Snapshot is the information posted on the bulletin board at the beginning
-// of a phase. Slices are treated as immutable once posted; readers must not
-// modify them.
+// of a phase. The slices are owned by the poster, which may reuse their
+// backing memory when it posts the next snapshot: readers must never modify
+// them, and must not retain a snapshot's slices past the phase it was
+// posted for (the simulation engines post from reused evaluation buffers;
+// copy to keep).
 type Snapshot struct {
 	// Time is the posting time t̂ (the phase start).
 	Time float64
@@ -55,8 +58,11 @@ func (b *Board) Period() float64 {
 	return b.period
 }
 
-// Post publishes a new snapshot, bumping the version. The caller transfers
-// ownership of the snapshot's slices to the board.
+// Post publishes a new snapshot, bumping the version. The caller keeps
+// ownership of the snapshot's slices and must leave them unmodified while
+// the phase's readers are active; the engines refresh the buffers only at
+// the phase barrier, when the snapshot being replaced has no readers left
+// (see Snapshot).
 func (b *Board) Post(snap Snapshot) {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -30,6 +30,9 @@ type BestResponseConfig struct {
 	// StopAfterSatisfiedStreak stops the run once this many consecutive
 	// phases started at the configured approximate equilibrium (0 disables).
 	StopAfterSatisfiedStreak int
+	// Workspace, if non-nil, supplies the run's scratch buffers (Reset at
+	// entry); nil allocates privately.
+	Workspace *flow.Workspace
 }
 
 func (c *BestResponseConfig) validate() error {
@@ -59,23 +62,22 @@ func RunBestResponse(ctx context.Context, inst *flow.Instance, cfg BestResponseC
 	if err := inst.Feasible(f0, 1e-9); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInfeasibleStart, err)
 	}
+	ws := cfg.Workspace
+	ws.Reset()
 	f := f0.Clone()
+	ev := flow.NewEvaluator(inst, ws)
 	n := inst.NumPaths()
-	var (
-		fe, le []float64
-		pl     = make([]float64, n)
-	)
+	b := flow.Vector(ws.Floats(n))
 	res := &Result{}
 	account := NewRoundAccounting(cfg.Delta, cfg.Eps, cfg.Weak, cfg.StopAfterSatisfiedStreak)
 	t := 0.0
 	for phase := 0; t < cfg.Horizon-1e-12; phase++ {
 		if err := ctx.Err(); err != nil {
-			return finish(inst, res, f, t), err
+			return finish(ev, res, f, t), err
 		}
-		fe = inst.EdgeFlows(f, fe)
-		le = inst.EdgeLatencies(fe, le)
-		inst.PathLatenciesFromEdges(le, pl)
-		phi := inst.PotentialFromEdges(fe)
+		ev.Eval(f)
+		pl := ev.PathLatencies()
+		phi := ev.Potential()
 		info := PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
 		streakStop := account.Observe(inst, &info, res)
 		if cfg.RecordEvery > 0 && phase%cfg.RecordEvery == 0 {
@@ -86,7 +88,7 @@ func RunBestResponse(ctx context.Context, inst *flow.Instance, cfg BestResponseC
 			break
 		}
 
-		b := inst.BestResponse(pl)
+		inst.BestResponseInto(pl, b)
 		tau := math.Min(cfg.UpdatePeriod, cfg.Horizon-t)
 		decay := math.Exp(-tau)
 		for i := range f {
@@ -95,7 +97,7 @@ func RunBestResponse(ctx context.Context, inst *flow.Instance, cfg BestResponseC
 		t += tau
 		res.Phases++
 	}
-	return finish(inst, res, f, t), nil
+	return finish(ev, res, f, t), nil
 }
 
 // TwoLinkOscillation returns the paper's §3.2 closed-form predictions for

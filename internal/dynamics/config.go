@@ -91,6 +91,12 @@ type Config struct {
 	// Observer, if non-nil, observes every phase start; see Observer. Compose
 	// several with MultiObserver.
 	Observer Observer
+
+	// Workspace, if non-nil, supplies every scratch buffer of the run (it is
+	// Reset at entry, so one workspace serves any number of sequential runs
+	// without reallocating). Nil allocates privately. See flow.Workspace for
+	// the reuse contract.
+	Workspace *flow.Workspace
 }
 
 // Hook observes a phase start. Returning true stops the simulation.

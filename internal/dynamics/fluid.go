@@ -14,6 +14,11 @@ import (
 // phase of length cfg.UpdatePeriod, and the linear within-phase system is
 // integrated with the configured scheme.
 //
+// All per-phase state evaluation runs on the compiled flow.Evaluator kernel
+// and every scratch buffer comes from cfg.Workspace (reset at entry), so
+// steady-state phases allocate nothing and repeated runs on one workspace
+// reuse the same memory.
+//
 // Cancellation is checked between phases: when ctx is done the partial
 // result accumulated so far is returned together with ctx.Err().
 func Run(ctx context.Context, inst *flow.Instance, cfg Config, f0 flow.Vector) (*Result, error) {
@@ -23,28 +28,28 @@ func Run(ctx context.Context, inst *flow.Instance, cfg Config, f0 flow.Vector) (
 	if err := inst.Feasible(f0, 1e-9); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInfeasibleStart, err)
 	}
+	ws := cfg.Workspace
+	ws.Reset()
 	f := f0.Clone()
-	rm := newRateMatrix(inst)
+	ev := flow.NewEvaluator(inst, ws)
+	rm := newRateMatrix(inst, ws)
 	n := inst.NumPaths()
 	var (
-		fe, le []float64
-		pl     = make([]float64, n)
-		sc     = newRK4Scratch(n)
-		uA     = make([]float64, n)
-		uB     = make([]float64, n)
-		uC     = make([]float64, n)
+		sc = newRK4Scratch(n, ws)
+		uA = ws.Floats(n)
+		uB = ws.Floats(n)
+		uC = ws.Floats(n)
 	)
 	res := &Result{}
 	account := NewRoundAccounting(cfg.Delta, cfg.Eps, cfg.Weak, cfg.StopAfterSatisfiedStreak)
 	t := 0.0
 	for phase := 0; t < cfg.Horizon-1e-12; phase++ {
 		if err := ctx.Err(); err != nil {
-			return finish(inst, res, f, t), err
+			return finish(ev, res, f, t), err
 		}
-		fe = inst.EdgeFlows(f, fe)
-		le = inst.EdgeLatencies(fe, le)
-		inst.PathLatenciesFromEdges(le, pl)
-		phi := inst.PotentialFromEdges(fe)
+		ev.Eval(f)
+		pl := ev.PathLatencies()
+		phi := ev.Potential()
 
 		info := PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
 		streakStop := account.Observe(inst, &info, res)
@@ -70,14 +75,17 @@ func Run(ctx context.Context, inst *flow.Instance, cfg Config, f0 flow.Vector) (
 		t += tau
 		res.Phases++
 	}
-	return finish(inst, res, f, t), nil
+	return finish(ev, res, f, t), nil
 }
 
 // finish fills the result's terminal fields from the current state; shared
-// by normal completion and cancellation paths.
-func finish(inst *flow.Instance, res *Result, f flow.Vector, t float64) *Result {
+// by normal completion and cancellation paths. The evaluator re-evaluates
+// the final flow, so the reported potential matches the reference
+// Instance.Potential bit-for-bit.
+func finish(ev *flow.Evaluator, res *Result, f flow.Vector, t float64) *Result {
+	ev.Eval(f)
 	res.Final = f
-	res.FinalPotential = inst.Potential(f)
+	res.FinalPotential = ev.Potential()
 	res.Elapsed = t
 	return res
 }
@@ -98,21 +106,22 @@ func RunFresh(ctx context.Context, inst *flow.Instance, cfg Config, f0 flow.Vect
 	if err := inst.Feasible(f0, 1e-9); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInfeasibleStart, err)
 	}
+	ws := cfg.Workspace
+	ws.Reset()
 	f := f0.Clone()
-	rm := newRateMatrix(inst)
+	ev := flow.NewEvaluator(inst, ws)
+	rm := newRateMatrix(inst, ws)
 	n := inst.NumPaths()
 	var (
-		fe, le []float64
-		pl     = make([]float64, n)
-		df     = make([]float64, n)
-		sc     = newRK4Scratch(n)
+		df = ws.Floats(n)
+		sc = newRK4Scratch(n, ws)
 	)
 	// fresh recomputes rates from the supplied state before differentiating.
+	// The evaluator's lazy potential means the inner stage evaluations pay
+	// for flows and latencies only.
 	fresh := func(state flow.Vector, out []float64) {
-		fe = inst.EdgeFlows(state, fe)
-		le = inst.EdgeLatencies(fe, le)
-		inst.PathLatenciesFromEdges(le, pl)
-		rm.fill(cfg.Policy, state, pl)
+		ev.Eval(state)
+		rm.fill(cfg.Policy, state, ev.PathLatencies())
 		rm.derivative(state, out)
 	}
 	res := &Result{}
@@ -120,12 +129,11 @@ func RunFresh(ctx context.Context, inst *flow.Instance, cfg Config, f0 flow.Vect
 	t := 0.0
 	for step := 0; t < cfg.Horizon-1e-12; step++ {
 		if err := ctx.Err(); err != nil {
-			return finish(inst, res, f, t), err
+			return finish(ev, res, f, t), err
 		}
-		fe = inst.EdgeFlows(f, fe)
-		le = inst.EdgeLatencies(fe, le)
-		inst.PathLatenciesFromEdges(le, pl)
-		phi := inst.PotentialFromEdges(fe)
+		ev.Eval(f)
+		pl := ev.PathLatencies()
+		phi := ev.Potential()
 		info := PhaseInfo{Index: step, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
 		streakStop := account.Observe(inst, &info, res)
 		if cfg.RecordEvery > 0 && step%cfg.RecordEvery == 0 {
@@ -165,5 +173,5 @@ func RunFresh(ctx context.Context, inst *flow.Instance, cfg Config, f0 flow.Vect
 		t += h
 		res.Phases++
 	}
-	return finish(inst, res, f, t), nil
+	return finish(ev, res, f, t), nil
 }

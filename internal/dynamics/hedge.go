@@ -25,6 +25,9 @@ type HedgeConfig struct {
 	Hook Hook
 	// Observer observes phase starts; compose several with MultiObserver.
 	Observer Observer
+	// Workspace, if non-nil, supplies the run's scratch buffers (Reset at
+	// entry); nil allocates privately.
+	Workspace *flow.Workspace
 }
 
 // RunHedge simulates the no-regret multiplicative-weights baseline discussed
@@ -54,20 +57,19 @@ func RunHedge(ctx context.Context, inst *flow.Instance, cfg HedgeConfig, f0 flow
 	if err := inst.Feasible(f0, 1e-9); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInfeasibleStart, err)
 	}
+	ws := cfg.Workspace
+	ws.Reset()
 	f := f0.Clone()
-	n := inst.NumPaths()
-	var fe, le []float64
-	pl := make([]float64, n)
+	ev := flow.NewEvaluator(inst, ws)
 	res := &Result{}
 	t := 0.0
 	for phase := 0; t < cfg.Horizon-1e-12; phase++ {
 		if err := ctx.Err(); err != nil {
-			return finish(inst, res, f, t), err
+			return finish(ev, res, f, t), err
 		}
-		fe = inst.EdgeFlows(f, fe)
-		le = inst.EdgeLatencies(fe, le)
-		inst.PathLatenciesFromEdges(le, pl)
-		phi := inst.PotentialFromEdges(fe)
+		ev.Eval(f)
+		pl := ev.PathLatencies()
+		phi := ev.Potential()
 		info := PhaseInfo{Index: phase, Time: t, Flow: f, PathLatencies: pl, Potential: phi}
 		if cfg.RecordEvery > 0 && phase%cfg.RecordEvery == 0 {
 			res.Trajectory = append(res.Trajectory, Sample{Time: t, Potential: phi, Flow: f.Clone()})
@@ -102,5 +104,5 @@ func RunHedge(ctx context.Context, inst *flow.Instance, cfg HedgeConfig, f0 flow
 		t += tau
 		res.Phases++
 	}
-	return finish(inst, res, f, t), nil
+	return finish(ev, res, f, t), nil
 }

@@ -24,13 +24,13 @@ type rk4Scratch struct {
 	k1, k2, k3, k4, mid []float64
 }
 
-func newRK4Scratch(n int) *rk4Scratch {
+func newRK4Scratch(n int, ws *flow.Workspace) *rk4Scratch {
 	return &rk4Scratch{
-		k1:  make([]float64, n),
-		k2:  make([]float64, n),
-		k3:  make([]float64, n),
-		k4:  make([]float64, n),
-		mid: make([]float64, n),
+		k1:  ws.Floats(n),
+		k2:  ws.Floats(n),
+		k3:  ws.Floats(n),
+		k4:  ws.Floats(n),
+		mid: ws.Floats(n),
 	}
 }
 

@@ -94,6 +94,9 @@ func (sc Scenario) validate() error {
 type Options struct {
 	// Observer receives every phase start (nil when no observer was given).
 	Observer dynamics.Observer
+	// Workspace supplies the run's scratch buffers (nil: the engine
+	// allocates privately). See flow.Workspace for the reuse contract.
+	Workspace *flow.Workspace
 }
 
 // RunOption configures one Run call.
@@ -122,6 +125,14 @@ func WithObserver(obs ...dynamics.Observer) RunOption {
 			o.Observer = dynamics.MultiObserver(flat...)
 		}
 	}
+}
+
+// WithWorkspace runs the scenario on the given workspace, so repeated runs
+// (a sweep worker's tasks, a parameter scan) reuse one set of scratch
+// buffers instead of reallocating per run. The workspace is reset by the
+// engine at run entry; it must not be shared by concurrent runs.
+func WithWorkspace(ws *flow.Workspace) RunOption {
+	return func(o *Options) { o.Workspace = ws }
 }
 
 // Engine executes a scenario under one dynamics family. Engines are small

@@ -46,6 +46,7 @@ func (e Fluid) Run(ctx context.Context, sc Scenario, opts Options) (*Result, err
 		StopAfterSatisfiedStreak: sc.StopAfterSatisfiedStreak,
 		RecordEvery:              sc.RecordEvery,
 		Observer:                 opts.Observer,
+		Workspace:                opts.Workspace,
 	}
 	if e.Fresh {
 		return dynamics.RunFresh(ctx, sc.Instance, cfg, sc.initialFlow())
@@ -73,6 +74,7 @@ func (BestResponse) Run(ctx context.Context, sc Scenario, opts Options) (*Result
 		Weak:                     sc.Weak,
 		StopAfterSatisfiedStreak: sc.StopAfterSatisfiedStreak,
 		Observer:                 opts.Observer,
+		Workspace:                opts.Workspace,
 	}
 	return dynamics.RunBestResponse(ctx, sc.Instance, cfg, sc.initialFlow())
 }
@@ -110,6 +112,7 @@ func (e Agents) Run(ctx context.Context, sc Scenario, opts Options) (*Result, er
 		Eps:                      sc.Eps,
 		Weak:                     sc.Weak,
 		StopAfterSatisfiedStreak: sc.StopAfterSatisfiedStreak,
+		Workspace:                opts.Workspace,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"wardrop/internal/flow"
+	"wardrop/internal/policy"
+	"wardrop/internal/topo"
+)
+
+// TestWithWorkspaceIsTransparent pins the workspace-pooling contract: a
+// run with a (reused, dirty) workspace is bit-identical to a run without
+// one, for every engine family — the property the sweep's per-worker
+// pooling rests on.
+func TestWithWorkspaceIsTransparent(t *testing.T) {
+	inst, err := topo.Braess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policy.Replicator(inst.LMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Instance:     inst,
+		Policy:       pol,
+		UpdatePeriod: 0.25,
+		Horizon:      5,
+	}
+	engines := []Engine{
+		Fluid{},
+		Fluid{Fresh: true},
+		BestResponse{},
+		Agents{N: 300, Seed: 11, Workers: 1},
+	}
+	ws := flow.NewWorkspace()
+	for _, eng := range engines {
+		t.Run(eng.Name(), func(t *testing.T) {
+			sc := sc
+			sc.Engine = eng
+			plain, err := Run(context.Background(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Run twice on the same workspace: the second run sees dirty
+			// recycled buffers and must still match.
+			for round := 0; round < 2; round++ {
+				pooled, err := Run(context.Background(), sc, WithWorkspace(ws))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(plain.FinalPotential) != math.Float64bits(pooled.FinalPotential) {
+					t.Fatalf("round %d: potential %v != %v", round, pooled.FinalPotential, plain.FinalPotential)
+				}
+				if plain.Phases != pooled.Phases {
+					t.Fatalf("round %d: phases %d != %d", round, pooled.Phases, plain.Phases)
+				}
+				for g := range plain.Final {
+					if math.Float64bits(plain.Final[g]) != math.Float64bits(pooled.Final[g]) {
+						t.Fatalf("round %d: final[%d] %v != %v", round, g, pooled.Final[g], plain.Final[g])
+					}
+				}
+			}
+		})
+	}
+}

@@ -3,12 +3,21 @@
 // and the measurements the paper's analysis is built on: edge/path latencies,
 // the Beckmann–McGuire–Winsten potential, per-commodity minimum and average
 // latencies, and the (δ,ε)- and weak (δ,ε)-equilibrium metrics of §5.
+//
+// Two evaluation paths compute those measurements: the naive per-method
+// reference implementation (EdgeFlows, EdgeLatencies,
+// PathLatenciesFromEdges, PotentialFromEdges — the differential-testing
+// oracle) and the compiled kernel (kernel.go: CSR incidence, Evaluator,
+// Workspace) every simulation engine runs on, which produces bit-identical
+// values with batch latency kernels, zero steady-state allocation and
+// incremental updates after sparse flow moves.
 package flow
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"wardrop/internal/graph"
 	"wardrop/internal/latency"
@@ -54,6 +63,13 @@ type Instance struct {
 
 	lmax     float64
 	maxSlope float64
+
+	// Compiled evaluation kernel (kernel.go), built on first use; the once
+	// keeps lazy compilation safe under the instance's concurrent-reads
+	// contract.
+	kernOnce sync.Once
+	kernInc  *incidence
+	kernProg *latency.Program
 }
 
 // Option configures instance construction.

@@ -1,0 +1,384 @@
+package flow
+
+import (
+	"wardrop/internal/latency"
+)
+
+// This file is the compiled evaluation kernel: the instance's [][]graph.Path
+// strategy sets flattened into CSR incidence arrays, a reusable Workspace
+// arena, and an Evaluator that owns all per-run scratch and keeps edge
+// flows, edge latencies, path latencies and the per-edge potential terms
+// consistent with a flow vector — by full re-evaluation or by incremental
+// updates that touch only the edges and paths a flow move actually affects.
+//
+// The kernel is numerically transparent: every quantity it produces is
+// bit-for-bit the value the naive reference methods (EdgeFlows,
+// EdgeLatencies, PathLatenciesFromEdges, PotentialFromEdges) produce for the
+// same flow. Full evaluation preserves the reference accumulation orders;
+// incremental updates recompute each touched edge flow by rescanning its
+// path list in ascending global-path order — the exact addition sequence of
+// the full pass — so a delta-updated Evaluator never drifts from a freshly
+// evaluated one. The reference methods stay as the differential-testing
+// oracle.
+
+// incidence is the CSR form of the instance's path sets: a forward
+// path→edges layout plus the reverse edge→paths index incremental updates
+// need. Indices are int32 — path and edge counts are far below 2³¹ for any
+// enumerable instance — halving the index memory against int.
+type incidence struct {
+	// pathStart[g]..pathStart[g+1] indexes pathEdges, the edge list of
+	// global path g (in path order).
+	pathStart []int32
+	pathEdges []int32
+	// edgeStart[e]..edgeStart[e+1] indexes edgePaths, the global indices of
+	// the paths through edge e in ascending order.
+	edgeStart []int32
+	edgePaths []int32
+}
+
+// kernel returns the instance's compiled incidence and batch latency
+// program, building both on first use (guarded by the instance's once).
+func (in *Instance) kernel() (*incidence, *latency.Program) {
+	in.kernOnce.Do(func() {
+		in.kernInc = in.compileIncidence()
+		in.kernProg = latency.Compile(in.latencies)
+	})
+	return in.kernInc, in.kernProg
+}
+
+// Program returns the instance's compiled batch latency program (shared,
+// immutable, built on first use).
+func (in *Instance) Program() *latency.Program {
+	_, prog := in.kernel()
+	return prog
+}
+
+func (in *Instance) compileIncidence() *incidence {
+	nE := in.g.NumEdges()
+	inc := &incidence{
+		pathStart: make([]int32, in.totalPaths+1),
+		edgeStart: make([]int32, nE+1),
+	}
+	total := 0
+	g := 0
+	for i := range in.paths {
+		for _, p := range in.paths[i] {
+			total += len(p.Edges)
+			g++
+			inc.pathStart[g] = int32(total)
+		}
+	}
+	inc.pathEdges = make([]int32, total)
+	inc.edgePaths = make([]int32, total)
+
+	// Forward CSR plus per-edge degree counts.
+	deg := make([]int32, nE)
+	k := 0
+	for i := range in.paths {
+		for _, p := range in.paths[i] {
+			for _, e := range p.Edges {
+				inc.pathEdges[k] = int32(e)
+				deg[e]++
+				k++
+			}
+		}
+	}
+	// Reverse CSR by counting sort; filling in ascending global path order
+	// leaves every edge's path list ascending — the invariant the
+	// incremental rescan relies on for reference-identical addition order.
+	for e := 0; e < nE; e++ {
+		inc.edgeStart[e+1] = inc.edgeStart[e] + deg[e]
+	}
+	next := make([]int32, nE)
+	copy(next, inc.edgeStart[:nE])
+	g = 0
+	for i := range in.paths {
+		for _, p := range in.paths[i] {
+			for _, e := range p.Edges {
+				inc.edgePaths[next[e]] = int32(g)
+				next[e]++
+			}
+			g++
+		}
+	}
+	return inc
+}
+
+// Workspace is a reusable arena of float64 scratch buffers. A simulation
+// run carves all its scratch (edge/path buffers, rate-matrix rows,
+// integrator stages) from one workspace; Reset rewinds the arena so the
+// next run — on the same or a different instance — reuses the same backing
+// memory, growing a slab only when a run needs more than any previous one.
+// The zero value and nil are both ready to use (nil never reuses, it just
+// allocates), so workspace plumbing is always optional.
+//
+// A workspace serializes one run at a time: it is not safe for concurrent
+// use, and buffers handed out before a Reset are invalidated by it. Pools
+// (the sweep engine's workers) therefore keep one workspace per worker.
+type Workspace struct {
+	slabs [][]float64
+	next  int
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset rewinds the arena: every slice previously returned by Floats is up
+// for reuse and must no longer be referenced by the caller.
+func (w *Workspace) Reset() {
+	if w != nil {
+		w.next = 0
+	}
+}
+
+// Floats returns a length-n scratch slice with unspecified contents. A nil
+// workspace allocates fresh memory; otherwise the slice reuses (and grows
+// when needed) the arena slab at the current cursor.
+func (w *Workspace) Floats(n int) []float64 {
+	if w == nil {
+		return make([]float64, n)
+	}
+	if w.next == len(w.slabs) {
+		w.slabs = append(w.slabs, make([]float64, n))
+	} else if cap(w.slabs[w.next]) < n {
+		w.slabs[w.next] = make([]float64, n)
+	}
+	s := w.slabs[w.next][:n]
+	w.next++
+	return s
+}
+
+// Evaluator binds an instance's compiled kernel to a set of scratch buffers
+// and keeps them consistent with a flow vector. Eval performs the full
+// pass; ApplyDelta and Refresh update incrementally after sparse flow
+// moves. All returned slices are views into the evaluator's buffers, valid
+// until the next Eval/ApplyDelta/Refresh call.
+//
+// An evaluator is single-goroutine state; create one per concurrent run
+// (they share the instance's immutable compiled incidence and latency
+// program, so construction is cheap once the instance is warm).
+type Evaluator struct {
+	inst *Instance
+	inc  *incidence
+	prog *latency.Program
+
+	edgeFlow []float64
+	edgeLat  []float64
+	edgeInt  []float64
+	pathLat  []float64
+
+	// Incremental bookkeeping: epoch marks de-duplicate touched edges and
+	// dependent paths without clearing arrays between updates.
+	edgeMark  []int32
+	pathMark  []int32
+	epoch     int32
+	touched   []int32
+	evaluated bool
+	// potValid tracks whether edgeInt matches edgeFlow; Potential
+	// materializes the per-edge integral terms lazily and Refresh keeps
+	// them current once materialized, so runs that never ask for the
+	// potential never pay for it.
+	potValid bool
+}
+
+// NewEvaluator builds an evaluator for the instance, carving its buffers
+// from ws (nil allocates privately).
+func NewEvaluator(inst *Instance, ws *Workspace) *Evaluator {
+	inc, prog := inst.kernel()
+	nE := inst.g.NumEdges()
+	nP := inst.totalPaths
+	ev := &Evaluator{
+		inst:     inst,
+		inc:      inc,
+		prog:     prog,
+		edgeFlow: ws.Floats(nE),
+		edgeLat:  ws.Floats(nE),
+		edgeInt:  ws.Floats(nE),
+		pathLat:  ws.Floats(nP),
+		edgeMark: make([]int32, nE),
+		pathMark: make([]int32, nP),
+		touched:  make([]int32, 0, nE),
+	}
+	return ev
+}
+
+// Instance returns the bound instance.
+func (ev *Evaluator) Instance() *Instance { return ev.inst }
+
+// Eval fully re-evaluates edge flows, edge latencies, path latencies and
+// the per-edge potential terms from f.
+func (ev *Evaluator) Eval(f Vector) {
+	pathEdges := ev.inc.pathEdges
+	pathStart := ev.inc.pathStart
+	edgeFlow := ev.edgeFlow
+	for e := range edgeFlow {
+		edgeFlow[e] = 0
+	}
+	// Ascending global path order with zero-flow paths skipped — the
+	// reference EdgeFlows accumulation sequence.
+	for g := range f {
+		fp := f[g]
+		if fp == 0 {
+			continue
+		}
+		for _, e := range pathEdges[pathStart[g]:pathStart[g+1]] {
+			edgeFlow[e] += fp
+		}
+	}
+	ev.prog.Values(edgeFlow, ev.edgeLat)
+	edgeLat := ev.edgeLat
+	pathLat := ev.pathLat
+	for g := range pathLat {
+		sum := 0.0
+		for _, e := range pathEdges[pathStart[g]:pathStart[g+1]] {
+			sum += edgeLat[e]
+		}
+		pathLat[g] = sum
+	}
+	ev.evaluated = true
+	ev.potValid = false
+}
+
+// ApplyDelta moves amount flow from global path p to global path q
+// (mutating f) and incrementally re-evaluates: only the edges of p and q
+// and the paths sharing those edges are recomputed. Requires a prior Eval
+// of f.
+func (ev *Evaluator) ApplyDelta(f Vector, p, q int, amount float64) {
+	f[p] -= amount
+	f[q] += amount
+	ev.Refresh(f, p, q)
+}
+
+// Refresh incrementally re-evaluates after the caller changed f on exactly
+// the given global paths (f is already updated). Requires that every other
+// entry of f is unchanged since the evaluator last saw it, and a prior
+// Eval. Passing a large changed set degrades to full-evaluation cost; use
+// Update when the caller cannot bound the sparsity.
+func (ev *Evaluator) Refresh(f Vector, changed ...int) {
+	if !ev.evaluated {
+		ev.Eval(f)
+		return
+	}
+	inc := ev.inc
+	ev.epoch++
+	// Epoch wrap (int32 increment past MaxInt32 goes negative): reset the
+	// marks to 0 and restart at 1, so live epochs are always positive and
+	// can never collide with a stale mark.
+	if ev.epoch <= 0 {
+		for i := range ev.edgeMark {
+			ev.edgeMark[i] = 0
+		}
+		for i := range ev.pathMark {
+			ev.pathMark[i] = 0
+		}
+		ev.epoch = 1
+	}
+	ev.touched = ev.touched[:0]
+	for _, g := range changed {
+		for _, e := range inc.pathEdges[inc.pathStart[g]:inc.pathStart[g+1]] {
+			if ev.edgeMark[e] != ev.epoch {
+				ev.edgeMark[e] = ev.epoch
+				ev.touched = append(ev.touched, e)
+			}
+		}
+	}
+	lats := ev.inst.latencies
+	for _, e := range ev.touched {
+		// Rescan the edge's path list in ascending order, skipping zero
+		// flows: the exact addition sequence of the reference full pass, so
+		// the incremental value is bitwise the full-evaluation value.
+		sum := 0.0
+		for _, g := range inc.edgePaths[inc.edgeStart[e]:inc.edgeStart[e+1]] {
+			if fp := f[g]; fp != 0 {
+				sum += fp
+			}
+		}
+		ev.edgeFlow[e] = sum
+		ev.edgeLat[e] = lats[e].Value(sum)
+		if ev.potValid {
+			ev.edgeInt[e] = lats[e].Integral(sum)
+		}
+	}
+	// Re-sum every path through a touched edge (in path-edge order, as the
+	// full pass does).
+	for _, e := range ev.touched {
+		for _, g := range inc.edgePaths[inc.edgeStart[e]:inc.edgeStart[e+1]] {
+			if ev.pathMark[g] == ev.epoch {
+				continue
+			}
+			ev.pathMark[g] = ev.epoch
+			sum := 0.0
+			for _, ee := range inc.pathEdges[inc.pathStart[g]:inc.pathStart[g+1]] {
+				sum += ev.edgeLat[ee]
+			}
+			ev.pathLat[g] = sum
+		}
+	}
+}
+
+// Update re-evaluates after the caller changed f on the given global paths,
+// choosing between the incremental path and a full Eval by estimated cost.
+// The estimate is the work Refresh actually does — for every edge of a
+// changed path, a rescan of that edge's full path list plus the dependent
+// path re-sums, both proportional to the edge's degree in the reverse
+// index — so a sparse move through a bottleneck edge shared by most paths
+// correctly falls back to Eval (which is always correct: the two produce
+// identical bits).
+func (ev *Evaluator) Update(f Vector, changed []int) {
+	if !ev.evaluated {
+		ev.Eval(f)
+		return
+	}
+	inc := ev.inc
+	work := 0
+	total := len(inc.pathEdges)
+	for _, g := range changed {
+		for _, e := range inc.pathEdges[inc.pathStart[g]:inc.pathStart[g+1]] {
+			work += int(inc.edgeStart[e+1] - inc.edgeStart[e])
+		}
+		if work*2 >= total {
+			ev.Eval(f)
+			return
+		}
+	}
+	ev.Refresh(f, changed...)
+}
+
+// EdgeFlows returns the current per-edge flows (a live view).
+func (ev *Evaluator) EdgeFlows() []float64 { return ev.edgeFlow }
+
+// EdgeLatencies returns the current per-edge latencies (a live view).
+func (ev *Evaluator) EdgeLatencies() []float64 { return ev.edgeLat }
+
+// PathLatencies returns the current per-path latencies (a live view).
+func (ev *Evaluator) PathLatencies() []float64 { return ev.pathLat }
+
+// Potential returns Φ(f) for the last evaluated flow: the per-edge
+// integral terms (materialized lazily on first use, then kept current by
+// Refresh) summed in edge order — the reference PotentialFromEdges
+// summation sequence.
+func (ev *Evaluator) Potential() float64 {
+	if !ev.potValid {
+		ev.prog.Integrals(ev.edgeFlow, ev.edgeInt)
+		ev.potValid = true
+	}
+	phi := 0.0
+	for _, v := range ev.edgeInt {
+		phi += v
+	}
+	return phi
+}
+
+// BestResponseInto writes the all-or-nothing best response to pathLat into
+// b (the reference BestResponse without its allocation): each commodity's
+// demand routes entirely onto its minimum-latency path, ties towards the
+// lowest global index.
+func (in *Instance) BestResponseInto(pathLat []float64, b Vector) {
+	for g := range b {
+		b[g] = 0
+	}
+	for i := range in.commodities {
+		idx, _ := in.MinLatency(i, pathLat)
+		b[idx] = in.commodities[i].Demand
+	}
+}

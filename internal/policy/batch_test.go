@@ -1,0 +1,135 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+// wrapMigrator hides the concrete type so the batch kernels take their
+// generic fallback.
+type wrapMigrator struct{ m Migrator }
+
+func (w wrapMigrator) Probability(lp, lq float64) float64 { return w.m.Probability(lp, lq) }
+func (w wrapMigrator) Name() string                       { return "wrap(" + w.m.Name() + ")" }
+
+func batchMigrators(t *testing.T) []Migrator {
+	t.Helper()
+	lin, err := NewLinear(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := NewAlphaLinear(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := NewRelativeGain(1.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Migrator{
+		BetterResponse{},
+		lin,
+		al,
+		Quadratic{AlphaParam: 1.2, LMax: 2.5},
+		rg,
+		wrapMigrator{lin}, // generic fallback path
+	}
+}
+
+// splitmix-style deterministic doubles for the property rows.
+func nextU(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func nextF(s *uint64) float64 { return float64(nextU(s)>>11) / (1 << 53) }
+
+// TestBatchRowsMatchInterface pins the batch kernels to the interface path
+// bit-for-bit: MigrationRates (origin-major rows and sums) and InflowRates
+// (transposed target rows) must reproduce probs[q]·µ(ℓ_p, ℓ_q) exactly,
+// including ties (ℓ_p == ℓ_q), zero latencies and saturated (µ = 1)
+// differences — the identity the golden outputs of every engine rest on.
+func TestBatchRowsMatchInterface(t *testing.T) {
+	seed := uint64(42)
+	for _, m := range batchMigrators(t) {
+		t.Run(m.Name(), func(t *testing.T) {
+			for trial := 0; trial < 50; trial++ {
+				n := 2 + int(nextU(&seed)%9)
+				lats := make([]float64, n)
+				probs := make([]float64, n)
+				for i := range lats {
+					switch nextU(&seed) % 5 {
+					case 0:
+						lats[i] = 0
+					case 1:
+						lats[i] = 10 * nextF(&seed) // saturates min{1,·}
+					default:
+						lats[i] = nextF(&seed)
+					}
+					probs[i] = nextF(&seed)
+				}
+				if n > 2 {
+					lats[n-1] = lats[0] // force a tie
+				}
+				rates := make([]float64, n)
+				want := make([]float64, n)
+				inflow := make([]float64, n)
+				for origin := 0; origin < n; origin++ {
+					wantSum := 0.0
+					for q := 0; q < n; q++ {
+						if q == origin {
+							want[q] = 0
+							continue
+						}
+						want[q] = probs[q] * m.Probability(lats[origin], lats[q])
+						wantSum += want[q]
+					}
+					sum := MigrationRates(m, origin, lats, probs, rates)
+					for q := range rates {
+						if math.Float64bits(rates[q]) != math.Float64bits(want[q]) {
+							t.Fatalf("row %d entry %d: got %v, want %v", origin, q, rates[q], want[q])
+						}
+					}
+					if math.Float64bits(sum) != math.Float64bits(wantSum) {
+						t.Fatalf("row %d sum: got %v, want %v", origin, sum, wantSum)
+					}
+					// InflowRates writes the transposed row of target
+					// `origin`: entry q must equal the origin-major
+					// R[q][origin] with the shared probability probs[origin].
+					InflowRates(m, origin, lats, probs[origin], inflow)
+					for q := 0; q < n; q++ {
+						wantEntry := 0.0
+						if q != origin {
+							wantEntry = probs[origin] * m.Probability(lats[q], lats[origin])
+						}
+						if math.Float64bits(inflow[q]) != math.Float64bits(wantEntry) {
+							t.Fatalf("inflow target %d entry %d: got %v, want %v", origin, q, inflow[q], wantEntry)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMin1MatchesMathMin(t *testing.T) {
+	cases := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 0, math.Copysign(0, -1), 0.5, 1, 1 + 1e-16, 2}
+	for _, v := range cases {
+		got, want := min1(v), math.Min(1, v)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("min1(%v) = %v, math.Min(1, %v) = %v", v, got, v, want)
+		}
+	}
+}
+
+func TestOriginInvariant(t *testing.T) {
+	if !OriginInvariant(Uniform{}) || !OriginInvariant(Proportional{}) || !OriginInvariant(Boltzmann{C: 2}) {
+		t.Fatal("builtin samplers must be origin-invariant")
+	}
+	if OriginInvariant(nil) {
+		t.Fatal("unknown samplers must be conservative")
+	}
+}

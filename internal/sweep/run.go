@@ -142,8 +142,12 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// One evaluation workspace per worker, reused across every task
+			// it runs: after the first task on each topology shape, a
+			// task's simulation scratch is fully recycled arena memory.
+			ws := flow.NewWorkspace()
 			for t := range taskCh {
-				rec, aborted := runTaskIsolated(ctx, c, t, &cache)
+				rec, aborted := runTaskIsolated(ctx, c, t, &cache, ws)
 				if aborted {
 					// Cancelled mid-simulation: the task did not complete,
 					// so it gets no record.
@@ -229,8 +233,8 @@ func sortRecords(recs []Record) {
 // records so a poisoned cell cannot take down the campaign. The second
 // return reports that the task was aborted by context cancellation and
 // therefore has no record.
-func runTaskIsolated(ctx context.Context, c *Campaign, t Task, cache *sync.Map) (Record, bool) {
-	rec := isolated(t, func() Record { return runTask(ctx, c, t, cache) })
+func runTaskIsolated(ctx context.Context, c *Campaign, t Task, cache *sync.Map, ws *flow.Workspace) (Record, bool) {
+	rec := isolated(t, func() Record { return runTask(ctx, c, t, cache, ws) })
 	return rec, rec.aborted
 }
 
@@ -259,7 +263,7 @@ func errorRecord(t Task, err error) Record {
 	}
 }
 
-func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map) Record {
+func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map, ws *flow.Workspace) Record {
 	// Bail before the instance build and Frank–Wolfe solve — the expensive
 	// pre-engine work — so tasks dequeued around the cancellation instant
 	// abort immediately instead of delaying the partial flush.
@@ -320,7 +324,7 @@ func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map) Record {
 		Eps:                      c.Eps,
 		Weak:                     c.Weak,
 		StopAfterSatisfiedStreak: c.Streak,
-	})
+	}, engine.WithWorkspace(ws))
 	if err != nil {
 		if engine.IsCancellation(err) {
 			return Record{aborted: true}
