@@ -31,6 +31,9 @@ type benchReport struct {
 	Kernel []bench.Measurement `json:"kernel,omitempty"`
 	// Speedups maps workload prefix to reference-ns / kernel-ns.
 	Speedups map[string]float64 `json:"speedups,omitempty"`
+	// Serve holds the serving-layer suite: per-request cost and derived
+	// requests/sec for cached vs uncached scenario requests.
+	Serve []bench.ServeMeasurement `json:"serve,omitempty"`
 }
 
 // expEntry records one experiment's cost and headline artefact number.
@@ -126,8 +129,9 @@ func headline(id string, tbl *report.Table) (string, float64, bool) {
 }
 
 // writeBenchJSON assembles and writes the report. gridN > 0 runs the
-// kernel-vs-reference suite (a few benchmark-seconds per measurement).
-func writeBenchJSON(w io.Writer, gridN int, exps []expEntry) error {
+// kernel-vs-reference suite (a few benchmark-seconds per measurement);
+// withServe runs the serving-layer suite.
+func writeBenchJSON(w io.Writer, gridN int, withServe bool, exps []expEntry) error {
 	rep := benchReport{
 		Schema:      "wardrop/bench/v1",
 		GoOS:        runtime.GOOS,
@@ -150,6 +154,13 @@ func writeBenchJSON(w io.Writer, gridN int, exps []expEntry) error {
 			}
 			rep.Speedups[prefix] = s
 		}
+	}
+	if withServe {
+		sm, err := bench.ServeSuite()
+		if err != nil {
+			return fmt.Errorf("serve suite: %w", err)
+		}
+		rep.Serve = sm
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

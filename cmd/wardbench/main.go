@@ -36,6 +36,7 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "directory to write per-experiment CSV files (optional)")
 	benchJSON := fs.String("benchjson", "", "file to write machine-readable results (ns, allocs, headline metric per experiment plus kernel-vs-reference benchmarks)")
 	benchGrid := fs.Int("benchgrid", 6, "grid size for the kernel benchmark suite in -benchjson (0 skips the suite)")
+	benchServe := fs.Bool("benchserve", true, "include the serving-layer suite (cached vs uncached scenario requests) in -benchjson")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,7 +123,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := writeBenchJSON(f, *benchGrid, exps); err != nil {
+		if err := writeBenchJSON(f, *benchGrid, *benchServe, exps); err != nil {
 			f.Close()
 			return err
 		}

@@ -41,9 +41,10 @@ func TestRunBadFlag(t *testing.T) {
 func TestRunBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_kernel.json")
-	// -benchgrid 0 skips the (slow) kernel suite; the experiment entries
-	// and document shape are what this test pins.
-	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0"}); err != nil {
+	// -benchgrid 0 / -benchserve=false skip the (slow) kernel and serving
+	// suites; the experiment entries and document shape are what this test
+	// pins.
+	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0", "-benchserve=false"}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -80,5 +81,34 @@ func TestHeadlineCoversEveryExperiment(t *testing.T) {
 		if name, _, ok := headline(id, tbl); !ok || name == "" {
 			t.Errorf("experiment %s has no headline metric", id)
 		}
+	}
+}
+
+func TestRunBenchJSONServeSuite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_kernel.json")
+	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Serve) != 2 {
+		t.Fatalf("serve suite has %d measurements, want 2: %+v", len(rep.Serve), rep.Serve)
+	}
+	byName := map[string]bool{}
+	for _, m := range rep.Serve {
+		byName[m.Name] = true
+		if m.NsPerOp <= 0 || m.RequestsPerSec <= 0 {
+			t.Errorf("unmeasured serve workload: %+v", m)
+		}
+	}
+	if !byName["serve/scenario/cached"] || !byName["serve/scenario/uncached"] {
+		t.Fatalf("serve suite workloads = %+v", rep.Serve)
 	}
 }

@@ -1,0 +1,112 @@
+// Command wardserve runs the simulation service: an HTTP/JSON server that
+// accepts scenario and campaign specifications, schedules them on a bounded
+// worker pool, memoizes results in a fingerprint-keyed LRU cache, and
+// streams campaign runs as NDJSON.
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness (+ draining flag)
+//	GET  /v1/catalog              the registered component catalog
+//	POST /v1/scenarios            run a scenario (sync; ?mode=job for async)
+//	POST /v1/campaigns            run a campaign (always a job resource)
+//	GET  /v1/jobs                 recent jobs
+//	GET  /v1/jobs/{id}            one job
+//	GET  /v1/jobs/{id}/stream     the job's NDJSON stream (replay + follow)
+//	GET  /metrics                 jobs run, cache hit rate, queue depth, latency percentiles
+//
+// SIGINT/SIGTERM drains the server: listeners stop accepting, in-flight and
+// queued jobs get -grace to finish, then remaining runs are cancelled. A
+// second signal terminates immediately.
+//
+// Usage:
+//
+//	wardserve -addr :8080
+//	wardserve -addr 127.0.0.1:0 -workers 8 -queue 128 -cache 512
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"wardrop"
+	"wardrop/internal/drain"
+)
+
+func main() {
+	ctx, stop := drain.Context(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wardserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wardserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "worker-pool size (default GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "job-queue depth (default 64)")
+	cache := fs.Int("cache", 0, "result-cache entries (default 256; negative disables)")
+	campaignWorkers := fs.Int("campaign-workers", 0, "sweep pool width inside one campaign job (default 1)")
+	grace := fs.Duration("grace", 15*time.Second, "shutdown grace period for in-flight jobs")
+	list := fs.Bool("list", false, "print the registered component catalog and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		return wardrop.WriteCatalog(stdout)
+	}
+
+	// Bind before starting the worker pool so a bad -addr never spawns (and
+	// leaks) workers.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := wardrop.NewServer(wardrop.ServerConfig{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		CampaignWorkers: *campaignWorkers,
+	})
+	// The resolved address line is machine-readable on purpose: tests and
+	// scripts bind :0 and scrape the port.
+	fmt.Fprintf(stdout, "wardserve: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died on its own: tear the pool down before exiting.
+		gctx, cancel := drain.Grace(*grace)
+		defer cancel()
+		_ = srv.Close(gctx)
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, give in-flight handlers and queued jobs the
+	// grace period, then cancel whatever is still running.
+	fmt.Fprintf(stdout, "wardserve: draining (grace %s)\n", *grace)
+	gctx, cancel := drain.Grace(*grace)
+	defer cancel()
+	shutdownErr := hs.Shutdown(gctx)
+	closeErr := srv.Close(gctx)
+	if errors.Is(closeErr, context.DeadlineExceeded) {
+		fmt.Fprintln(stdout, "wardserve: grace period expired, cancelled remaining jobs")
+		closeErr = nil
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	return closeErr
+}

@@ -24,18 +24,17 @@ import (
 	"io"
 	"math"
 	"os"
-	"os/signal"
 	"strconv"
 
 	"wardrop"
+	"wardrop/internal/drain"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM cancel the run context (the partial-trajectory flush
+	// follows); a second signal terminates the process.
+	ctx, stop := drain.Context(context.Background())
 	defer stop()
-	// Drop the handler after the first SIGINT so a second Ctrl+C terminates
-	// the process even if the partial-trajectory flush blocks.
-	context.AfterFunc(ctx, stop)
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wardsim:", err)
 		os.Exit(1)
@@ -57,14 +56,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	every := fs.Int("every", 1, "record every k phases")
 	agentsN := fs.Int("agents", 0, "if > 0, run the finite-N stochastic simulator instead of the fluid limit")
 	list := fs.Bool("list", false, "print the registered component catalog and exit")
+	jsonOut := fs.Bool("json", false, "with -scenario: emit the canonical JSON result document instead of CSV (byte-identical to wardserve's POST /v1/scenarios response)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		return wardrop.WriteCatalog(stdout)
 	}
+	if *jsonOut && *scenFile == "" {
+		return fmt.Errorf("-json requires -scenario (only scenario files have a canonical result document)")
+	}
 	if *scenFile != "" {
-		return runScenario(ctx, *scenFile, stdout)
+		return runScenario(ctx, *scenFile, *jsonOut, stdout)
 	}
 	// Reject bad run-shape flags up front instead of passing them to the
 	// simulators (where e.g. -every 0 silently disables recording and
@@ -146,8 +149,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 }
 
 // runScenario executes a declarative scenario file through the same emit
-// path as the flag-driven runs.
-func runScenario(ctx context.Context, path string, stdout io.Writer) error {
+// path as the flag-driven runs; with jsonOut it emits the canonical result
+// document shared with the serving layer instead of CSV.
+func runScenario(ctx context.Context, path string, jsonOut bool, stdout io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -162,6 +166,16 @@ func runScenario(ctx context.Context, path string, stdout io.Writer) error {
 		return err
 	}
 	res, err := wardrop.Run(ctx, scenario)
+	if jsonOut {
+		if err != nil {
+			return err
+		}
+		doc, err := wardrop.NewRunResult(sc, res)
+		if err != nil {
+			return err
+		}
+		return doc.Encode(stdout)
+	}
 	return emit(stdout, res, err)
 }
 

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"wardrop"
 )
 
 func TestRunErrors(t *testing.T) {
@@ -231,5 +233,57 @@ func TestBestResponseRejectsAgents(t *testing.T) {
 	err := run(context.Background(), []string{"-topo", "kink", "-policy", "bestresponse", "-agents", "100", "-horizon", "2"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "-agents") {
 		t.Fatalf("bestresponse+agents accepted: %v", err)
+	}
+}
+
+// -json emits the canonical result document — the exact bytes the serving
+// layer returns for the same spec (the library encoder is the shared
+// implementation, so comparing against it pins the contract).
+func TestScenarioJSONMatchesLibraryEncoder(t *testing.T) {
+	doc := `{
+	  "name": "json-golden",
+	  "topology": {"family": "pigou"},
+	  "policy": {"kind": "replicator"},
+	  "updatePeriod": 0.05,
+	  "maxPhases": 40,
+	  "recordEvery": 10
+	}`
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := run(context.Background(), []string{"-scenario", path, "-json"}, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := wardrop.ParseScenario(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := spec.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wardrop.Run(context.Background(), scen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := wardrop.EncodeRunResult(&want, spec, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("-json output differs from the library encoder:\n got: %s\nwant: %s", got.Bytes(), want.Bytes())
+	}
+	if !strings.Contains(got.String(), `"fingerprint":"`) {
+		t.Fatalf("result document lacks a fingerprint: %s", got.String())
+	}
+}
+
+func TestJSONRequiresScenario(t *testing.T) {
+	err := run(context.Background(), []string{"-topo", "pigou", "-json", "-horizon", "2"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-scenario") {
+		t.Fatalf("-json without -scenario accepted: %v", err)
 	}
 }

@@ -21,19 +21,18 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
 
 	"wardrop"
+	"wardrop/internal/drain"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM cancel the run context (the partial-result flush
+	// follows); a second signal terminates the process.
+	ctx, stop := drain.Context(context.Background())
 	defer stop()
-	// Drop the handler after the first SIGINT so a second Ctrl+C terminates
-	// the process even if the partial-result flush blocks.
-	context.AfterFunc(ctx, stop)
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wardsweep:", err)
 		os.Exit(1)

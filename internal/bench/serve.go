@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wardrop/internal/serve"
+)
+
+// ServeMeasurement is one serving-layer benchmark result destined for
+// BENCH_kernel.json's "serve" suite: the handler-path cost of a scenario
+// request with and without a result-cache hit.
+type ServeMeasurement struct {
+	// Name identifies the workload ("serve/scenario/cached", …).
+	Name string `json:"name"`
+	// NsPerOp, AllocsPerOp and BytesPerOp are per-request costs measured
+	// through the HTTP handler (no TCP, so the numbers isolate the service
+	// itself).
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	// RequestsPerSec is the derived single-client throughput 1e9/NsPerOp.
+	RequestsPerSec float64 `json:"requestsPerSec"`
+}
+
+// serveScenarioDoc is the benchmark workload: a tiny deterministic Pigou
+// run, cheap enough that the uncached measurement reflects dispatch +
+// simulation rather than one huge integration.
+const serveScenarioDoc = `{"name":"bench-%s","topology":{"family":"pigou"},"policy":{"kind":"replicator"},"updatePeriod":0.05,"maxPhases":20}`
+
+// ServeSuite measures the serving layer: one synchronous scenario request
+// per op, against a single-worker server. The cached workload repeats one
+// spec (every request after the first is an LRU hit that never touches an
+// engine); the uncached workload makes every request's fingerprint unique,
+// forcing a full simulation per op.
+func ServeSuite() ([]ServeMeasurement, error) {
+	post := func(s *serve.Server, body string) error {
+		req := httptest.NewRequest(http.MethodPost, "/v1/scenarios", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("bench: scenario request failed: %d %s", rec.Code, rec.Body.String())
+		}
+		return nil
+	}
+
+	var failure error
+	measureServe := func(name string, body func(i int) string) ServeMeasurement {
+		s := serve.New(serve.Config{Workers: 1, QueueDepth: 16, CacheEntries: 4})
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := post(s, body(i)); err != nil && failure == nil {
+					failure = err
+					b.FailNow()
+				}
+			}
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = s.Close(ctx)
+		cancel()
+		return ServeMeasurement{
+			Name:           name,
+			NsPerOp:        float64(r.NsPerOp()),
+			AllocsPerOp:    r.AllocsPerOp(),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			RequestsPerSec: 1e9 / float64(r.NsPerOp()),
+		}
+	}
+
+	cachedDoc := fmt.Sprintf(serveScenarioDoc, "cached")
+	out := []ServeMeasurement{
+		measureServe("serve/scenario/cached", func(i int) string { return cachedDoc }),
+		measureServe("serve/scenario/uncached", func(i int) string {
+			return fmt.Sprintf(serveScenarioDoc, fmt.Sprintf("uncached-%d", i))
+		}),
+	}
+	if failure != nil {
+		return nil, failure
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+// Package canon renders JSON documents in a canonical form — object keys
+// sorted, insignificant whitespace removed, strings re-escaped by
+// encoding/json — and hashes that form into a stable SHA-256 fingerprint.
+// Fingerprints are the serving layer's cache keys and the sweep engine's
+// task-dedup keys: two specs that differ only in field order or whitespace
+// fingerprint identically, while any semantic difference (a changed
+// parameter, an extra axis value) changes the hash.
+//
+// Number literals are preserved verbatim ("1.0" and "1" are distinct), so
+// documents that round-trip through Go structs — whose marshaller formats
+// numbers deterministically — always agree, and embedded raw documents
+// (instance specs) are never silently re-formatted.
+package canon
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadDocument indicates input that is not a single well-formed JSON
+// document.
+var ErrBadDocument = errors.New("canon: invalid JSON document")
+
+// Canonical renders v as canonical JSON. v is either a raw JSON document
+// ([]byte or json.RawMessage) or any marshallable Go value, which is
+// marshalled first. The result is a compact document with every object's
+// keys in sorted order.
+func Canonical(v any) ([]byte, error) {
+	raw, err := rawJSON(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var doc any
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDocument, err)
+	}
+	// A second document (or any trailing token) means the input was not one
+	// JSON value; a trailing-garbage spec must not fingerprint like its
+	// prefix.
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after document", ErrBadDocument)
+	}
+	var buf bytes.Buffer
+	if err := write(&buf, doc); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Fingerprint returns the lowercase-hex SHA-256 of v's canonical form.
+func Fingerprint(v any) (string, error) {
+	b, err := Canonical(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// rawJSON returns v's JSON bytes: verbatim for raw documents, marshalled
+// otherwise.
+func rawJSON(v any) ([]byte, error) {
+	switch b := v.(type) {
+	case json.RawMessage:
+		return b, nil
+	case []byte:
+		return b, nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDocument, err)
+	}
+	return b, nil
+}
+
+// write renders one decoded JSON value canonically.
+func write(buf *bytes.Buffer, v any) error {
+	switch t := v.(type) {
+	case nil:
+		buf.WriteString("null")
+	case bool:
+		if t {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case json.Number:
+		buf.WriteString(t.String())
+	case string:
+		// encoding/json's escaping (including its HTML escapes) is the one
+		// canonical string form; both the struct-marshal and raw-document
+		// paths funnel through it.
+		b, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := write(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			buf.Write(kb)
+			buf.WriteByte(':')
+			if err := write(buf, t[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	default:
+		return fmt.Errorf("%w: unexpected value %T", ErrBadDocument, v)
+	}
+	return nil
+}

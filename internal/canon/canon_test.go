@@ -1,0 +1,90 @@
+package canon
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalSortsKeysAndStripsWhitespace(t *testing.T) {
+	got, err := Canonical([]byte("{\n  \"b\": [1, 2.0, 3e1],\n  \"a\": {\"y\": null, \"x\": true}\n}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"a":{"x":true,"y":null},"b":[1,2.0,3e1]}`
+	if string(got) != want {
+		t.Fatalf("canonical = %s, want %s", got, want)
+	}
+}
+
+func TestFingerprintInsensitiveToOrderAndWhitespace(t *testing.T) {
+	a := `{"name":"p","horizon":50,"policy":{"kind":"replicator"}}`
+	b := "{\n\t\"policy\": {\"kind\": \"replicator\"},\n\t\"horizon\": 50,\n\t\"name\": \"p\"\n}"
+	fa, err := Fingerprint([]byte(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Fingerprint([]byte(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Fatalf("reordered document fingerprints differ: %s vs %s", fa, fb)
+	}
+	fc, err := Fingerprint([]byte(`{"name":"q","horizon":50,"policy":{"kind":"replicator"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc == fa {
+		t.Fatal("semantically different documents share a fingerprint")
+	}
+}
+
+func TestFingerprintGoValueMatchesRawDocument(t *testing.T) {
+	type doc struct {
+		A int    `json:"a"`
+		B string `json:"b,omitempty"`
+	}
+	fv, err := Fingerprint(doc{A: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Fingerprint([]byte(` { "a" : 3 } `))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv != fr {
+		t.Fatalf("struct and raw fingerprints differ: %s vs %s", fv, fr)
+	}
+}
+
+func TestCanonicalPreservesNumberLiterals(t *testing.T) {
+	got, err := Canonical(json.RawMessage(`{"x": 1.0, "y": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"x":1.0,"y":1}` {
+		t.Fatalf("number literals rewritten: %s", got)
+	}
+}
+
+func TestCanonicalRejectsBadDocuments(t *testing.T) {
+	for _, bad := range []string{"", "{", `{"a":1} {"b":2}`, `{"a":1}tail`} {
+		if _, err := Canonical([]byte(bad)); err == nil {
+			t.Errorf("Canonical(%q) accepted invalid input", bad)
+		}
+	}
+	if _, err := Fingerprint(func() {}); err == nil {
+		t.Error("Fingerprint accepted an unmarshallable value")
+	}
+}
+
+func TestFingerprintShape(t *testing.T) {
+	fp, err := Fingerprint([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp) != 64 || strings.ToLower(fp) != fp {
+		t.Fatalf("fingerprint %q is not lowercase hex sha256", fp)
+	}
+}

@@ -1,0 +1,32 @@
+// Package drain is the shared SIGINT/SIGTERM lifecycle of the long-running
+// commands (wardsweep, wardserve, wardsim): one definition of "interrupt
+// cancels the run context, a second signal kills the process, cleanup gets
+// a bounded grace period" instead of per-command ad-hoc signal handling.
+package drain
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Context returns a copy of parent that is cancelled on SIGINT or SIGTERM.
+// The handler is dropped after the first signal, so a second signal
+// terminates the process through the default disposition even if the
+// post-interrupt flush hangs. The returned stop releases the handler early.
+func Context(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	context.AfterFunc(ctx, stop)
+	return ctx, stop
+}
+
+// Grace returns a deadline context for cleanup that must run after the run
+// context was already interrupted — draining a server, flushing partial
+// results. It is detached from the interrupt (deliberately: the cleanup is
+// what the interrupt asked for) and expires after d, bounding how long a
+// drain can hold the process.
+func Grace(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}

@@ -1,0 +1,20 @@
+package scenario
+
+import "wardrop/internal/canon"
+
+// Canonical renders the specification in its canonical JSON form: object
+// keys sorted, whitespace stripped, absent and zero-valued optional fields
+// identical (the spec marshals with omitempty). Two spec files that differ
+// only in field order or formatting canonicalise to the same bytes.
+func (s *Spec) Canonical() ([]byte, error) {
+	return canon.Canonical(s)
+}
+
+// Fingerprint is the canonical-JSON SHA-256 of the specification — the
+// stable identity the serving layer keys its result cache on. It covers
+// every field of the spec (including the informational Name), so any edit
+// changes the fingerprint while reordering or reformatting does not. Number
+// literals inside an embedded raw instance document are preserved verbatim.
+func (s *Spec) Fingerprint() (string, error) {
+	return canon.Fingerprint(s)
+}

@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// The two spellings of the same scenario: field order shuffled, whitespace
+// reflowed, explicit zero-valued optionals dropped. They must parse to the
+// same spec and fingerprint identically.
+const (
+	pigouDocA = `{
+  "name": "pigou-replicator",
+  "topology": {"family": "pigou"},
+  "policy": {"kind": "replicator"},
+  "updatePeriod": "safe",
+  "horizon": 50,
+  "recordEvery": 5
+}`
+	pigouDocB = `{"recordEvery":5,"horizon":50,
+		"policy":{"kind":"replicator"},"updatePeriod":"safe",
+		"topology":{"family":"pigou"},"name":"pigou-replicator"}`
+)
+
+// goldenPigouFingerprint pins the hash across releases: a changed canonical
+// encoding would silently invalidate every deployed result cache, so any
+// change here must be deliberate.
+const goldenPigouFingerprint = "2db6c43f44a9c9225940ab77143300ea8b668b849c815900e867cb0ae397cd44"
+
+func parseSpec(t *testing.T, doc string) *Spec {
+	t.Helper()
+	s, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFingerprintGolden(t *testing.T) {
+	s := parseSpec(t, pigouDocA)
+	fp, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != goldenPigouFingerprint {
+		t.Fatalf("fingerprint = %s, want pinned %s (a canonical-encoding change invalidates deployed caches)", fp, goldenPigouFingerprint)
+	}
+}
+
+func TestFingerprintFieldOrderAndWhitespaceInsensitive(t *testing.T) {
+	a, err := parseSpec(t, pigouDocA).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parseSpec(t, pigouDocB).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("reordered spellings fingerprint differently: %s vs %s", a, b)
+	}
+}
+
+func TestFingerprintSeesSemanticEdits(t *testing.T) {
+	base, err := parseSpec(t, pigouDocA).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits := map[string]string{
+		"name":    strings.Replace(pigouDocA, "pigou-replicator", "other", 1),
+		"policy":  strings.Replace(pigouDocA, "replicator", "uniform", 1),
+		"horizon": strings.Replace(pigouDocA, `"horizon": 50`, `"horizon": 51`, 1),
+	}
+	for field, doc := range edits {
+		fp, err := parseSpec(t, doc).Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp == base {
+			t.Errorf("editing %s did not change the fingerprint", field)
+		}
+	}
+}
+
+func TestCanonicalEmbeddedInstancePreserved(t *testing.T) {
+	// Embedded raw instance documents canonicalise (keys sort, whitespace
+	// drops) without re-formatting number literals.
+	doc := `{"horizon":10,"policy":{"kind":"uniform"},"updatePeriod":0.5,"instance":{
+		"nodes": ["s", "t"],
+		"edges": [
+			{"from": "s", "to": "t", "latency": {"kind": "linear", "slope": 1.0}},
+			{"from": "s", "to": "t", "latency": {"kind": "constant", "c": 1}}],
+		"commodities": [{"source": "s", "sink": "t", "demand": 1}]}}`
+	s := parseSpec(t, doc)
+	b, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"slope":1.0`) {
+		t.Fatalf("canonical form rewrote the 1.0 literal: %s", b)
+	}
+	if strings.ContainsAny(string(b), "\n\t ") {
+		t.Fatalf("canonical form retains whitespace: %s", b)
+	}
+}

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"encoding/json"
+	"io"
+
+	"wardrop/internal/engine"
+)
+
+// TrajectorySample is one recorded trajectory point of a RunResult.
+type TrajectorySample struct {
+	Time      float64   `json:"time"`
+	Potential float64   `json:"potential"`
+	Flow      []float64 `json:"flow"`
+}
+
+// RunResult is the canonical JSON result document of one scenario run — the
+// single shape shared by `wardsim -scenario -json` and the serving layer's
+// POST /v1/scenarios response, so the two are byte-identical for the same
+// spec by construction.
+type RunResult struct {
+	// Name echoes the spec's informational label.
+	Name string `json:"name,omitempty"`
+	// Fingerprint is the spec's canonical-JSON SHA-256 (see Spec.Fingerprint).
+	Fingerprint string `json:"fingerprint"`
+	// Phases, Elapsed, FinalPotential, UnsatisfiedPhases and Converged
+	// mirror the engine result.
+	Phases            int     `json:"phases"`
+	Elapsed           float64 `json:"elapsed"`
+	FinalPotential    float64 `json:"finalPotential"`
+	UnsatisfiedPhases int     `json:"unsatisfiedPhases"`
+	Converged         bool    `json:"converged"`
+	// Final is the flow at the end of the run.
+	Final []float64 `json:"final"`
+	// Trajectory holds the recorded samples (absent unless the spec set
+	// recordEvery).
+	Trajectory []TrajectorySample `json:"trajectory,omitempty"`
+}
+
+// NewRunResult assembles the result document for a completed run of the
+// spec.
+func NewRunResult(s *Spec, res *engine.Result) (RunResult, error) {
+	fp, err := s.Fingerprint()
+	if err != nil {
+		return RunResult{}, err
+	}
+	doc := RunResult{
+		Name:              s.Name,
+		Fingerprint:       fp,
+		Phases:            res.Phases,
+		Elapsed:           res.Elapsed,
+		FinalPotential:    res.FinalPotential,
+		UnsatisfiedPhases: res.UnsatisfiedPhases,
+		Converged:         res.Stopped,
+		Final:             res.Final,
+	}
+	if len(res.Trajectory) > 0 {
+		doc.Trajectory = make([]TrajectorySample, len(res.Trajectory))
+		for i, sm := range res.Trajectory {
+			doc.Trajectory[i] = TrajectorySample{Time: sm.Time, Potential: sm.Potential, Flow: sm.Flow}
+		}
+	}
+	return doc, nil
+}
+
+// Encode writes the document as one compact JSON line (with trailing
+// newline) — the exact bytes both emitters produce.
+func (r RunResult) Encode(w io.Writer) error {
+	return json.NewEncoder(w).Encode(r)
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is the in-memory result cache: fingerprint-keyed, least-recently-used
+// eviction, safe for concurrent use. Values are immutable encoded result
+// documents, so hits hand out the stored slice without copying.
+type lru struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// newLRU builds a cache holding up to max entries; max <= 0 disables
+// caching (every Get misses, Add is a no-op).
+func newLRU(max int) *lru {
+	return &lru{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached document and marks it most recently used.
+func (c *lru) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add stores the document under key, evicting the least recently used entry
+// when full.
+func (c *lru) Add(key string, val []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len reports the number of cached documents.
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"wardrop/internal/catalog"
+	"wardrop/internal/engine"
+	"wardrop/internal/latency"
+	"wardrop/internal/policy"
+	"wardrop/internal/topo"
+
+	// Register the "custom" topology family so served campaign specs accept
+	// embedded instance documents.
+	_ "wardrop/internal/spec"
+)
+
+// defaultCatalog aggregates every component registry in the same
+// deterministic order as the root Catalog() export; servers built through
+// the root API pass that export directly instead.
+func defaultCatalog() []catalog.Description {
+	var out []catalog.Description
+	out = append(out, latency.Catalog.Describe()...)
+	out = append(out, topo.Catalog.Describe()...)
+	out = append(out, policy.Samplers.Describe()...)
+	out = append(out, policy.Migrators.Describe()...)
+	out = append(out, engine.Catalog.Describe()...)
+	out = append(out, engine.Integrators.Describe()...)
+	out = append(out, engine.Starts.Describe()...)
+	return out
+}

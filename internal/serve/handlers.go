@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"wardrop/internal/scenario"
+	"wardrop/internal/sweep"
+)
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps an error to a JSON error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// parseSpec decodes the request body through parse, distinguishing an
+// oversized body (413) from an invalid document (400).
+func parseSpec[T any](w http.ResponseWriter, r *http.Request, parse func(io.Reader) (T, error)) (T, bool) {
+	v, err := parse(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return v, false
+	}
+	return v, true
+}
+
+// submitStatus maps a submission failure to its HTTP status.
+func submitStatus(err error) int {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Catalog())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// MetricsSnapshot assembles the current Metrics document.
+func (s *Server) MetricsSnapshot() Metrics {
+	hits, misses := s.met.cacheHits.Load(), s.met.cacheMisses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	p50, p99 := s.met.percentiles()
+	return Metrics{
+		JobsRun:         s.met.jobsRun.Load(),
+		JobsFailed:      s.met.jobsFailed.Load(),
+		EngineRuns:      s.engineRuns.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheHitRate:    rate,
+		CacheEntries:    s.cache.Len(),
+		QueueDepth:      len(s.queue),
+		JobsRunning:     s.met.jobsRunning(),
+		Workers:         s.cfg.Workers,
+		RunLatencyMsP50: p50,
+		RunLatencyMsP99: p99,
+	}
+}
+
+// handleScenarios answers POST /v1/scenarios: parse, fingerprint, serve
+// from the result cache when possible, otherwise schedule. The default mode
+// runs synchronously — the response body is the scenario's canonical result
+// document, byte-identical to `wardsim -scenario <file> -json` on the same
+// spec. `?mode=job` detaches the run from the request and answers with a
+// job resource instead (stream the trajectory from /v1/jobs/{id}/stream).
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	spec, ok := parseSpec(w, r, scenario.Parse)
+	if !ok {
+		return
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("X-Fingerprint", fp)
+	async := r.URL.Query().Get("mode") == "job"
+	if body, ok := s.cache.Get(kindScenario + ":" + fp); ok {
+		s.met.cacheHits.Add(1)
+		if !async {
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(body)
+			return
+		}
+		j := s.newJob(kindScenario, fp, context.Background())
+		j.spec = spec
+		j.complete(body, true)
+		s.register(j)
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	if async {
+		// Detached from the request: an async job outlives its submitter
+		// and is cancelled only by server shutdown.
+		j := s.newJob(kindScenario, fp, context.Background())
+		j.spec = spec
+		s.register(j)
+		if err := s.submit(j); err != nil {
+			j.fail(err)
+			writeError(w, submitStatus(err), err)
+			return
+		}
+		// Only scheduled work counts as a miss: a 503'd request never
+		// consulted an engine, so it must not dilute the hit rate.
+		s.met.cacheMisses.Add(1)
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
+
+	// Synchronous: the job inherits the request context, so a client
+	// disconnect cancels the simulation between phases and frees the worker
+	// slot; the job is left failed for the audit trail.
+	j := s.newJob(kindScenario, fp, r.Context())
+	j.spec = spec
+	s.register(j)
+	if err := s.submit(j); err != nil {
+		j.fail(err)
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	s.met.cacheMisses.Add(1)
+	<-j.done
+	st := j.status()
+	if st.State == JobFailed {
+		if r.Context().Err() != nil {
+			// The client is gone; nothing can be written.
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, errors.New(st.Error))
+		return
+	}
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(j.resultBytes())
+}
+
+// handleCampaigns answers POST /v1/campaigns: always asynchronous — the
+// response is a job resource whose stream delivers one NDJSON record per
+// completed task followed by the aggregated summary. A campaign whose
+// fingerprint is cached completes immediately with the memoized summary.
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	c, ok := parseSpec(w, r, sweep.ParseCampaign)
+	if !ok {
+		return
+	}
+	fp, err := c.Fingerprint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("X-Fingerprint", fp)
+	j := s.newJob(kindCampaign, fp, context.Background())
+	j.campaign = c
+	if body, ok := s.cache.Get(kindCampaign + ":" + fp); ok {
+		s.met.cacheHits.Add(1)
+		j.complete(body, true)
+		s.register(j)
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	s.register(j)
+	if err := s.submit(j); err != nil {
+		j.fail(err)
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	s.met.cacheMisses.Add(1)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleJobs lists every retained job, oldest first.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		if j := s.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleJobStream replays the job's NDJSON lines and follows live output
+// until the job reaches a terminal state or the client disconnects.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: unknown job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Fingerprint", j.fingerprint)
+	flusher, _ := w.(http.Flusher)
+	for from := 0; ; {
+		lines, next, notify, truncated, terminal := j.follow(from)
+		from = next
+		if truncated {
+			if _, err := w.Write(truncatedLine); err != nil {
+				return
+			}
+		}
+		for _, ln := range lines {
+			if _, err := w.Write(ln); err != nil {
+				return
+			}
+		}
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

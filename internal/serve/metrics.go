@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the JSON body of GET /metrics: the service's cumulative
+// counters plus run-latency percentiles over a sliding window of recent
+// jobs.
+type Metrics struct {
+	// JobsRun counts jobs executed by the worker pool (cache hits are not
+	// jobs); JobsFailed the subset that ended failed (bad specs, panics,
+	// client disconnects).
+	JobsRun    int64 `json:"jobsRun"`
+	JobsFailed int64 `json:"jobsFailed"`
+	// EngineRuns counts simulation runs executed on behalf of jobs: one per
+	// scenario job, one per completed campaign task record (duplicate-task
+	// records cloned by the sweep dedup pass count as their representative).
+	EngineRuns int64 `json:"engineRuns"`
+	// CacheHits / CacheMisses count result-cache lookups; CacheHitRate is
+	// hits / (hits + misses), 0 before the first lookup. CacheEntries is
+	// the current cache population.
+	CacheHits    int64   `json:"cacheHits"`
+	CacheMisses  int64   `json:"cacheMisses"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+	CacheEntries int     `json:"cacheEntries"`
+	// QueueDepth is the number of jobs waiting for a worker right now,
+	// JobsRunning the number being executed; Workers the pool size.
+	QueueDepth  int   `json:"queueDepth"`
+	JobsRunning int64 `json:"jobsRunning"`
+	Workers     int   `json:"workers"`
+	// RunLatencyMsP50 / P99 are percentiles of wall-clock job latency over
+	// the sliding sample window (0 before the first completed job).
+	RunLatencyMsP50 float64 `json:"runLatencyMsP50"`
+	RunLatencyMsP99 float64 `json:"runLatencyMsP99"`
+}
+
+// metrics aggregates the service counters. Latencies go into a fixed-size
+// ring so the percentile cost is bounded regardless of uptime.
+type metrics struct {
+	jobsRun, jobsFailed    atomic.Int64
+	cacheHits, cacheMisses atomic.Int64
+	running                atomic.Int64
+
+	mu   sync.Mutex
+	ring []float64 // job latencies, milliseconds
+	next int
+	n    int
+}
+
+func newMetrics(window int) *metrics {
+	if window <= 0 {
+		window = 512
+	}
+	return &metrics{ring: make([]float64, window)}
+}
+
+// jobsRunning reports the number of jobs currently executing.
+func (m *metrics) jobsRunning() int64 { return m.running.Load() }
+
+// observe records one job's wall-clock latency.
+func (m *metrics) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ring[m.next] = ms
+	m.next = (m.next + 1) % len(m.ring)
+	if m.n < len(m.ring) {
+		m.n++
+	}
+}
+
+// percentiles returns the p50/p99 job latency over the window using the
+// nearest-rank rule.
+func (m *metrics) percentiles() (p50, p99 float64) {
+	m.mu.Lock()
+	sample := append([]float64(nil), m.ring[:m.n]...)
+	m.mu.Unlock()
+	if len(sample) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(sample)
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(sample))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sample) {
+			i = len(sample) - 1
+		}
+		return sample[i]
+	}
+	return rank(0.50), rank(0.99)
+}

@@ -1,0 +1,390 @@
+// Package serve turns the simulation library into a long-lived HTTP/JSON
+// service: the bulletin-board shape of the paper — many clients reading a
+// shared store refreshed by expensive recomputation — applied to the
+// simulations themselves. Scenario and campaign specs POSTed to the service
+// are fingerprinted (canonical-JSON SHA-256), answered from an LRU result
+// cache when an identical spec already ran, and otherwise scheduled on a
+// bounded job queue drained by a worker pool (one reusable evaluation
+// workspace per worker, per-job panic isolation, client-disconnect →
+// context cancellation). Small runs answer synchronously; campaigns become
+// job resources with NDJSON streaming. The service exposes /healthz, the
+// component catalog, and a /metrics snapshot, and drains gracefully on
+// shutdown.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wardrop/internal/catalog"
+	"wardrop/internal/dynamics"
+	"wardrop/internal/engine"
+	"wardrop/internal/flow"
+	"wardrop/internal/scenario"
+	"wardrop/internal/sweep"
+)
+
+// Sentinel errors surfaced as HTTP statuses.
+var (
+	// ErrQueueFull indicates a full job queue (503, retryable).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining indicates a server refusing new jobs during shutdown.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// maxBodyBytes bounds request documents; a spec larger than this is not a
+// simulation request, it is an attack.
+const maxBodyBytes = 8 << 20
+
+// Config parameterises a Server. The zero value is usable: every field has
+// a serving-appropriate default.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS). Each worker
+	// owns one evaluation workspace reused across every job it runs.
+	Workers int
+	// QueueDepth bounds the job queue (default 64); submissions beyond it
+	// are rejected with 503 rather than buffered without limit.
+	QueueDepth int
+	// CacheEntries is the LRU result-cache capacity (0 means the default
+	// 256; negative disables caching).
+	CacheEntries int
+	// CampaignWorkers is the sweep pool width used inside one campaign job
+	// (default 1, keeping the server's worker pool the only concurrency
+	// authority; raise it on dedicated campaign servers).
+	CampaignWorkers int
+	// MaxJobs bounds the finished-job history retained for /v1/jobs
+	// (default 1024); the oldest terminal jobs are evicted first.
+	MaxJobs int
+	// MaxStreamBytes bounds each job's NDJSON replay buffer (default
+	// 4 MiB; negative for unbounded): a huge campaign keeps streaming live,
+	// but late attachers replay only the newest lines behind a
+	// {"truncated":true} marker, so terminal jobs cannot pin unbounded
+	// memory.
+	MaxStreamBytes int
+	// LatencyWindow is the sliding sample window for the /metrics latency
+	// percentiles (default 512 jobs).
+	LatencyWindow int
+	// Catalog supplies the /v1/catalog listing (default: every component
+	// registry, mirroring the root Catalog() aggregation).
+	Catalog func() []catalog.Description
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CampaignWorkers <= 0 {
+		c.CampaignWorkers = 1
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxStreamBytes == 0 {
+		c.MaxStreamBytes = 4 << 20
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 512
+	}
+	if c.Catalog == nil {
+		c.Catalog = defaultCatalog
+	}
+	return c
+}
+
+// Server is the simulation service: an http.Handler plus the worker pool
+// behind it. Create with New, serve with any http.Server, stop with Close.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *lru
+	met   *metrics
+
+	engineRuns atomic.Int64
+
+	mu       sync.Mutex
+	queue    chan *job
+	jobs     map[string]*job
+	jobOrder []string
+	nextID   int
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		cache: newLRU(cfg.CacheEntries),
+		met:   newMetrics(cfg.LatencyWindow),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+	}
+	s.routes()
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	s.mux.HandleFunc("POST /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// newJob builds a job carrying the server's stream-buffer budget.
+func (s *Server) newJob(kind, fingerprint string, parent context.Context) *job {
+	return newJob(kind, fingerprint, parent, s.cfg.MaxStreamBytes)
+}
+
+// EngineRuns reports the number of simulation runs executed so far — the
+// counter the cache tests pin: a repeated identical request must not move
+// it.
+func (s *Server) EngineRuns() int64 { return s.engineRuns.Load() }
+
+// Close drains the server: no new jobs are accepted, queued and running
+// jobs finish, workers exit. If ctx expires first, every live job is
+// cancelled (engines abort between phases) and Close returns ctx.Err()
+// after the now-prompt drain.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelJobs()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// cancelJobs cancels every registered job's context.
+func (s *Server) cancelJobs() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.cancel()
+	}
+}
+
+// register assigns the job an ID and retains it for /v1/jobs, evicting the
+// oldest terminal jobs beyond the history cap.
+func (s *Server) register(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j.id = fmt.Sprintf("j%08d", s.nextID)
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	if len(s.jobOrder) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.jobOrder[:0]
+	excess := len(s.jobOrder) - s.cfg.MaxJobs
+	for _, id := range s.jobOrder {
+		if excess > 0 {
+			if old := s.jobs[id]; old != nil {
+				old.mu.Lock()
+				terminal := old.terminalLocked()
+				old.mu.Unlock()
+				if terminal {
+					delete(s.jobs, id)
+					excess--
+					continue
+				}
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// submit enqueues the job, refusing when draining or full.
+func (s *Server) submit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+func (s *Server) jobByID(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// worker drains the job queue; one evaluation workspace is reused across
+// every job this worker runs.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	ws := flow.NewWorkspace()
+	for j := range s.queue {
+		s.runJob(j, ws)
+	}
+}
+
+// runJob executes one job with panic isolation: a poisoned spec fails its
+// own job, never the worker or the process.
+func (s *Server) runJob(j *job, ws *flow.Workspace) {
+	start := time.Now()
+	s.met.running.Add(1)
+	defer s.met.running.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			j.fail(fmt.Errorf("panic: %v", r))
+		}
+		if j.failed() {
+			s.met.jobsFailed.Add(1)
+		}
+		s.met.jobsRun.Add(1)
+		s.met.observe(time.Since(start))
+		j.cancel()
+	}()
+	j.setRunning()
+	var err error
+	switch j.kind {
+	case kindScenario:
+		err = s.runScenario(j, ws)
+	case kindCampaign:
+		err = s.runCampaign(j, ws)
+	default:
+		err = fmt.Errorf("serve: unknown job kind %q", j.kind)
+	}
+	if err != nil {
+		j.fail(err)
+	}
+}
+
+// runScenario executes a scenario job: materialise, run, encode the shared
+// result document, memoize it, complete.
+func (s *Server) runScenario(j *job, ws *flow.Workspace) error {
+	sc, err := j.spec.Scenario()
+	if err != nil {
+		return err
+	}
+	opts := []engine.RunOption{engine.WithWorkspace(ws)}
+	if every := j.spec.RecordEvery; every > 0 {
+		opts = append(opts, engine.WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
+			if info.Index%every == 0 {
+				j.appendLine(streamLine{Sample: &scenario.TrajectorySample{
+					Time:      info.Time,
+					Potential: info.Potential,
+					Flow:      append([]float64(nil), info.Flow...),
+				}})
+			}
+			return false
+		})))
+	}
+	s.engineRuns.Add(1)
+	res, err := engine.Run(j.ctx, sc, opts...)
+	if err != nil {
+		return err
+	}
+	doc, err := scenario.NewRunResult(j.spec, res)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := doc.Encode(&buf); err != nil {
+		return err
+	}
+	body := buf.Bytes()
+	s.cache.Add(kindScenario+":"+j.fingerprint, body)
+	j.complete(body, false)
+	return nil
+}
+
+// CampaignResult is the final result document of a campaign job: identity,
+// counts and the per-cell aggregation (the full per-task records were
+// already streamed as they completed).
+type CampaignResult struct {
+	Name        string       `json:"name,omitempty"`
+	Fingerprint string       `json:"fingerprint"`
+	Tasks       int          `json:"tasks"`
+	Records     int          `json:"records"`
+	Failed      int          `json:"failed"`
+	Cells       []sweep.Cell `json:"cells"`
+}
+
+// runCampaign executes a campaign job, streaming one record line per
+// completed task and finishing with the aggregated summary document.
+func (s *Server) runCampaign(j *job, ws *flow.Workspace) error {
+	_ = ws // campaign workers own their workspaces inside sweep.Run
+	res, err := sweep.Run(j.ctx, j.campaign, sweep.Options{
+		Workers: s.cfg.CampaignWorkers,
+		Progress: func(done, total int, rec sweep.Record) {
+			j.appendLine(streamLine{Record: &rec})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	s.engineRuns.Add(int64(len(res.Records)))
+	failed := 0
+	for _, r := range res.Records {
+		if r.Error != "" {
+			failed++
+		}
+	}
+	doc := CampaignResult{
+		Name:        j.campaign.Name,
+		Fingerprint: j.fingerprint,
+		Tasks:       len(res.Tasks),
+		Records:     len(res.Records),
+		Failed:      failed,
+		Cells:       sweep.Aggregate(res.Records),
+	}
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	s.cache.Add(kindCampaign+":"+j.fingerprint, body)
+	j.complete(body, false)
+	return nil
+}

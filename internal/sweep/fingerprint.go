@@ -1,0 +1,77 @@
+package sweep
+
+import "wardrop/internal/canon"
+
+// Canonical renders the campaign in its canonical JSON form (object keys
+// sorted, whitespace stripped; see internal/canon).
+func (c *Campaign) Canonical() ([]byte, error) {
+	return canon.Canonical(c)
+}
+
+// Fingerprint is the canonical-JSON SHA-256 of the campaign — the stable
+// identity the serving layer keys campaign jobs and their cached summaries
+// on. Field order and whitespace are irrelevant; any semantic edit (an axis
+// value, a run-shape scalar) changes the hash.
+func (c *Campaign) Fingerprint() (string, error) {
+	return canon.Fingerprint(c)
+}
+
+// taskIdentity is the run-identity document of one task: every input that
+// determines the task's simulation outcome. The campaign-global run-shape
+// scalars are shared by construction inside one run, so they are omitted;
+// ID and SeedIndex are bookkeeping, not inputs.
+type taskIdentity struct {
+	Topology Topology   `json:"topology"`
+	Policy   PolicySpec `json:"policy"`
+	Period   Period     `json:"period"`
+	Agents   int        `json:"agents"`
+	Delta    float64    `json:"delta"`
+	Seed     uint64     `json:"seed"`
+}
+
+// Fingerprint is the canonical-JSON SHA-256 of the task's run identity.
+// Within one campaign, two tasks with equal fingerprints (duplicate axis
+// entries) are guaranteed to produce identical results, which is exactly
+// what the executor's dedup pass relies on.
+func (t Task) Fingerprint() (string, error) {
+	return canon.Fingerprint(taskIdentity{
+		Topology: t.Topology,
+		Policy:   t.Policy,
+		Period:   t.Period,
+		Agents:   t.Agents,
+		Delta:    t.Delta,
+		Seed:     t.Seed,
+	})
+}
+
+// taskGroup is one dedup class: a representative task that actually runs,
+// plus the duplicate tasks whose records are cloned from the
+// representative's outcome.
+type taskGroup struct {
+	rep  Task
+	dups []Task
+}
+
+// dedupTasks groups the expanded task list by run-identity fingerprint.
+// Group order follows the first occurrence of each identity, so a campaign
+// without duplicates degenerates to one group per task in task order. Tasks
+// whose identity cannot be fingerprinted (never the case for tasks produced
+// by Expand) conservatively form their own group.
+func dedupTasks(tasks []Task) []taskGroup {
+	groups := make([]taskGroup, 0, len(tasks))
+	index := make(map[string]int, len(tasks))
+	for _, t := range tasks {
+		fp, err := t.Fingerprint()
+		if err != nil {
+			groups = append(groups, taskGroup{rep: t})
+			continue
+		}
+		if i, ok := index[fp]; ok {
+			groups[i].dups = append(groups[i].dups, t)
+			continue
+		}
+		index[fp] = len(groups)
+		groups = append(groups, taskGroup{rep: t})
+	}
+	return groups
+}

@@ -112,11 +112,18 @@ type instEntry struct {
 // phases; the records completed so far are returned (sorted, exactly the
 // ones already streamed to opts.Results) together with ctx.Err(), letting
 // callers flush partial campaigns cleanly.
+//
+// Tasks with identical run identities (duplicate axis entries — see
+// Task.Fingerprint) are simulated once: every duplicate still gets its own
+// record in the stream, cloned from the representative's outcome, so record
+// counts and downstream aggregation are unaffected while the duplicate
+// compute is skipped.
 func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 	tasks, err := c.Expand()
 	if err != nil {
 		return nil, err
 	}
+	groups := dedupTasks(tasks)
 	// A sink failure cancels the pool so a broken -out target doesn't burn
 	// the rest of the campaign's compute.
 	ctx, cancel := context.WithCancel(ctx)
@@ -125,13 +132,13 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(tasks) {
-		workers = len(tasks)
+	if workers > len(groups) {
+		workers = len(groups)
 	}
 
 	var cache sync.Map // topology cache key -> *instEntry
 
-	taskCh := make(chan Task)
+	groupCh := make(chan taskGroup)
 	// The sink channel is bounded: workers block once the collector falls
 	// behind, keeping memory proportional to the pool size, not the
 	// campaign size.
@@ -146,11 +153,11 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 			// it runs: after the first task on each topology shape, a
 			// task's simulation scratch is fully recycled arena memory.
 			ws := flow.NewWorkspace()
-			for t := range taskCh {
-				rec, aborted := runTaskIsolated(ctx, c, t, &cache, ws)
+			for g := range groupCh {
+				rec, aborted := runTaskIsolated(ctx, c, g.rep, &cache, ws)
 				if aborted {
 					// Cancelled mid-simulation: the task did not complete,
-					// so it gets no record.
+					// so it (and its duplicates) gets no record.
 					return
 				}
 				// Plain send: the collector drains recCh until it closes
@@ -159,6 +166,14 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 				// partial-flush guarantee would nondeterministically lose
 				// finished work.
 				recCh <- rec
+				// Duplicates clone the representative's outcome with only
+				// the bookkeeping identity rebound (the run identity —
+				// including the derived seed — is equal by construction).
+				for _, d := range g.dups {
+					dup := rec
+					dup.ID, dup.SeedIndex = d.ID, d.SeedIndex
+					recCh <- dup
+				}
 			}
 		}()
 	}
@@ -167,11 +182,11 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 		close(recCh)
 	}()
 
-	// Feed tasks, honouring cancellation.
+	// Feed task groups, honouring cancellation.
 	feedErr := make(chan error, 1)
 	go func() {
-		defer close(taskCh)
-		for _, t := range tasks {
+		defer close(groupCh)
+		for _, g := range groups {
 			// Checked before the select: with idle workers both select cases
 			// are ready after cancellation and Go picks one at random, which
 			// would keep feeding tasks the workers then have to abort.
@@ -180,7 +195,7 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 				return
 			}
 			select {
-			case taskCh <- t:
+			case groupCh <- g:
 			case <-ctx.Done():
 				feedErr <- ctx.Err()
 				return
