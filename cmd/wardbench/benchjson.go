@@ -34,6 +34,14 @@ type benchReport struct {
 	// Serve holds the serving-layer suite: per-request cost and derived
 	// requests/sec for cached vs uncached scenario requests.
 	Serve []bench.ServeMeasurement `json:"serve,omitempty"`
+	// Meanfield holds the population-scaling suite: ns/phase for the count
+	// engine (10^3..10^7 agents) next to the per-agent engine
+	// (10^3..10^5).
+	Meanfield []bench.PopulationMeasurement `json:"meanfield,omitempty"`
+	// CountFlatness is NsPerPhase(count, 10^6) / NsPerPhase(count, 10^3) —
+	// the count engine's headline: near 1 where the per-agent engine's
+	// ratio tracks the population ratio.
+	CountFlatness float64 `json:"countFlatness,omitempty"`
 }
 
 // expEntry records one experiment's cost and headline artefact number.
@@ -96,11 +104,11 @@ func headline(id string, tbl *report.Table) (string, float64, bool) {
 		if v, ok := cell(1, 2); ok {
 			return "phi-final-at-Tsafe", v, true
 		}
-	case "e6", "e6s", "e8", "e8s":
+	case "e6", "e6s", "e6c", "e8", "e8s", "e8c":
 		if v, ok := cell(last, 2); ok {
 			return "rounds-at-max-m", v, true
 		}
-	case "e7", "e7s":
+	case "e7", "e7s", "e7c":
 		if v, ok := cell(last, 1); ok {
 			return "rounds-at-min-delta", v, true
 		}
@@ -130,8 +138,9 @@ func headline(id string, tbl *report.Table) (string, float64, bool) {
 
 // writeBenchJSON assembles and writes the report. gridN > 0 runs the
 // kernel-vs-reference suite (a few benchmark-seconds per measurement);
-// withServe runs the serving-layer suite.
-func writeBenchJSON(w io.Writer, gridN int, withServe bool, exps []expEntry) error {
+// withServe runs the serving-layer suite; withMeanfield the
+// population-scaling suite.
+func writeBenchJSON(w io.Writer, gridN int, withServe, withMeanfield bool, exps []expEntry) error {
 	rep := benchReport{
 		Schema:      "wardrop/bench/v1",
 		GoOS:        runtime.GOOS,
@@ -161,6 +170,16 @@ func writeBenchJSON(w io.Writer, gridN int, withServe bool, exps []expEntry) err
 			return fmt.Errorf("serve suite: %w", err)
 		}
 		rep.Serve = sm
+	}
+	if withMeanfield {
+		pm, err := bench.MeanfieldSuite(nil, nil)
+		if err != nil {
+			return fmt.Errorf("meanfield suite: %w", err)
+		}
+		rep.Meanfield = pm
+		if r, err := bench.PhaseCostRatio(pm, "count", 1_000_000, 1_000); err == nil {
+			rep.CountFlatness = r
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

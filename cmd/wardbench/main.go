@@ -37,6 +37,7 @@ func run(args []string) error {
 	benchJSON := fs.String("benchjson", "", "file to write machine-readable results (ns, allocs, headline metric per experiment plus kernel-vs-reference benchmarks)")
 	benchGrid := fs.Int("benchgrid", 6, "grid size for the kernel benchmark suite in -benchjson (0 skips the suite)")
 	benchServe := fs.Bool("benchserve", true, "include the serving-layer suite (cached vs uncached scenario requests) in -benchjson")
+	benchMeanfield := fs.Bool("benchmeanfield", true, "include the population-scaling suite (count vs per-agent engine) in -benchjson")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +63,17 @@ func run(args []string) error {
 		"e6s": func() (*report.Table, error) { return experiments.RunE6Sweep(experiments.DefaultE6Params()) },
 		"e7s": func() (*report.Table, error) { return experiments.RunE7Sweep(experiments.DefaultE7Params()) },
 		"e8s": func() (*report.Table, error) { return experiments.RunE8Sweep(experiments.DefaultE8Params()) },
+		// e6c/e7c/e8c run them on the mean-field count engine at a four-
+		// million-agent population: same verdicts, finite-N dynamics.
+		"e6c": func() (*report.Table, error) {
+			return experiments.RunE6Count(experiments.DefaultE6Params(), experiments.CountPopulation)
+		},
+		"e7c": func() (*report.Table, error) {
+			return experiments.RunE7Count(experiments.DefaultE7Params(), experiments.CountPopulation)
+		},
+		"e8c": func() (*report.Table, error) {
+			return experiments.RunE8Count(experiments.DefaultE8Params(), experiments.CountPopulation)
+		},
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "ablation"}
 
@@ -72,7 +84,7 @@ func run(args []string) error {
 		for _, id := range strings.Split(*expFlag, ",") {
 			id = strings.TrimSpace(strings.ToLower(id))
 			if _, ok := runners[id]; !ok {
-				return fmt.Errorf("unknown experiment %q (known: %s, e6s, e7s, e8s, all)", id, strings.Join(order, ", "))
+				return fmt.Errorf("unknown experiment %q (known: %s, e6s, e7s, e8s, e6c, e7c, e8c, all)", id, strings.Join(order, ", "))
 			}
 			ids = append(ids, id)
 		}
@@ -123,7 +135,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := writeBenchJSON(f, *benchGrid, *benchServe, exps); err != nil {
+		if err := writeBenchJSON(f, *benchGrid, *benchServe, *benchMeanfield, exps); err != nil {
 			f.Close()
 			return err
 		}

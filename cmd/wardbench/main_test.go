@@ -44,7 +44,7 @@ func TestRunBenchJSON(t *testing.T) {
 	// -benchgrid 0 / -benchserve=false skip the (slow) kernel and serving
 	// suites; the experiment entries and document shape are what this test
 	// pins.
-	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0", "-benchserve=false"}); err != nil {
+	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0", "-benchserve=false", "-benchmeanfield=false"}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -77,7 +77,7 @@ func TestHeadlineCoversEveryExperiment(t *testing.T) {
 		{"1", "1", "1", "1", "1", "1"},
 		{"2", "2", "2", "2", "2", "2"},
 	}}
-	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "ablation", "e6s", "e7s", "e8s"} {
+	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "ablation", "e6s", "e7s", "e8s", "e6c", "e7c", "e8c"} {
 		if name, _, ok := headline(id, tbl); !ok || name == "" {
 			t.Errorf("experiment %s has no headline metric", id)
 		}
@@ -87,7 +87,7 @@ func TestHeadlineCoversEveryExperiment(t *testing.T) {
 func TestRunBenchJSONServeSuite(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_kernel.json")
-	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0"}); err != nil {
+	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0", "-benchmeanfield=false"}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -110,5 +110,41 @@ func TestRunBenchJSONServeSuite(t *testing.T) {
 	}
 	if !byName["serve/scenario/cached"] || !byName["serve/scenario/uncached"] {
 		t.Fatalf("serve suite workloads = %+v", rep.Serve)
+	}
+}
+
+// The count experiments run through wardbench end-to-end, and the meanfield
+// population-scaling suite lands in the benchjson document.
+func TestRunBenchJSONMeanfieldSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full population-scaling benchmark suite")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_kernel.json")
+	if err := run([]string{"-exp", "e6c", "-benchjson", path, "-benchgrid", "0", "-benchserve=false"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "e6c" || rep.Experiments[0].Metric != "rounds-at-max-m" {
+		t.Fatalf("experiments = %+v", rep.Experiments)
+	}
+	// 5 count populations + 3 per-agent populations.
+	if len(rep.Meanfield) != 8 {
+		t.Fatalf("meanfield suite has %d measurements, want 8", len(rep.Meanfield))
+	}
+	for _, m := range rep.Meanfield {
+		if m.NsPerPhase <= 0 || (m.Engine != "count" && m.Engine != "agents") {
+			t.Errorf("unmeasured meanfield workload: %+v", m)
+		}
+	}
+	if rep.CountFlatness <= 0 {
+		t.Errorf("countFlatness = %g, want > 0", rep.CountFlatness)
 	}
 }

@@ -1,9 +1,9 @@
 // Command wardsim runs one rerouting-dynamics simulation and emits the
 // trajectory (time, potential, flows) as CSV on stdout. It dispatches
 // through the unified wardrop.Run API and the component catalog: the -topo,
-// -policy and -agents flags select registered components (fluid limit, best
-// response, or finite-N agents), and -scenario runs a declarative scenario
-// file instead of flags.
+// -policy, -agents and -count flags select registered components (fluid
+// limit, best response, finite-N agents, or the mean-field count engine),
+// and -scenario runs a declarative scenario file instead of flags.
 //
 // SIGINT cancels the run context; the partial trajectory simulated so far is
 // flushed before exiting.
@@ -13,6 +13,7 @@
 //	wardsim -topo braess -policy replicator -T 0.1 -horizon 50
 //	wardsim -topo kink -beta 8 -policy bestresponse -T 0.5 -horizon 20
 //	wardsim -topo links -m 16 -policy uniform -T safe -horizon 100 -agents 1000
+//	wardsim -topo pigou -policy uniform -T safe -horizon 100 -count 1000000
 //	wardsim -scenario run.json
 //	wardsim -list
 package main
@@ -54,7 +55,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	period := fs.String("T", "safe", "bulletin-board period: a number, or 'safe'")
 	horizon := fs.Float64("horizon", 50, "simulated time")
 	every := fs.Int("every", 1, "record every k phases")
-	agentsN := fs.Int("agents", 0, "if > 0, run the finite-N stochastic simulator instead of the fluid limit")
+	agentsN := fs.Int64("agents", 0, "if > 0, run the finite-N per-agent simulator instead of the fluid limit")
+	countN := fs.Int64("count", 0, "if > 0, run the mean-field count engine (same process as -agents, O(paths) per phase — use for millions of agents)")
 	list := fs.Bool("list", false, "print the registered component catalog and exit")
 	jsonOut := fs.Bool("json", false, "with -scenario: emit the canonical JSON result document instead of CSV (byte-identical to wardserve's POST /v1/scenarios response)")
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +82,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *agentsN < 0 {
 		return fmt.Errorf("invalid -agents %d: must be >= 0", *agentsN)
+	}
+	if *agentsN > wardrop.MaxAgentPopulation {
+		return fmt.Errorf("invalid -agents %d: the per-agent simulator holds at most %d agents; use -count for larger populations", *agentsN, int64(wardrop.MaxAgentPopulation))
+	}
+	if *countN < 0 {
+		return fmt.Errorf("invalid -count %d: must be >= 0", *countN)
+	}
+	if *countN > 0 && *agentsN > 0 {
+		return fmt.Errorf("-agents and -count select different engines for the same process; pass one of them")
 	}
 
 	var inst *wardrop.Instance
@@ -107,8 +118,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	if *policyName == "bestresponse" {
-		if *agentsN > 0 {
-			return fmt.Errorf("-agents %d cannot be combined with -policy bestresponse (a fluid-only dynamics)", *agentsN)
+		if *agentsN > 0 || *countN > 0 {
+			return fmt.Errorf("-agents/-count cannot be combined with -policy bestresponse (a fluid-only dynamics)")
 		}
 		T, err := parsePeriod(*period, 0.5)
 		if err != nil {
@@ -139,9 +150,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	scenario.Policy = pol
 	scenario.UpdatePeriod = T
 
-	if *agentsN > 0 {
-		scenario.Engine = wardrop.AgentsEngine{N: *agentsN, Seed: *seed}
-	} else {
+	switch {
+	case *countN > 0:
+		scenario.Engine = wardrop.CountEngine{N: *countN, Seed: *seed}
+	case *agentsN > 0:
+		scenario.Engine = wardrop.AgentsEngine{N: int(*agentsN), Seed: *seed}
+	default:
 		scenario.Engine = wardrop.FluidEngine{Integrator: wardrop.Uniformization}
 	}
 	res, err := wardrop.Run(ctx, scenario)

@@ -42,6 +42,9 @@ func TestRunShapeFlagValidation(t *testing.T) {
 		{[]string{"-every", "0"}, "-every"},
 		{[]string{"-every", "-2"}, "-every"},
 		{[]string{"-agents", "-1"}, "-agents"},
+		{[]string{"-agents", "16777217"}, "-count"},
+		{[]string{"-count", "-1"}, "-count"},
+		{[]string{"-agents", "100", "-count", "100"}, "-count"},
 	}
 	for _, c := range cases {
 		err := run(context.Background(), c.args, io.Discard)
@@ -69,6 +72,13 @@ func TestRunBestResponseSmoke(t *testing.T) {
 
 func TestRunAgentsSmoke(t *testing.T) {
 	if err := run(context.Background(), []string{"-topo", "braess", "-policy", "uniform", "-horizon", "2", "-agents", "50"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCountSmoke(t *testing.T) {
+	// A million agents through the count engine finishes in test time.
+	if err := run(context.Background(), []string{"-topo", "braess", "-policy", "uniform", "-horizon", "2", "-count", "1000000"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -196,7 +206,7 @@ func TestListPrintsBuiltinCatalog(t *testing.T) {
 		"pigou", "braess", "links", "grid", "layered", "custom",
 		"uniform", "replicator", "proportional", "boltzmann",
 		"alphalinear", "betterresponse",
-		"fluid", "fresh", "bestresponse", "agents",
+		"fluid", "fresh", "bestresponse", "agents", "count",
 		"euler", "rk4", "uniformization",
 		"worst", "skewed",
 	} {
@@ -233,6 +243,10 @@ func TestBestResponseRejectsAgents(t *testing.T) {
 	err := run(context.Background(), []string{"-topo", "kink", "-policy", "bestresponse", "-agents", "100", "-horizon", "2"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "-agents") {
 		t.Fatalf("bestresponse+agents accepted: %v", err)
+	}
+	err = run(context.Background(), []string{"-topo", "kink", "-policy", "bestresponse", "-count", "100", "-horizon", "2"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-count") {
+		t.Fatalf("bestresponse+count accepted: %v", err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"wardrop/internal/catalog"
 	"wardrop/internal/dynamics"
 	"wardrop/internal/flow"
+	"wardrop/internal/meanfield"
 )
 
 // Catalog is the registry of engines; Integrators the registry of within-
@@ -23,7 +24,7 @@ var (
 // engineArgs mirrors the flat JSON fields of an engine document (the same
 // fields Spec carries for programmatic construction).
 type engineArgs struct {
-	N           int     `json:"n"`
+	N           int64   `json:"n"`
 	Seed        uint64  `json:"seed"`
 	Workers     int     `json:"workers"`
 	EventDriven bool    `json:"eventDriven"`
@@ -91,7 +92,31 @@ func newEngines() *catalog.Registry[Engine] {
 			if a.N < 1 {
 				return nil, fmt.Errorf("%w: agents engine requires n >= 1, got %d", ErrBadEngine, a.N)
 			}
-			return Agents{N: a.N, Seed: a.Seed, Workers: a.Workers, EventDriven: a.EventDriven}, nil
+			if a.N > MaxAgentPopulation {
+				return nil, fmt.Errorf("%w: agents engine holds at most %d individually simulated agents (n = %d); use the count engine (kind \"count\") — it runs the identical stochastic process at any population", ErrBadEngine, int64(MaxAgentPopulation), a.N)
+			}
+			return Agents{N: int(a.N), Seed: a.Seed, Workers: a.Workers, EventDriven: a.EventDriven}, nil
+		},
+	})
+	r.MustRegister(catalog.Entry[Engine]{
+		Name: "count",
+		Doc:  "mean-field count engine: the agents process as per-path counts, O(paths) per phase at any population",
+		Params: []catalog.Param{
+			{Name: "n", Type: "int", Doc: "population size (>= 1; millions are fine)"},
+			{Name: "seed", Type: "uint", Doc: "reproducibility seed"},
+		},
+		Build: func(raw json.RawMessage) (Engine, error) {
+			var a engineArgs
+			if err := catalog.DecodeArgs(raw, &a); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadEngine, err)
+			}
+			if a.N < 1 {
+				return nil, fmt.Errorf("%w: count engine requires n >= 1, got %d", ErrBadEngine, a.N)
+			}
+			if a.N > meanfield.MaxPopulation {
+				return nil, fmt.Errorf("%w: count engine requires n <= %d (exact float64 counts), got %d", ErrBadEngine, meanfield.MaxPopulation, a.N)
+			}
+			return Count{N: a.N, Seed: a.Seed}, nil
 		},
 	})
 	if err := r.Alias("best-response", "bestresponse"); err != nil {

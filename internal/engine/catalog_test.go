@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"wardrop/internal/topo"
@@ -18,8 +19,46 @@ func TestEngineCatalogAlias(t *testing.T) {
 		t.Errorf("best-response built %T", eng)
 	}
 	// Aliases stay out of the deterministic listing.
-	if names := Catalog.Names(); !reflect.DeepEqual(names, []string{"agents", "bestresponse", "fluid", "fresh"}) {
+	if names := Catalog.Names(); !reflect.DeepEqual(names, []string{"agents", "bestresponse", "count", "fluid", "fresh"}) {
 		t.Errorf("engine names = %v", names)
+	}
+}
+
+func TestCountEngineSpec(t *testing.T) {
+	eng, err := (Spec{Kind: "count", N: 5_000_000, Seed: 9}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := eng.(Count)
+	if !ok {
+		t.Fatalf("count built %T", eng)
+	}
+	if c.N != 5_000_000 || c.Seed != 9 {
+		t.Errorf("count engine = %+v", c)
+	}
+	if _, err := (Spec{Kind: "count"}).Build(); !errors.Is(err, ErrBadEngine) {
+		t.Errorf("count without population err = %v", err)
+	}
+	if _, err := (Spec{Kind: "count", N: 1 << 60}).Build(); !errors.Is(err, ErrBadEngine) {
+		t.Errorf("count beyond 2^53 err = %v", err)
+	}
+	if _, err := New("count"); !errors.Is(err, ErrBadEngine) {
+		t.Errorf("New(count) err = %v", err)
+	}
+}
+
+// The per-agent engine rejects populations it cannot hold, and the error
+// routes the caller to the count engine.
+func TestAgentsPopulationCap(t *testing.T) {
+	_, err := (Spec{Kind: "agents", N: MaxAgentPopulation + 1}).Build()
+	if !errors.Is(err, ErrBadEngine) {
+		t.Fatalf("over-cap population err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "count") {
+		t.Errorf("over-cap error %q does not hint at the count engine", err)
+	}
+	if _, err := (Spec{Kind: "agents", N: MaxAgentPopulation}).Build(); err != nil {
+		t.Errorf("at-cap population rejected: %v", err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"wardrop/internal/agents"
 	"wardrop/internal/catalog"
 	"wardrop/internal/dynamics"
+	"wardrop/internal/meanfield"
 )
 
 // Fluid integrates the infinite-population fluid-limit ODE: the
@@ -79,10 +80,18 @@ func (BestResponse) Run(ctx context.Context, sc Scenario, opts Options) (*Result
 	return dynamics.RunBestResponse(ctx, sc.Instance, cfg, sc.initialFlow())
 }
 
+// MaxAgentPopulation is the largest population the per-agent engine accepts:
+// it materialises every agent (8 bytes each, plus per-worker count arrays),
+// so beyond this the engine is the wrong tool — the count engine (Count,
+// kind "count") simulates the identical stochastic process at O(paths) per
+// phase for any population.
+const MaxAgentPopulation = 1 << 24
+
 // Agents runs the finite-N stochastic bulletin-board simulation — the
 // engine whose N → ∞ limit is Fluid.
 type Agents struct {
-	// N is the population size (required, >= 1).
+	// N is the population size (required, >= 1 and <= MaxAgentPopulation —
+	// use Count for larger populations).
 	N int
 	// Seed makes runs reproducible for a fixed (Seed, Workers) pair.
 	Seed uint64
@@ -123,6 +132,47 @@ func (e Agents) Run(ctx context.Context, sc Scenario, opts Options) (*Result, er
 	return sim.RunContext(ctx)
 }
 
+// Count runs the mean-field count engine: the same finite-N bulletin-board
+// process as Agents, represented as integer counts per (commodity, path) and
+// advanced by binomial/multinomial splitting, so a phase costs O(paths²)
+// independent of the population — millions of agents cost the same as
+// thousands. Distributionally identical to Agents (not an approximation);
+// results are reproducible from the seed via the shared splitmix64
+// discipline.
+type Count struct {
+	// N is the population size (required, >= 1; int64 — populations up to
+	// 2^53 stay exactly representable).
+	N int64
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+// Name returns "count".
+func (Count) Name() string { return "count" }
+
+// Run simulates the scenario's population as per-path counts.
+func (e Count) Run(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
+	sim, err := meanfield.New(sc.Instance, meanfield.Config{
+		N:                        e.N,
+		Policy:                   sc.Policy,
+		UpdatePeriod:             sc.UpdatePeriod,
+		Horizon:                  sc.Horizon,
+		Seed:                     e.Seed,
+		RecordEvery:              sc.RecordEvery,
+		Observer:                 opts.Observer,
+		InitialFlow:              sc.InitialFlow,
+		Delta:                    sc.Delta,
+		Eps:                      sc.Eps,
+		Weak:                     sc.Weak,
+		StopAfterSatisfiedStreak: sc.StopAfterSatisfiedStreak,
+		Workspace:                opts.Workspace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunContext(ctx)
+}
+
 // Spec is the JSON document shape for selecting an engine by name — the
 // form spec/JSON layers (exposed at the root as wardrop.EngineSpec) use to
 // construct engines from configuration instead of Go values. Construction
@@ -130,11 +180,12 @@ func (e Agents) Run(ctx context.Context, sc Scenario, opts Options) (*Result, er
 // selectable too; their parameters travel in Params.
 type Spec struct {
 	// Kind names the engine: fluid (default), fresh, bestresponse, agents,
-	// or any registered engine.
+	// count, or any registered engine.
 	Kind string `json:"kind"`
-	// N is the population size (kind=agents).
-	N int `json:"n,omitempty"`
-	// Seed seeds the stochastic engine (kind=agents).
+	// N is the population size (kind=agents or count; int64 so count
+	// populations beyond 2^31 survive the document round-trip).
+	N int64 `json:"n,omitempty"`
+	// Seed seeds the stochastic engines (kind=agents or count).
 	Seed uint64 `json:"seed,omitempty"`
 	// Workers is the goroutine count (kind=agents; 0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
@@ -173,11 +224,11 @@ func (s Spec) Build() (Engine, error) {
 // leaving already-tagged errors untouched.
 func badEngine(err error) error { return catalog.WrapSentinel(ErrBadEngine, err) }
 
-// New returns a default-configured engine by name; the agents engine cannot
-// be built this way (it needs a population — use Spec).
+// New returns a default-configured engine by name; the stochastic engines
+// cannot be built this way (they need a population — use Spec).
 func New(name string) (Engine, error) {
-	if name == "agents" {
-		return nil, fmt.Errorf("%w: agents engine needs a population; use Spec{Kind: \"agents\", N: ...}", ErrBadEngine)
+	if name == "agents" || name == "count" {
+		return nil, fmt.Errorf("%w: %s engine needs a population; use Spec{Kind: %q, N: ...}", ErrBadEngine, name, name)
 	}
 	return Spec{Kind: name}.Build()
 }

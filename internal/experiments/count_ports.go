@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"context"
+
+	"wardrop/internal/engine"
+	"wardrop/internal/flow"
+	"wardrop/internal/policy"
+	"wardrop/internal/report"
+	"wardrop/internal/stats"
+	"wardrop/internal/topo"
+)
+
+// This file ports the convergence-time scaling experiments E6–E8 onto the
+// mean-field count engine. The fluid originals measure the Theorem 6/7 round
+// counts on the deterministic limit dynamics; these ports measure them on a
+// finite — but enormous — stochastic population. The count representation
+// makes a phase cost O(paths) whatever the population, so the ports run at
+// populations three orders of magnitude beyond anything the per-agent engine
+// is exercised at, and the verdicts (rounds below the paper bound, growth
+// linear in m for uniform sampling, flat in m for proportional sampling)
+// must survive the sampling noise.
+
+// CountPopulation is the default population for the count-engine ports:
+// ≥ 1000× the largest population the per-agent engine runs anywhere in this
+// repository (3200 in E10, 2000 in the equivalence tests).
+const CountPopulation = 4_000_000
+
+// countEngineRounds mirrors countUnsatisfiedRounds on the count engine: it
+// runs the finite-N stale dynamics from f0 (placed proportionally onto N
+// agents) and returns the unsatisfied-phase count and whether the streak
+// stop fired.
+func countEngineRounds(inst *flow.Instance, pol policy.Policy, f0 flow.Vector,
+	T, delta, eps float64, weak bool, streak, maxPhases int, n int64, seed uint64) (int, bool, error) {
+	res, err := engine.Run(context.Background(), engine.Scenario{
+		Engine:                   engine.Count{N: n, Seed: seed},
+		Instance:                 inst,
+		Policy:                   pol,
+		UpdatePeriod:             T,
+		InitialFlow:              f0,
+		Horizon:                  float64(maxPhases) * T,
+		Delta:                    delta,
+		Eps:                      eps,
+		Weak:                     weak,
+		StopAfterSatisfiedStreak: streak,
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return res.UnsatisfiedPhases, res.Stopped, nil
+}
+
+// RunE6Count reproduces E6 (Theorem 6's path-count scaling) with the count
+// engine at population n; see RunE6 for the experiment's semantics.
+func RunE6Count(p E6Params, n int64) (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "E6 Thm 6 (count engine): uniform sampling — unsatisfied rounds vs path count",
+		Columns: []string{"m", "T", "rounds", "complete", "bound_shape"},
+	}
+	var ms, rounds []float64
+	for _, m := range p.LinkCounts {
+		inst, err := topo.LinearParallelLinks(m)
+		if err != nil {
+			return nil, wrap("E6/count", err)
+		}
+		pol, err := uniformLinearFor(inst)
+		if err != nil {
+			return nil, wrap("E6/count", err)
+		}
+		t, err := safeT(inst, pol)
+		if err != nil {
+			return nil, wrap("E6/count", err)
+		}
+		f0 := inst.SinglePathFlow(m - 1)
+		r, complete, err := countEngineRounds(inst, pol, f0, t, p.Delta, p.Eps, false, p.Streak, p.MaxPhases, n, uint64(m))
+		if err != nil {
+			return nil, wrap("E6/count", err)
+		}
+		bound := float64(m) / (p.Eps * t) * (inst.LMax() / p.Delta) * (inst.LMax() / p.Delta)
+		tbl.AddRow(report.I(m), report.F(t), report.I(r), boolCell(complete), report.F(bound))
+		ms = append(ms, float64(m))
+		rounds = append(rounds, float64(r))
+	}
+	if fit, err := stats.LogLogSlope(ms, rounds); err == nil {
+		tbl.AddNote("fitted exponent of rounds vs m = %.3f (paper bound shape: <= 1, linear)", fit.Slope)
+	}
+	tbl.AddNote("count engine, N=%d; delta=%g eps=%g streak=%d", n, p.Delta, p.Eps, p.Streak)
+	return tbl, nil
+}
+
+// RunE7Count reproduces E7 (Theorem 6's δ-scaling) with the count engine at
+// population n; see RunE7 for the experiment's semantics.
+func RunE7Count(p E7Params, n int64) (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "E7 Thm 6 (count engine): uniform sampling — unsatisfied rounds vs delta",
+		Columns: []string{"delta", "rounds", "complete", "bound_shape"},
+	}
+	inst, err := topo.LinearParallelLinks(p.Links)
+	if err != nil {
+		return nil, wrap("E7/count", err)
+	}
+	pol, err := uniformLinearFor(inst)
+	if err != nil {
+		return nil, wrap("E7/count", err)
+	}
+	t, err := safeT(inst, pol)
+	if err != nil {
+		return nil, wrap("E7/count", err)
+	}
+	f0 := inst.SinglePathFlow(p.Links - 1)
+	var ds, rounds []float64
+	for i, d := range p.Deltas {
+		r, complete, err := countEngineRounds(inst, pol, f0, t, d, p.Eps, false, p.Streak, p.MaxPhases, n, uint64(i+1))
+		if err != nil {
+			return nil, wrap("E7/count", err)
+		}
+		bound := float64(p.Links) / (p.Eps * t) * (inst.LMax() / d) * (inst.LMax() / d)
+		tbl.AddRow(report.F(d), report.I(r), boolCell(complete), report.F(bound))
+		ds = append(ds, d)
+		rounds = append(rounds, float64(r))
+	}
+	if fit, err := stats.LogLogSlope(ds, rounds); err == nil {
+		tbl.AddNote("fitted exponent of rounds vs delta = %.3f (paper bound shape: -2)", fit.Slope)
+	}
+	tbl.AddNote("count engine, N=%d; m=%d eps=%g", n, p.Links, p.Eps)
+	return tbl, nil
+}
+
+// RunE8Count reproduces E8 (Theorem 7's path-count independence) with the
+// count engine at population n; see RunE8 for the experiment's semantics.
+func RunE8Count(p E8Params, n int64) (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "E8 Thm 7 (count engine): proportional sampling — weak unsatisfied rounds vs path count",
+		Columns: []string{"m", "T", "rounds", "complete", "bound_shape"},
+	}
+	var ms, rounds []float64
+	for _, m := range p.LinkCounts {
+		inst, err := topo.LinearParallelLinks(m)
+		if err != nil {
+			return nil, wrap("E8/count", err)
+		}
+		pol, err := replicatorFor(inst)
+		if err != nil {
+			return nil, wrap("E8/count", err)
+		}
+		t, err := safeT(inst, pol)
+		if err != nil {
+			return nil, wrap("E8/count", err)
+		}
+		f0 := skewedStart(inst.NumPaths(), m-1)
+		r, complete, err := countEngineRounds(inst, pol, f0, t, p.Delta, p.Eps, true, p.Streak, p.MaxPhases, n, uint64(m))
+		if err != nil {
+			return nil, wrap("E8/count", err)
+		}
+		bound := 1 / (p.Eps * t) * (inst.LMax() / p.Delta) * (inst.LMax() / p.Delta)
+		tbl.AddRow(report.I(m), report.F(t), report.I(r), boolCell(complete), report.F(bound))
+		ms = append(ms, float64(m))
+		rounds = append(rounds, float64(r))
+	}
+	if fit, err := stats.LogLogSlope(ms, rounds); err == nil {
+		tbl.AddNote("fitted exponent of rounds vs m = %.3f (paper bound shape: 0, independent of |P|)", fit.Slope)
+	}
+	tbl.AddNote("count engine, N=%d; delta=%g eps=%g (weak metric, Definition 4)", n, p.Delta, p.Eps)
+	return tbl, nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// exponentFromNote extracts the fitted exponent from a table note of the
+// form "... exponent ... = <v> ...".
+func exponentFromNote(t *testing.T, notes []string) float64 {
+	t.Helper()
+	note := findNote(notes, "exponent")
+	if note == "" {
+		t.Fatal("missing exponent note")
+	}
+	fields := strings.Fields(note)
+	for i, f := range fields {
+		if f == "=" && i+1 < len(fields) {
+			if v, err := strconv.ParseFloat(strings.TrimSuffix(fields[i+1], ","), 64); err == nil {
+				return v
+			}
+		}
+	}
+	t.Fatalf("could not parse exponent from note %q", note)
+	return 0
+}
+
+// The E6 verdict — rounds below the paper bound and growing with m — must
+// survive sampling noise at a population 1000× beyond anything the per-agent
+// engine runs (its repo-wide maximum is 3200 agents in E10).
+func TestE6CountVerdictAtScale(t *testing.T) {
+	p := E6Params{
+		LinkCounts: []int{2, 4, 8},
+		Delta:      0.3, Eps: 0.15,
+		Streak: 30, MaxPhases: 30_000,
+	}
+	tbl, err := RunE6Count(p, CountPopulation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "true" {
+			t.Errorf("run truncated before reaching equilibrium: %v", row)
+		}
+		if n, bound := parse(t, row[2]), parse(t, row[4]); n > bound {
+			t.Errorf("measured rounds %g exceed the paper bound shape %g: %v", n, bound, row)
+		}
+	}
+	if first, last := parse(t, tbl.Rows[0][2]), parse(t, tbl.Rows[len(tbl.Rows)-1][2]); last <= first {
+		t.Errorf("rounds did not grow with m: %g -> %g", first, last)
+	}
+}
+
+func TestE7CountVerdictAtScale(t *testing.T) {
+	p := E7Params{
+		Links:  8,
+		Deltas: []float64{0.8, 0.4, 0.2},
+		Eps:    0.15,
+		Streak: 30, MaxPhases: 60_000,
+	}
+	tbl, err := RunE7Count(p, CountPopulation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[2] != "0" && row[1] == "0" {
+			t.Errorf("unexpected row shape: %v", row)
+		}
+		if n, bound := parse(t, row[1]), parse(t, row[3]); n > bound {
+			t.Errorf("measured rounds %g exceed the paper bound shape %g: %v", n, bound, row)
+		}
+	}
+	// Rounds grow as delta shrinks.
+	if first, last := parse(t, tbl.Rows[0][1]), parse(t, tbl.Rows[len(tbl.Rows)-1][1]); last <= first {
+		t.Errorf("rounds did not grow as delta shrank: %g -> %g", first, last)
+	}
+}
+
+func TestE8CountFlatInMAtScale(t *testing.T) {
+	p := E8Params{
+		LinkCounts: []int{2, 8, 32},
+		Delta:      0.3, Eps: 0.15,
+		Streak: 30, MaxPhases: 30_000,
+	}
+	tbl, err := RunE8Count(p, CountPopulation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "true" {
+			t.Errorf("run truncated: %v", row)
+		}
+	}
+	if exp := exponentFromNote(t, tbl.Notes); math.Abs(exp) > 0.6 {
+		t.Errorf("replicator m-exponent = %g at N=%d, want ~0", exp, int64(CountPopulation))
+	}
+}

@@ -27,6 +27,11 @@ const (
 	slowDoc = `{"name":"slow","topology":{"family":"pigou"},"policy":{"kind":"replicator"},"updatePeriod":0.01,"horizon":1000000}`
 
 	campaignDoc = `{"name":"mini","topologies":[{"family":"pigou"},{"family":"braess"}],"policies":[{"kind":"replicator"}],"updatePeriods":[0.05],"maxPhases":30,"delta":0.3,"eps":0.15}`
+
+	// countDoc runs half a million agents through the mean-field count
+	// engine — a population the per-agent engine would also hold, but here
+	// it is cheap enough for a serving test.
+	countDoc = `{"name":"pigou-count","topology":{"family":"pigou"},"policy":{"kind":"uniform"},"updatePeriod":0.25,"engine":{"kind":"count","n":500000,"seed":13},"maxPhases":30,"recordEvery":5}`
 )
 
 // newTestServer starts a Server on an httptest listener and tears both down
@@ -148,6 +153,41 @@ func TestScenarioSyncByteIdentityAndCacheHit(t *testing.T) {
 	}
 	if m.JobsRun != 1 || m.RunLatencyMsP50 <= 0 || m.RunLatencyMsP99 < m.RunLatencyMsP50 {
 		t.Fatalf("unexpected job metrics: %+v", m)
+	}
+}
+
+// A count-engine spec is a first-class citizen of the serving layer: the
+// registry-built engine, the fingerprint and the result cache all apply with
+// no count-specific code anywhere in serve.
+func TestScenarioCountEngineByteIdentity(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	want := referenceResult(t, countDoc)
+
+	resp, body := postJSON(t, ts.URL+"/v1/scenarios", countDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("served count result differs from the library pipeline:\n got: %s\nwant: %s", body, want)
+	}
+	// The seeded count engine is deterministic, so the repeat is a pure
+	// cache hit with the identical document.
+	resp, body = postJSON(t, ts.URL+"/v1/scenarios", countDoc)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("repeat request X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("cached count body differs from the first response")
+	}
+	if n := s.EngineRuns(); n != 1 {
+		t.Fatalf("engine runs = %d, want 1", n)
+	}
+	// A population beyond the per-agent cap surfaces the count hint as a
+	// spec error, not an engine crash.
+	resp, body = postJSON(t, ts.URL+"/v1/scenarios",
+		`{"topology":{"family":"pigou"},"policy":{"kind":"uniform"},"updatePeriod":0.25,"engine":{"kind":"agents","n":16777217},"maxPhases":5}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "count") {
+		t.Fatalf("over-cap agents spec: status %d body %s", resp.StatusCode, body)
 	}
 }
 

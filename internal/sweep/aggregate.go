@@ -14,6 +14,7 @@ type Cell struct {
 	Policy   string
 	Period   string
 	Agents   int
+	Count    int64
 	Delta    float64
 
 	// Runs is the replicate count, Errors how many of them failed.
@@ -43,10 +44,10 @@ func Aggregate(records []Record) []Cell {
 	var order []string
 	byKey := make(map[string]*acc)
 	for _, r := range records {
-		key := cellKey(r.Topology, r.Policy, r.Period, r.Agents, r.Delta)
+		key := cellKey(r.Topology, r.Policy, r.Period, popLabel(r.Agents, r.Count), r.Delta)
 		a, ok := byKey[key]
 		if !ok {
-			a = &acc{cell: &Cell{Topology: r.Topology, Policy: r.Policy, Period: r.Period, Agents: r.Agents, Delta: r.Delta}}
+			a = &acc{cell: &Cell{Topology: r.Topology, Policy: r.Policy, Period: r.Period, Agents: r.Agents, Count: r.Count, Delta: r.Delta}}
 			byKey[key] = a
 			order = append(order, key)
 		}
@@ -92,7 +93,7 @@ func SummaryTable(name string, cells []Cell) *report.Table {
 	}
 	for _, c := range cells {
 		tbl.AddRow(
-			c.Topology, c.Policy, c.Period, report.I(c.Agents), report.F(c.Delta),
+			c.Topology, c.Policy, c.Period, popLabel(c.Agents, c.Count), report.F(c.Delta),
 			report.I(c.Runs), report.I(c.Errors),
 			report.F(c.Gap.Mean), report.F(c.Gap.Median), report.F(c.Gap.P90),
 			report.F(c.Unsatisfied.Mean), report.F(c.Unsatisfied.P90),

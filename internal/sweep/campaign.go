@@ -20,6 +20,7 @@ import (
 	"wardrop/internal/catalog"
 	"wardrop/internal/engine"
 	"wardrop/internal/flow"
+	"wardrop/internal/meanfield"
 	"wardrop/internal/policy"
 	"wardrop/internal/topo"
 
@@ -55,8 +56,15 @@ type Campaign struct {
 	// per-(instance, policy) provably safe period of Corollary 5.
 	UpdatePeriods []Period `json:"updatePeriods"`
 	// Agents lists population sizes; 0 runs the fluid limit, N > 0 the
-	// finite-N stochastic simulator.
+	// finite-N per-agent stochastic simulator (N is capped at
+	// engine.MaxAgentPopulation — larger populations go on the Counts axis).
 	Agents []int `json:"agents,omitempty"`
+	// Counts lists population sizes for the mean-field count engine, which
+	// runs the identical stochastic process as per-path counts at O(paths)
+	// per phase — the axis for populations the per-agent engine can't hold
+	// (millions and up). Combined with Agents it forms one population axis,
+	// Agents entries first.
+	Counts []int64 `json:"counts,omitempty"`
 	// Seeds is the number of replicate runs per cell (default 1). Each task
 	// derives its own seed from BaseSeed and the task index.
 	Seeds int `json:"seeds,omitempty"`
@@ -324,6 +332,10 @@ type Task struct {
 	Policy   PolicySpec
 	Period   Period
 	Agents   int
+	// Count, when > 0, runs the cell on the mean-field count engine with
+	// this population (mutually exclusive with Agents > 0 by construction —
+	// the two fields come from different axis lists).
+	Count int64
 	// Delta is the task's (δ,ε) accounting width (from the Deltas axis, or
 	// the campaign scalar).
 	Delta     float64
@@ -372,13 +384,24 @@ func (t Task) topologySeeded() bool {
 
 // cellKey is the shared aggregation-cell label: every axis except the seed.
 // Task.CellKey and the aggregation pass must agree on it.
-func cellKey(topology, policy, period string, agents int, delta float64) string {
-	return fmt.Sprintf("%s|%s|T=%s|N=%d|d=%g", topology, policy, period, agents, delta)
+func cellKey(topology, policy, period, pop string, delta float64) string {
+	return fmt.Sprintf("%s|%s|T=%s|N=%s|d=%g", topology, policy, period, pop, delta)
+}
+
+// popLabel renders the population-axis component of a cell label: the agent
+// count for fluid/per-agent cells (byte-identical to pre-count releases), or
+// "count:<n>" for count-engine cells, so the two engines never collide in a
+// cell even at equal populations.
+func popLabel(agents int, count int64) string {
+	if count > 0 {
+		return fmt.Sprintf("count:%d", count)
+	}
+	return strconv.Itoa(agents)
 }
 
 // CellKey is the task's aggregation cell (every axis except the seed).
 func (t Task) CellKey() string {
-	return cellKey(t.topologyLabel(), t.policyLabel(), t.Period.String(), t.Agents, t.Delta)
+	return cellKey(t.topologyLabel(), t.policyLabel(), t.Period.String(), popLabel(t.Agents, t.Count), t.Delta)
 }
 
 // Validate checks the campaign's axes and scalars without building instances.
@@ -405,6 +428,17 @@ func (c *Campaign) Validate() error {
 	for _, n := range c.Agents {
 		if n < 0 {
 			return fmt.Errorf("%w: agents %d must be >= 0", ErrBadCampaign, n)
+		}
+		if n > engine.MaxAgentPopulation {
+			return fmt.Errorf("%w: agents %d exceeds the per-agent engine's cap %d; put the population on the counts axis (the mean-field count engine runs the identical process at any size)", ErrBadCampaign, n, engine.MaxAgentPopulation)
+		}
+	}
+	for _, n := range c.Counts {
+		if n < 1 {
+			return fmt.Errorf("%w: counts %d must be >= 1 (0-population cells belong on the agents axis as the fluid limit)", ErrBadCampaign, n)
+		}
+		if n > meanfield.MaxPopulation {
+			return fmt.Errorf("%w: counts %d exceeds the exactly representable population %d", ErrBadCampaign, n, meanfield.MaxPopulation)
 		}
 	}
 	if c.Seeds < 0 {
@@ -441,9 +475,21 @@ func (c *Campaign) Expand() ([]Task, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	agents := c.Agents
-	if len(agents) == 0 {
-		agents = []int{0}
+	// The population axis merges Agents and Counts (Agents entries first);
+	// an empty axis degenerates to one fluid-limit entry, as before.
+	type popEntry struct {
+		agents int
+		count  int64
+	}
+	pops := make([]popEntry, 0, len(c.Agents)+len(c.Counts))
+	for _, n := range c.Agents {
+		pops = append(pops, popEntry{agents: n})
+	}
+	for _, n := range c.Counts {
+		pops = append(pops, popEntry{count: n})
+	}
+	if len(pops) == 0 {
+		pops = []popEntry{{}}
 	}
 	deltas := c.Deltas
 	if len(deltas) == 0 {
@@ -453,7 +499,7 @@ func (c *Campaign) Expand() ([]Task, error) {
 	if seeds == 0 {
 		seeds = 1
 	}
-	tasks := make([]Task, 0, len(c.Topologies)*len(c.Policies)*len(c.UpdatePeriods)*len(agents)*len(deltas)*seeds)
+	tasks := make([]Task, 0, len(c.Topologies)*len(c.Policies)*len(c.UpdatePeriods)*len(pops)*len(deltas)*seeds)
 	id := 0
 	for _, tp := range c.Topologies {
 		// Resolve the catalog once per axis entry; every task of the entry
@@ -471,7 +517,7 @@ func (c *Campaign) Expand() ([]Task, error) {
 		for _, pol := range c.Policies {
 			meta := &taskMeta{topoKey: b.Key, policyKey: pol.Key(), seeded: b.Seeded}
 			for _, per := range c.UpdatePeriods {
-				for _, n := range agents {
+				for _, n := range pops {
 					for _, d := range deltas {
 						for s := 0; s < seeds; s++ {
 							tasks = append(tasks, Task{
@@ -479,7 +525,8 @@ func (c *Campaign) Expand() ([]Task, error) {
 								Topology:  tp,
 								Policy:    pol,
 								Period:    per,
-								Agents:    n,
+								Agents:    n.agents,
+								Count:     n.count,
 								Delta:     d,
 								SeedIndex: s,
 								Seed:      topo.DeriveSeed(topoBase, uint64(s)),

@@ -109,6 +109,9 @@ func TestParseCampaignErrors(t *testing.T) {
 		"no budget":         `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1]}`,
 		"bad start":         `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "start": "sideways"}`,
 		"negative agents":   `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "agents": [-1]}`,
+		"agents over cap":   `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "agents": [16777217]}`,
+		"zero count":        `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "counts": [0]}`,
+		"count over 2^53":   `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "counts": [1e16]}`,
 		"unknown field":     `{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1, "bogus": true}`,
 		"links too small":   `{"topologies": [{"family":"links","size":1}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,
 		"negative layers":   `{"topologies": [{"family":"layered","size":3,"layers":-2}], "policies": [{"kind":"uniform"}], "updatePeriods": [1], "horizon": 1}`,

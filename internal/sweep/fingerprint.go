@@ -25,8 +25,11 @@ type taskIdentity struct {
 	Policy   PolicySpec `json:"policy"`
 	Period   Period     `json:"period"`
 	Agents   int        `json:"agents"`
-	Delta    float64    `json:"delta"`
-	Seed     uint64     `json:"seed"`
+	// Count is omitted when zero so every pre-count task identity (and hence
+	// every archived fingerprint) is unchanged.
+	Count int64   `json:"count,omitempty"`
+	Delta float64 `json:"delta"`
+	Seed  uint64  `json:"seed"`
 }
 
 // Fingerprint is the canonical-JSON SHA-256 of the task's run identity.
@@ -39,6 +42,7 @@ func (t Task) Fingerprint() (string, error) {
 		Policy:   t.Policy,
 		Period:   t.Period,
 		Agents:   t.Agents,
+		Count:    t.Count,
 		Delta:    t.Delta,
 		Seed:     t.Seed,
 	})

@@ -35,6 +35,9 @@ type Record struct {
 	T float64 `json:"T"`
 	// Agents is the population size (0 = fluid limit).
 	Agents int `json:"agents"`
+	// Count is the mean-field count engine's population (0 = the cell ran
+	// on the fluid or per-agent engine per Agents).
+	Count int64 `json:"count,omitempty"`
 	// Delta is the task's (δ,ε) accounting width (0 = accounting disabled).
 	Delta float64 `json:"delta"`
 	// Seed is the task's derived seed.
@@ -271,6 +274,7 @@ func errorRecord(t Task, err error) Record {
 		Policy:    t.policyLabel(),
 		Period:    t.Period.String(),
 		Agents:    t.Agents,
+		Count:     t.Count,
 		Delta:     t.Delta,
 		Seed:      t.Seed,
 		SeedIndex: t.SeedIndex,
@@ -319,13 +323,16 @@ func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map, ws *flow
 		return errorRecord(t, err)
 	}
 
-	// Both populations dispatch through the unified engine API: the fluid
-	// limit (exact uniformization) for Agents == 0, the finite-N stochastic
-	// engine otherwise. The (δ,ε) round accounting and the satisfied-streak
-	// stop are native to both engines, so agent cells report the same
-	// quantities as fluid cells without any hook emulation here.
+	// Every population dispatches through the unified engine API: the fluid
+	// limit (exact uniformization) for the empty population, the finite-N
+	// per-agent engine for Agents cells, the mean-field count engine for
+	// Counts cells. The (δ,ε) round accounting and the satisfied-streak
+	// stop are native to all of them, so every cell reports the same
+	// quantities without any hook emulation here.
 	var eng engine.Engine = engine.Fluid{Integrator: dynamics.Uniformization}
-	if t.Agents > 0 {
+	if t.Count > 0 {
+		eng = engine.Count{N: t.Count, Seed: t.Seed}
+	} else if t.Agents > 0 {
 		eng = engine.Agents{N: t.Agents, Seed: t.Seed, Workers: 1}
 	}
 	res, err := engine.Run(ctx, engine.Scenario{
@@ -354,6 +361,7 @@ func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map, ws *flow
 		Period:    t.Period.String(),
 		T:         T,
 		Agents:    t.Agents,
+		Count:     t.Count,
 		Delta:     t.Delta,
 		Seed:      t.Seed,
 		SeedIndex: t.SeedIndex,

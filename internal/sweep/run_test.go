@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -143,6 +144,98 @@ func TestRunAgentTasks(t *testing.T) {
 		if !r.AtEquilibrium {
 			t.Errorf("agent task %d should end at the (δ,ε)-equilibrium", r.ID)
 		}
+	}
+}
+
+func TestRunMixedPopulationAxes(t *testing.T) {
+	// Agents and counts are one merged population axis: agent entries first,
+	// then count entries, each its own cell even at equal population.
+	doc := `{
+	  "name": "mixed",
+	  "topologies": [{"family": "pigou"}],
+	  "policies": [{"kind": "uniform"}],
+	  "updatePeriods": ["safe"],
+	  "agents": [0, 200],
+	  "counts": [200, 2000000],
+	  "seeds": 2,
+	  "baseSeed": 11,
+	  "horizon": 10,
+	  "delta": 0.4,
+	  "eps": 0.2,
+	  "streak": 5
+	}`
+	c, err := ParseCampaign(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := c.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 topo x 1 policy x 1 period x (2 agents + 2 counts) x 2 seeds.
+	if len(tasks) != 8 {
+		t.Fatalf("tasks = %d, want 8", len(tasks))
+	}
+	wantPops := []struct {
+		agents int
+		count  int64
+	}{{0, 0}, {0, 0}, {200, 0}, {200, 0}, {0, 200}, {0, 200}, {0, 2_000_000}, {0, 2_000_000}}
+	for i, tk := range tasks {
+		if tk.Agents != wantPops[i].agents || tk.Count != wantPops[i].count {
+			t.Errorf("task %d: agents=%d count=%d, want %+v", i, tk.Agents, tk.Count, wantPops[i])
+		}
+	}
+	// The agents-200 and count-200 cells have distinct keys, so they never
+	// merge during aggregation.
+	if k1, k2 := tasks[2].CellKey(), tasks[4].CellKey(); k1 == k2 {
+		t.Errorf("agents-200 and count-200 share cell key %q", k1)
+	}
+	// Equal-identity count tasks dedup just like agent tasks.
+	fpA, _ := tasks[4].Fingerprint()
+	fpB, _ := tasks[4].Fingerprint()
+	fpOther, _ := tasks[6].Fingerprint()
+	if fpA != fpB || fpA == fpOther {
+		t.Errorf("count fingerprints: %s %s %s", fpA, fpB, fpOther)
+	}
+
+	res, err := Run(context.Background(), c, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var countRecs []Record
+	for _, r := range res.Records {
+		if r.Error != "" {
+			t.Errorf("task %d failed: %s", r.ID, r.Error)
+		}
+		if r.Count > 0 {
+			countRecs = append(countRecs, r)
+		}
+	}
+	if len(countRecs) != 4 {
+		t.Fatalf("count records = %d, want 4", len(countRecs))
+	}
+	// Replicates of a stochastic count cell carry distinct derived seeds,
+	// and this easy instance hits the streak stop even at two million agents.
+	if countRecs[0].Seed == countRecs[1].Seed {
+		t.Errorf("count replicates share seed %d", countRecs[0].Seed)
+	}
+	for _, r := range countRecs {
+		if !r.Converged || !r.AtEquilibrium {
+			t.Errorf("count task %d: converged=%v atEq=%v", r.ID, r.Converged, r.AtEquilibrium)
+		}
+	}
+	// Aggregation keeps the four populations apart and labels them.
+	cells := Aggregate(res.Records)
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	labels := make([]string, len(cells))
+	for i, cell := range cells {
+		labels[i] = popLabel(cell.Agents, cell.Count)
+	}
+	want := []string{"0", "200", "count:200", "count:2000000"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Errorf("cell labels = %v, want %v", labels, want)
 	}
 }
 

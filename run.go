@@ -21,11 +21,11 @@ import (
 type Scenario = engine.Scenario
 
 // Engine executes a Scenario under one dynamics family; implementations are
-// FluidEngine, BestResponseEngine and AgentsEngine.
+// FluidEngine, BestResponseEngine, AgentsEngine and CountEngine.
 type Engine = engine.Engine
 
 // EngineSpec is the JSON document shape for selecting an engine by name
-// ("fluid", "fresh", "bestresponse", "agents").
+// ("fluid", "fresh", "bestresponse", "agents", "count").
 type EngineSpec = engine.Spec
 
 // FluidEngine integrates the fluid-limit ODE: stale information (Eq. 3) by
@@ -36,8 +36,20 @@ type FluidEngine = engine.Fluid
 // under stale information (Eq. 4) with exact per-phase relaxation.
 type BestResponseEngine = engine.BestResponse
 
-// AgentsEngine runs the finite-N stochastic bulletin-board simulation.
+// AgentsEngine runs the finite-N stochastic bulletin-board simulation. It
+// holds every agent in memory, so N is capped at MaxAgentPopulation; larger
+// populations belong on CountEngine.
 type AgentsEngine = engine.Agents
+
+// CountEngine runs the mean-field count engine: the same finite-N
+// stochastic process as AgentsEngine, represented as integer counts per
+// (commodity, path), so a phase costs O(paths) independent of the
+// population — millions of agents cost the same as thousands.
+type CountEngine = engine.Count
+
+// MaxAgentPopulation is the largest population AgentsEngine accepts; larger
+// populations must use CountEngine.
+const MaxAgentPopulation = engine.MaxAgentPopulation
 
 // RunOption configures one Run call.
 type RunOption = engine.RunOption
