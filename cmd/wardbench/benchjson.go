@@ -42,6 +42,10 @@ type benchReport struct {
 	// the count engine's headline: near 1 where the per-agent engine's
 	// ratio tracks the population ratio.
 	CountFlatness float64 `json:"countFlatness,omitempty"`
+	// Dispatch holds the distributed-sweep suite: per-task campaign
+	// throughput for the local executor vs the coordinator over a cold and a
+	// warm two-node fleet.
+	Dispatch []bench.DispatchMeasurement `json:"dispatch,omitempty"`
 }
 
 // expEntry records one experiment's cost and headline artefact number.
@@ -139,8 +143,8 @@ func headline(id string, tbl *report.Table) (string, float64, bool) {
 // writeBenchJSON assembles and writes the report. gridN > 0 runs the
 // kernel-vs-reference suite (a few benchmark-seconds per measurement);
 // withServe runs the serving-layer suite; withMeanfield the
-// population-scaling suite.
-func writeBenchJSON(w io.Writer, gridN int, withServe, withMeanfield bool, exps []expEntry) error {
+// population-scaling suite; withDispatch the distributed-sweep suite.
+func writeBenchJSON(w io.Writer, gridN int, withServe, withMeanfield, withDispatch bool, exps []expEntry) error {
 	rep := benchReport{
 		Schema:      "wardrop/bench/v1",
 		GoOS:        runtime.GOOS,
@@ -180,6 +184,13 @@ func writeBenchJSON(w io.Writer, gridN int, withServe, withMeanfield bool, exps 
 		if r, err := bench.PhaseCostRatio(pm, "count", 1_000_000, 1_000); err == nil {
 			rep.CountFlatness = r
 		}
+	}
+	if withDispatch {
+		dm, err := bench.DispatchSuite()
+		if err != nil {
+			return fmt.Errorf("dispatch suite: %w", err)
+		}
+		rep.Dispatch = dm
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -38,6 +38,7 @@ func run(args []string) error {
 	benchGrid := fs.Int("benchgrid", 6, "grid size for the kernel benchmark suite in -benchjson (0 skips the suite)")
 	benchServe := fs.Bool("benchserve", true, "include the serving-layer suite (cached vs uncached scenario requests) in -benchjson")
 	benchMeanfield := fs.Bool("benchmeanfield", true, "include the population-scaling suite (count vs per-agent engine) in -benchjson")
+	benchDispatch := fs.Bool("benchdispatch", true, "include the distributed-sweep suite (local vs cold/warm fleet) in -benchjson")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,7 +136,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := writeBenchJSON(f, *benchGrid, *benchServe, *benchMeanfield, exps); err != nil {
+		if err := writeBenchJSON(f, *benchGrid, *benchServe, *benchMeanfield, *benchDispatch, exps); err != nil {
 			f.Close()
 			return err
 		}

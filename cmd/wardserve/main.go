@@ -9,10 +9,16 @@
 //	GET  /v1/catalog              the registered component catalog
 //	POST /v1/scenarios            run a scenario (sync; ?mode=job for async)
 //	POST /v1/campaigns            run a campaign (always a job resource)
+//	POST /v1/tasks                run one sweep task (sync; the distributed-sweep work unit)
 //	GET  /v1/jobs                 recent jobs
 //	GET  /v1/jobs/{id}            one job
 //	GET  /v1/jobs/{id}/stream     the job's NDJSON stream (replay + follow)
 //	GET  /metrics                 jobs run, cache hit rate, queue depth, latency percentiles
+//
+// With -store DIR the in-memory result cache gains a durable second tier: a
+// content-addressed store of result documents keyed by spec fingerprint,
+// shared safely between restarts and between servers pointing at the same
+// directory (the backing filesystem must be shared for a multi-node fleet).
 //
 // SIGINT/SIGTERM drains the server: listeners stop accepting, in-flight and
 // queued jobs get -grace to finish, then remaining runs are cancelled. A
@@ -22,6 +28,7 @@
 //
 //	wardserve -addr :8080
 //	wardserve -addr 127.0.0.1:0 -workers 8 -queue 128 -cache 512
+//	wardserve -addr :8080 -store /var/lib/wardrop -store-max 1073741824
 package main
 
 import (
@@ -55,6 +62,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	queue := fs.Int("queue", 0, "job-queue depth (default 64)")
 	cache := fs.Int("cache", 0, "result-cache entries (default 256; negative disables)")
 	campaignWorkers := fs.Int("campaign-workers", 0, "sweep pool width inside one campaign job (default 1)")
+	storeDir := fs.String("store", "", "durable result-store directory (second cache tier; survives restarts)")
+	storeMax := fs.Int64("store-max", 0, "result-store byte budget, least-recently-used eviction (0 = unbounded)")
 	grace := fs.Duration("grace", 15*time.Second, "shutdown grace period for in-flight jobs")
 	list := fs.Bool("list", false, "print the registered component catalog and exit")
 	if err := fs.Parse(args); err != nil {
@@ -70,12 +79,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := wardrop.NewServer(wardrop.ServerConfig{
+	cfg := wardrop.ServerConfig{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cache,
 		CampaignWorkers: *campaignWorkers,
-	})
+	}
+	if *storeDir != "" {
+		st, err := wardrop.OpenResultStore(*storeDir, *storeMax)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		cfg.Store = st
+		stats := st.Stats()
+		fmt.Fprintf(stdout, "wardserve: store %s (%d objects, %d bytes)\n", *storeDir, stats.Objects, stats.Bytes)
+	}
+	srv := wardrop.NewServer(cfg)
 	// The resolved address line is machine-readable on purpose: tests and
 	// scripts bind :0 and scrape the port.
 	fmt.Fprintf(stdout, "wardserve: listening on %s\n", ln.Addr())

@@ -3,15 +3,22 @@
 // JSON spec — on a worker pool, streams one JSONL record per run, and writes
 // a per-cell summary table (stdout + CSV).
 //
+// With -workers given wardserve URLs instead of a pool size, the campaign is
+// sharded across that fleet by consistent hashing on task fingerprint and
+// the remote records merged locally — the output artifacts are byte-identical
+// to a local run, including when a worker dies mid-campaign.
+//
 // Usage:
 //
 //	wardsweep -spec campaign.json -workers 8 -out results/
+//	wardsweep -spec campaign.json -workers http://a:8080,http://b:8080 -out results/
 //	wardsweep -spec campaign.json -v            # progress on stderr
 //	wardsweep -spec campaign.json -dry-run      # list the expanded tasks
 //
 // Output files (in -out, named after the campaign):
 //
-//	<name>.jsonl   one record per task, streaming, completion order
+//	<name>.jsonl   one canonical record per task (streamed live in completion
+//	               order, rewritten sorted by task ID on completion)
 //	<name>.csv     the aggregated per-cell summary
 package main
 
@@ -22,6 +29,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 
 	"wardrop"
@@ -42,7 +51,7 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wardsweep", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "campaign specification JSON file (required)")
-	workers := fs.Int("workers", 0, "worker-pool size (default GOMAXPROCS)")
+	workersFlag := fs.String("workers", "", "local worker-pool size (default GOMAXPROCS), or comma-separated wardserve URLs for a distributed run")
 	outDir := fs.String("out", "", "output directory for <name>.jsonl and <name>.csv (default: no files)")
 	verbose := fs.Bool("v", false, "report per-task progress on stderr")
 	dryRun := fs.Bool("dry-run", false, "expand and list tasks without running them")
@@ -56,8 +65,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *specPath == "" {
 		return fmt.Errorf("missing required -spec")
 	}
-	if *workers < 0 {
-		return fmt.Errorf("invalid -workers %d", *workers)
+	workers, workerURLs, err := parseWorkers(*workersFlag)
+	if err != nil {
+		return err
 	}
 
 	f, err := os.Open(*specPath)
@@ -91,13 +101,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	opts := wardrop.SweepOptions{Workers: *workers}
 	var jf *os.File
+	var results io.Writer
+	jsonlPath := ""
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return err
 		}
-		jf, err = os.Create(filepath.Join(*outDir, name+".jsonl"))
+		jsonlPath = filepath.Join(*outDir, name+".jsonl")
+		jf, err = os.Create(jsonlPath)
 		if err != nil {
 			return err
 		}
@@ -106,10 +118,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				jf.Close()
 			}
 		}()
-		opts.Results = jf
+		results = jf
 	}
+	progress := func(done, total int, rec wardrop.SweepRecord) {}
 	if *verbose {
-		opts.Progress = func(done, total int, rec wardrop.SweepRecord) {
+		progress = func(done, total int, rec wardrop.SweepRecord) {
 			status := "ok"
 			if rec.Error != "" {
 				status = "ERR " + rec.Error
@@ -119,7 +132,38 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 
-	res, err := wardrop.RunSweep(ctx, campaign, opts)
+	// The JSONL stream is canonical (wall time stripped) in both modes, so a
+	// local and a distributed run of the same campaign write byte-identical
+	// lines; the completed file is rewritten sorted by task ID below, making
+	// the whole artifact byte-comparable across runs.
+	var res *wardrop.SweepResult
+	if len(workerURLs) > 0 {
+		dopts := wardrop.DistSweepOptions{
+			Results:   results,
+			Canonical: true,
+			Progress:  progress,
+		}
+		if *verbose {
+			dopts.Events = func(ev wardrop.DistSweepEvent) {
+				switch ev.Kind {
+				case "node-dead":
+					fmt.Fprintf(os.Stderr, "wardsweep: worker %s dead (%v), %d tasks re-queued\n", ev.Node, ev.Err, ev.Tasks)
+				case "retry":
+					fmt.Fprintf(os.Stderr, "wardsweep: retrying on %s (attempt %d): %v\n", ev.Node, ev.Attempt, ev.Err)
+				case "steal":
+					fmt.Fprintf(os.Stderr, "wardsweep: %s stole work from %s\n", ev.Node, ev.From)
+				}
+			}
+		}
+		res, err = wardrop.RunDistSweep(ctx, campaign, workerURLs, dopts)
+	} else {
+		res, err = wardrop.RunSweep(ctx, campaign, wardrop.SweepOptions{
+			Workers:   workers,
+			Results:   results,
+			Canonical: true,
+			Progress:  progress,
+		})
+	}
 	// SIGINT cancels the run context; the engine returns the records
 	// completed so far (exactly the ones already streamed to the JSONL
 	// sink), so the campaign is flushed cleanly — summary, CSV and a
@@ -141,7 +185,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// Rewrite the streamed (completion-order) file as the canonical
+		// ID-sorted stream: the lines are unchanged, only ordered, making
+		// the artifact byte-identical across runs, worker counts and
+		// local-vs-distributed execution. Partial (interrupted) record sets
+		// rewrite the same way.
+		if err := rewriteCanonical(jsonlPath, res.Records); err != nil {
+			return err
+		}
 	}
+	timingSummary(os.Stderr, res.Records)
 
 	cells := wardrop.AggregateSweep(res.Records)
 	tbl := wardrop.SweepSummaryTable(name, cells)
@@ -175,4 +228,71 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("interrupted after %d/%d tasks (partial results flushed)", len(res.Records), len(res.Tasks))
 	}
 	return nil
+}
+
+// parseWorkers resolves the -workers flag: empty (defaults), a pool size, or
+// a comma-separated list of worker URLs selecting the distributed path.
+func parseWorkers(v string) (pool int, urls []string, err error) {
+	if v == "" {
+		return 0, nil, nil
+	}
+	if strings.Contains(v, "://") {
+		for _, u := range strings.Split(v, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			return 0, nil, fmt.Errorf("invalid -workers %q", v)
+		}
+		return 0, urls, nil
+	}
+	pool, err = strconv.Atoi(v)
+	if err != nil || pool < 0 {
+		return 0, nil, fmt.Errorf("invalid -workers %q", v)
+	}
+	return pool, nil, nil
+}
+
+// rewriteCanonical replaces the streamed JSONL file with the canonical
+// ID-sorted stream via a same-directory temp file and rename, so a crash
+// mid-rewrite never truncates the streamed records.
+func rewriteCanonical(path string, records []wardrop.SweepRecord) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".rewrite-*")
+	if err != nil {
+		return err
+	}
+	if err := wardrop.EncodeSweepRecords(tmp, records); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// timingSummary reports the wall-time distribution over the completed tasks
+// on stderr — mean, p95, and the slowest task, the straggler signal of a
+// distributed run (remote wall times are coordinator round trips, queue wait
+// included). Stderr so the deterministic stdout summary stays byte-stable.
+func timingSummary(w io.Writer, records []wardrop.SweepRecord) {
+	if len(records) == 0 {
+		return
+	}
+	walls := make([]float64, 0, len(records))
+	total, slowest := 0.0, 0
+	for i, r := range records {
+		walls = append(walls, r.WallMS)
+		total += r.WallMS
+		if r.WallMS > records[slowest].WallMS {
+			slowest = i
+		}
+	}
+	sort.Float64s(walls)
+	p95 := walls[(len(walls)*95)/100]
+	fmt.Fprintf(w, "wardsweep: timing %d tasks: mean %.1fms p95 %.1fms max %.1fms (task %d)\n",
+		len(records), total/float64(len(records)), p95, records[slowest].WallMS, records[slowest].ID)
 }

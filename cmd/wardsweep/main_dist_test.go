@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wardrop"
+)
+
+// startFleet launches n in-process wardserve workers sharing one durable
+// store directory and returns their URLs.
+func startFleet(t *testing.T, n int, storeDir string) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		cfg := wardrop.ServerConfig{Workers: 2}
+		if storeDir != "" {
+			st, err := wardrop.OpenResultStore(storeDir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Store = st
+		}
+		s := wardrop.NewServer(cfg)
+		ts := httptest.NewServer(s)
+		urls[i] = ts.URL
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+			defer cancel()
+			_ = s.Close(ctx)
+		})
+	}
+	return urls
+}
+
+// TestDistributedSweepMatchesLocalFiles is the CLI's distributed end-to-end
+// check: the same campaign run locally and sharded across a fleet must write
+// byte-identical demo.jsonl and demo.csv, and print the same summary.
+func TestDistributedSweepMatchesLocalFiles(t *testing.T) {
+	urls := startFleet(t, 3, "")
+	localDir, distDir := t.TempDir(), t.TempDir()
+
+	var localOut bytes.Buffer
+	if err := run(context.Background(), []string{
+		"-spec", "testdata/campaign.json", "-workers", "4", "-out", localDir,
+	}, &localOut); err != nil {
+		t.Fatal(err)
+	}
+	var distOut bytes.Buffer
+	if err := run(context.Background(), []string{
+		"-spec", "testdata/campaign.json", "-workers", strings.Join(urls, ","), "-out", distDir,
+	}, &distOut); err != nil {
+		t.Fatal(err)
+	}
+
+	if localOut.String() != distOut.String() {
+		t.Errorf("summary differs between local and distributed:\n%s\nvs\n%s", localOut.String(), distOut.String())
+	}
+	for _, f := range []string{"demo.jsonl", "demo.csv"} {
+		local, err := os.ReadFile(filepath.Join(localDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := os.ReadFile(filepath.Join(distDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(local, dist) {
+			t.Errorf("%s differs between local and distributed:\n--- local ---\n%s\n--- distributed ---\n%s", f, local, dist)
+		}
+	}
+
+	// The canonical JSONL is ID-sorted and wall-time free.
+	jf, err := os.Open(filepath.Join(distDir, "demo.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	sc := bufio.NewScanner(jf)
+	last := -1
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "wallMs") {
+			t.Fatalf("canonical JSONL leaks wallMs: %s", sc.Text())
+		}
+		var rec struct {
+			ID int `json:"id"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.ID <= last {
+			t.Fatalf("JSONL not ID-sorted: %d after %d", rec.ID, last)
+		}
+		last = rec.ID
+	}
+}
+
+// TestDistributedRepeatUsesSharedStore reruns a campaign against a fleet
+// sharing one store directory: the second run must not move any worker's
+// engine-run counter (everything is answered from the caches), which the
+// summed /metrics engineRuns across the fleet pins via the CLI path.
+func TestDistributedRepeatUsesSharedStore(t *testing.T) {
+	storeDir := t.TempDir()
+	urls := startFleet(t, 2, storeDir)
+	args := []string{"-spec", "testdata/campaign.json", "-workers", strings.Join(urls, ",")}
+	var out1, out2 bytes.Buffer
+	if err := run(context.Background(), args, &out1); err != nil {
+		t.Fatal(err)
+	}
+	first := fleetEngineRuns(t, urls)
+	if first == 0 {
+		t.Fatal("no engine runs after the first campaign")
+	}
+	if err := run(context.Background(), args, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if got := fleetEngineRuns(t, urls); got != first {
+		t.Errorf("engine runs moved on a repeat campaign: %d -> %d", first, got)
+	}
+	if out1.String() != out2.String() {
+		t.Error("repeat campaign printed a different summary")
+	}
+}
+
+func fleetEngineRuns(t *testing.T, urls []string) int64 {
+	t.Helper()
+	var total int64
+	for _, u := range urls {
+		resp, err := http.Get(u + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m wardrop.ServerMetrics
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += m.EngineRuns
+	}
+	return total
+}

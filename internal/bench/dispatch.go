@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wardrop/internal/dispatch"
+	"wardrop/internal/serve"
+	"wardrop/internal/sweep"
+)
+
+// DispatchMeasurement is one distributed-sweep benchmark result destined for
+// BENCH_kernel.json's "dispatch" suite: per-task campaign throughput for the
+// local executor next to the distributed coordinator, cold and warm.
+type DispatchMeasurement struct {
+	// Name identifies the workload ("dispatch/local", "dispatch/remote-cold",
+	// "dispatch/remote-warm").
+	Name string `json:"name"`
+	// NsPerTask is the amortized per-task cost of running the benchmark
+	// campaign end to end; TasksPerSec the derived throughput 1e9/NsPerTask.
+	NsPerTask   float64 `json:"nsPerTask"`
+	TasksPerSec float64 `json:"tasksPerSec"`
+}
+
+// dispatchCampaignTasks is the benchmark campaign's task count (one topology
+// × one policy × one period × seeds).
+const dispatchCampaignTasks = 8
+
+// dispatchCampaignDoc parameterises the campaign by horizon. With maxPhases
+// set the horizon is ignored by the engine but still part of every task
+// fingerprint, so varying it is a free cache-buster: cold-path iterations
+// get fresh fingerprints for identical work.
+const dispatchCampaignDoc = `{"name":"bench-dispatch","topologies":[{"family":"pigou"}],"policies":[{"kind":"replicator"}],"updatePeriods":[0.05],"seeds":8,"maxPhases":15,"horizon":%d}`
+
+// DispatchSuite measures campaign execution three ways over the same work:
+// the in-process sweep executor, the distributed coordinator against a cold
+// two-node fleet (every task simulated remotely), and the same fleet warm
+// (every task a cache hit — the coordinator-plus-HTTP overhead floor).
+func DispatchSuite() ([]DispatchMeasurement, error) {
+	campaign := func(i int) (*sweep.Campaign, error) {
+		return sweep.ParseCampaign(strings.NewReader(fmt.Sprintf(dispatchCampaignDoc, i+1)))
+	}
+
+	var failure error
+	measure := func(name string, run func(i int) error) DispatchMeasurement {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := run(i); err != nil && failure == nil {
+					failure = err
+					b.FailNow()
+				}
+			}
+		})
+		perTask := float64(r.NsPerOp()) / dispatchCampaignTasks
+		return DispatchMeasurement{Name: name, NsPerTask: perTask, TasksPerSec: 1e9 / perTask}
+	}
+
+	servers := make([]*serve.Server, 2)
+	https := make([]*httptest.Server, 2)
+	urls := make([]string, 2)
+	for i := range servers {
+		servers[i] = serve.New(serve.Config{Workers: 2, QueueDepth: 64, CacheEntries: 1024})
+		https[i] = httptest.NewServer(servers[i])
+		urls[i] = https[i].URL
+	}
+	defer func() {
+		for i := range servers {
+			https[i].Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = servers[i].Close(ctx)
+			cancel()
+		}
+	}()
+
+	runLocal := func(i int) error {
+		c, err := campaign(i)
+		if err != nil {
+			return err
+		}
+		_, err = sweep.Run(context.Background(), c, sweep.Options{Workers: 4})
+		return err
+	}
+	runRemote := func(i int) error {
+		c, err := campaign(i)
+		if err != nil {
+			return err
+		}
+		res, err := dispatch.Run(context.Background(), c, urls, dispatch.Options{})
+		if err != nil {
+			return err
+		}
+		for _, rec := range res.Records {
+			if rec.Error != "" {
+				return fmt.Errorf("bench: task %d failed: %s", rec.ID, rec.Error)
+			}
+		}
+		return nil
+	}
+
+	// Warm the fleet with the fixed-horizon campaign before the warm pass.
+	out := []DispatchMeasurement{
+		measure("dispatch/local", runLocal),
+		measure("dispatch/remote-cold", func(i int) error { return runRemote(i + 1_000_000) }),
+	}
+	if failure == nil {
+		if err := runRemote(0); err != nil {
+			return nil, err
+		}
+	}
+	out = append(out, measure("dispatch/remote-warm", func(i int) error { return runRemote(0) }))
+	if failure != nil {
+		return nil, failure
+	}
+	return out, nil
+}

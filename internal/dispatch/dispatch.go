@@ -1,0 +1,522 @@
+// Package dispatch is the campaign coordinator for distributed sweeps: it
+// expands a campaign exactly as a local sweep.Run would, shards the deduped
+// tasks across a fleet of wardserve workers by consistent hashing on task
+// fingerprint (so identical cells keep landing on the same node and its
+// caches stay hot), executes them over POST /v1/tasks, and merges the
+// returned records into the same RunResult a local run produces. Nodes that
+// stop answering are declared dead and their tasks re-queued onto the
+// survivors; idle nodes steal queued work from loaded ones; transient
+// queue-full rejections are retried with backoff honouring Retry-After.
+// Because remote workers return canonical records and the coordinator
+// rebinds the bookkeeping identity per task, the merged artifacts are
+// byte-identical to a local run — including under mid-campaign worker
+// failure.
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wardrop/internal/sweep"
+)
+
+// EventKind labels a coordinator lifecycle event.
+type EventKind string
+
+// Coordinator events: a worker declared dead (its queued tasks re-homed), a
+// transient rejection retried with backoff, a steal by an idle worker.
+const (
+	EventNodeDead EventKind = "node-dead"
+	EventRetry    EventKind = "retry"
+	EventSteal    EventKind = "steal"
+)
+
+// Event is one coordinator lifecycle observation, for logging and tests.
+type Event struct {
+	Kind EventKind
+	// Node is the worker URL the event concerns; From is the steal victim.
+	Node string
+	From string
+	// Tasks counts the task units a node-dead event re-homed.
+	Tasks int
+	// Attempt is the retry ordinal of a retry event.
+	Attempt int
+	Err     error
+}
+
+// Options configures a distributed run. The zero value is usable.
+type Options struct {
+	// Client performs the HTTP requests (default: a fresh client with no
+	// timeout — task duration is unbounded and cancellation comes from ctx).
+	Client *http.Client
+	// Inflight is the number of concurrent tasks per worker (default 4).
+	Inflight int
+	// MaxAttempts bounds the attempts per task across retries and node
+	// failures (default 3); a task out of attempts gets an error record, the
+	// campaign keeps going.
+	MaxAttempts int
+	// Backoff is the base retry backoff, doubled per attempt (default 250ms);
+	// a server Retry-After wins when longer.
+	Backoff time.Duration
+	// Results, Canonical, Progress: as sweep.Options — a streaming JSONL
+	// sink (completion order), the canonical-form switch for that stream,
+	// and the per-record progress callback.
+	Results   io.Writer
+	Canonical bool
+	Progress  func(done, total int, rec sweep.Record)
+	// Events, if non-nil, observes coordinator lifecycle events. Called from
+	// worker goroutines; must be safe for concurrent use.
+	Events func(Event)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Inflight <= 0 {
+		o.Inflight = 4
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 250 * time.Millisecond
+	}
+	return o
+}
+
+// unit is one dedup class of tasks: a self-contained spec submitted (at most
+// a few times) to remote workers, and every expanded task whose record is
+// bound from the one remote result.
+type unit struct {
+	fp       string
+	spec     *sweep.TaskSpec
+	body     []byte
+	tasks    []sweep.Task
+	attempts int
+}
+
+// Run executes the campaign across the worker fleet and returns the same
+// RunResult a local sweep.Run produces: every expanded task gets a record
+// (duplicates cloned from their representative, identity rebound), sorted by
+// task ID. Task-level failures come back inside records; the returned error
+// is non-nil only for invalid campaigns, cancellation, a failing Results
+// sink, or a fleet with no surviving workers. On cancellation the records
+// completed so far are returned with ctx.Err(), and the in-flight remote
+// jobs are cancelled too (the request contexts propagate).
+func Run(ctx context.Context, camp *sweep.Campaign, workers []string, opts Options) (*sweep.RunResult, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("dispatch: no workers")
+	}
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = strings.TrimRight(w, "/")
+	}
+	tasks, err := camp.Expand()
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	units, err := buildUnits(camp, tasks)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	co := newCoordinator(ctx, urls, units, opts)
+	co.start()
+
+	// Collect, mirroring the local collector: stream JSONL in completion
+	// order, report progress, keep everything, sort by ID at the end.
+	records := make([]sweep.Record, 0, len(tasks))
+	enc := json.NewEncoder(io.Discard)
+	if opts.Results != nil {
+		enc = json.NewEncoder(opts.Results)
+	}
+	var sinkErr error
+	for rec := range co.recCh {
+		if sinkErr == nil {
+			line := rec
+			if opts.Canonical {
+				line = sweep.CanonicalRecord(rec)
+			}
+			if err := enc.Encode(line); err != nil {
+				sinkErr = fmt.Errorf("dispatch: results sink: %w", err)
+				cancel()
+			}
+		}
+		records = append(records, rec)
+		if opts.Progress != nil {
+			opts.Progress(len(records), len(tasks), rec)
+		}
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].ID < records[j].ID })
+	result := &sweep.RunResult{Campaign: camp, Tasks: tasks, Records: records}
+	if sinkErr != nil {
+		return nil, sinkErr
+	}
+	if err := ctx.Err(); err != nil {
+		return result, err
+	}
+	if err := co.terminalErr(); err != nil {
+		return result, err
+	}
+	return result, nil
+}
+
+// buildUnits groups the expanded tasks by TaskSpec fingerprint in
+// first-occurrence order — the same dedup partition the local executor uses
+// (within one campaign the two fingerprints induce identical classes), keyed
+// by the durable identity remote caches understand.
+func buildUnits(camp *sweep.Campaign, tasks []sweep.Task) ([]*unit, error) {
+	units := make([]*unit, 0, len(tasks))
+	index := make(map[string]int, len(tasks))
+	for _, t := range tasks {
+		spec := sweep.NewTaskSpec(camp, t)
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: task %d: %w", t.ID, err)
+		}
+		if i, ok := index[fp]; ok {
+			units[i].tasks = append(units[i].tasks, t)
+			continue
+		}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: task %d: %w", t.ID, err)
+		}
+		index[fp] = len(units)
+		units = append(units, &unit{fp: fp, spec: spec, body: body, tasks: []sweep.Task{t}})
+	}
+	return units, nil
+}
+
+// coordinator is the shared scheduling state: per-node queues under one
+// mutex+cond, the liveness view, and the record channel the collector
+// drains. Runners (Inflight goroutines per node) pull from their own queue,
+// steal from the longest other queue when idle, and exit when the work or
+// the fleet is exhausted.
+type coordinator struct {
+	ctx     context.Context
+	workers []string
+	ring    *ring
+	opts    Options
+	recCh   chan sweep.Record
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queues    [][]*unit
+	alive     []bool
+	aliveN    int
+	pending   int // units not yet completed (queued or in flight)
+	cancelled bool
+	err       error // terminal: every worker dead
+}
+
+func newCoordinator(ctx context.Context, workers []string, units []*unit, opts Options) *coordinator {
+	co := &coordinator{
+		ctx:     ctx,
+		workers: workers,
+		ring:    newRing(workers),
+		opts:    opts,
+		recCh:   make(chan sweep.Record, 2*len(workers)*opts.Inflight),
+		queues:  make([][]*unit, len(workers)),
+		alive:   make([]bool, len(workers)),
+		aliveN:  len(workers),
+		pending: len(units),
+	}
+	co.cond = sync.NewCond(&co.mu)
+	for i := range co.alive {
+		co.alive[i] = true
+	}
+	for _, u := range units {
+		home := co.ring.owner(u.fp, co.alive)
+		co.queues[home] = append(co.queues[home], u)
+	}
+	return co
+}
+
+func (co *coordinator) start() {
+	var wg sync.WaitGroup
+	for node := range co.workers {
+		for k := 0; k < co.opts.Inflight; k++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				co.runner(node)
+			}(node)
+		}
+	}
+	// Cancellation wakes every waiting runner so the pool drains promptly
+	// even when no task completion would otherwise signal the cond.
+	go func() {
+		<-co.ctx.Done()
+		co.mu.Lock()
+		co.cancelled = true
+		co.cond.Broadcast()
+		co.mu.Unlock()
+	}()
+	go func() {
+		wg.Wait()
+		close(co.recCh)
+	}()
+}
+
+func (co *coordinator) terminalErr() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.err
+}
+
+func (co *coordinator) event(ev Event) {
+	if co.opts.Events != nil {
+		co.opts.Events(ev)
+	}
+}
+
+// next blocks until there is a unit for this node to run — its own queue
+// first, then a steal from the longest other alive queue — or until the run
+// is over for it (done, cancelled, fleet dead, or this node declared dead).
+func (co *coordinator) next(node int) *unit {
+	co.mu.Lock()
+	for {
+		if co.cancelled || co.err != nil || co.pending == 0 || !co.alive[node] {
+			co.mu.Unlock()
+			return nil
+		}
+		if q := co.queues[node]; len(q) > 0 {
+			u := q[0]
+			co.queues[node] = q[1:]
+			co.mu.Unlock()
+			return u
+		}
+		if victim := co.longestQueue(node); victim >= 0 {
+			q := co.queues[victim]
+			u := q[len(q)-1] // steal from the tail: the coldest queued work
+			co.queues[victim] = q[:len(q)-1]
+			co.mu.Unlock()
+			co.event(Event{Kind: EventSteal, Node: co.workers[node], From: co.workers[victim]})
+			return u
+		}
+		co.cond.Wait()
+	}
+}
+
+// longestQueue returns the alive node (≠ self) with the longest non-empty
+// queue, or -1. Callers hold co.mu.
+func (co *coordinator) longestQueue(self int) int {
+	best, bestLen := -1, 0
+	for i, q := range co.queues {
+		if i != self && co.alive[i] && len(q) > bestLen {
+			best, bestLen = i, len(q)
+		}
+	}
+	return best
+}
+
+// requeue re-homes a unit onto the surviving fleet (after a node death or a
+// retry whose node died while backing off). With no survivors the unit is
+// dropped: the coordinator error is already set and the run is over.
+func (co *coordinator) requeue(u *unit) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	home := co.ring.owner(u.fp, co.alive)
+	if home < 0 {
+		return
+	}
+	co.queues[home] = append(co.queues[home], u)
+	co.cond.Broadcast()
+}
+
+// markDead declares a node dead and re-homes its queue onto the survivors.
+// Idempotent; the last death sets the coordinator's terminal error.
+func (co *coordinator) markDead(node int, cause error) {
+	co.mu.Lock()
+	if !co.alive[node] {
+		co.mu.Unlock()
+		return
+	}
+	co.alive[node] = false
+	co.aliveN--
+	orphans := co.queues[node]
+	co.queues[node] = nil
+	moved := len(orphans)
+	if co.aliveN == 0 {
+		co.err = fmt.Errorf("dispatch: all workers failed (last: %s): %w", co.workers[node], cause)
+	} else {
+		for _, u := range orphans {
+			home := co.ring.owner(u.fp, co.alive)
+			co.queues[home] = append(co.queues[home], u)
+		}
+	}
+	co.cond.Broadcast()
+	co.mu.Unlock()
+	co.event(Event{Kind: EventNodeDead, Node: co.workers[node], Tasks: moved, Err: cause})
+}
+
+// complete binds the remote record onto every task of the unit (the spec
+// carries no bookkeeping identity — ID and SeedIndex are rebound here, the
+// exact clone semantics of the local dedup pass) and hands the records to
+// the collector.
+func (co *coordinator) complete(u *unit, rec sweep.Record) {
+	for _, t := range u.tasks {
+		bound := rec
+		bound.ID, bound.SeedIndex = t.ID, t.SeedIndex
+		co.recCh <- bound
+	}
+	co.mu.Lock()
+	co.pending--
+	if co.pending == 0 {
+		co.cond.Broadcast()
+	}
+	co.mu.Unlock()
+}
+
+func (co *coordinator) runner(node int) {
+	for {
+		u := co.next(node)
+		if u == nil {
+			return
+		}
+		co.run(node, u)
+	}
+}
+
+// attempt verdicts.
+type verdict int
+
+const (
+	vOK verdict = iota
+	vCancelled
+	vRetry    // transient rejection (queue full): back off, same node
+	vNodeDead // the node is gone or answering garbage
+	vTaskFail // deterministic rejection: record the error, do not retry
+)
+
+// run drives one unit to completion on this node: attempt, classify, retry
+// with backoff, fail over on node death, give up into an error record when
+// out of attempts.
+func (co *coordinator) run(node int, u *unit) {
+	for {
+		rec, retryAfter, verd, err := co.attempt(node, u)
+		switch verd {
+		case vOK:
+			co.complete(u, rec)
+			return
+		case vCancelled:
+			return
+		case vTaskFail:
+			co.complete(u, u.spec.ErrorRecord(err))
+			return
+		case vRetry:
+			u.attempts++
+			if u.attempts >= co.opts.MaxAttempts {
+				co.complete(u, u.spec.ErrorRecord(err))
+				return
+			}
+			co.event(Event{Kind: EventRetry, Node: co.workers[node], Attempt: u.attempts, Err: err})
+			if !co.sleep(backoff(co.opts.Backoff, u.attempts, retryAfter)) {
+				return
+			}
+			co.mu.Lock()
+			stillAlive := co.alive[node]
+			co.mu.Unlock()
+			if !stillAlive {
+				co.requeue(u)
+				return
+			}
+		case vNodeDead:
+			co.markDead(node, err)
+			u.attempts++
+			if u.attempts >= co.opts.MaxAttempts {
+				co.complete(u, u.spec.ErrorRecord(err))
+				return
+			}
+			co.requeue(u)
+			return
+		}
+	}
+}
+
+// sleep waits d, honouring cancellation; reports whether the wait ran full.
+func (co *coordinator) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-co.ctx.Done():
+		return false
+	}
+}
+
+// backoff is the exponential schedule, floored by the server's Retry-After.
+func backoff(base time.Duration, attempt int, retryAfter time.Duration) time.Duration {
+	d := base << (attempt - 1)
+	if retryAfter > d {
+		return retryAfter
+	}
+	return d
+}
+
+// attempt submits the unit's spec to the node once and classifies the
+// outcome. A 200 is the task's record — possibly one carrying a task-level
+// error, which is a completed outcome, not a failure. A 503 with Retry-After
+// is the node shedding load (retry here, later); any other failure mode —
+// transport errors, draining, 5xx, an unparseable body — condemns the node.
+func (co *coordinator) attempt(node int, u *unit) (rec sweep.Record, retryAfter time.Duration, verd verdict, err error) {
+	req, err := http.NewRequestWithContext(co.ctx, http.MethodPost, co.workers[node]+"/v1/tasks", bytes.NewReader(u.body))
+	if err != nil {
+		return rec, 0, vTaskFail, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := co.opts.Client.Do(req)
+	if err != nil {
+		if co.ctx.Err() != nil {
+			return rec, 0, vCancelled, co.ctx.Err()
+		}
+		return rec, 0, vNodeDead, err
+	}
+	body, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if readErr != nil {
+		if co.ctx.Err() != nil {
+			return rec, 0, vCancelled, co.ctx.Err()
+		}
+		return rec, 0, vNodeDead, readErr
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return rec, 0, vNodeDead, fmt.Errorf("%s: bad record: %w", co.workers[node], err)
+		}
+		// Wall time is the coordinator's measurement: request round-trip,
+		// queue wait included — exactly the straggler signal a fleet
+		// operator wants. The canonical artifacts strip it either way.
+		rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		return rec, 0, vOK, nil
+	case resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "":
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		return rec, retryAfter, vRetry, fmt.Errorf("%s: %s", co.workers[node], strings.TrimSpace(string(body)))
+	case resp.StatusCode == http.StatusBadRequest:
+		// Cannot happen for coordinator-built specs; recorded, not retried.
+		return rec, 0, vTaskFail, fmt.Errorf("%s: %s", co.workers[node], strings.TrimSpace(string(body)))
+	default:
+		return rec, 0, vNodeDead, fmt.Errorf("%s: status %d: %s", co.workers[node], resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+}

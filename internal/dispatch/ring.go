@@ -1,0 +1,76 @@
+package dispatch
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// vnodes is the number of virtual points each worker contributes to the
+// ring. 64 points per node keeps the assignment imbalance of a handful of
+// workers within a few percent while the ring stays tiny.
+const vnodes = 64
+
+// ring is a consistent-hash ring over the worker list: task fingerprints map
+// to workers such that (a) the same fingerprint always lands on the same
+// worker while the fleet is stable — which is what keeps each node's result
+// cache and instance cache hot across campaigns — and (b) when a worker
+// dies, only its own keys move, scattering evenly over the survivors instead
+// of reshuffling the whole assignment.
+type ring struct {
+	hashes []uint64 // sorted virtual-point hashes
+	nodes  []int    // nodes[i] owns hashes[i]; index into the worker list
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// newRing builds the ring over worker identities (their URLs, so the
+// assignment is a function of the fleet, not of argument order plus count).
+func newRing(workers []string) *ring {
+	r := &ring{
+		hashes: make([]uint64, 0, len(workers)*vnodes),
+		nodes:  make([]int, 0, len(workers)*vnodes),
+	}
+	type point struct {
+		hash uint64
+		node int
+	}
+	points := make([]point, 0, len(workers)*vnodes)
+	for i, w := range workers {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, point{hash64(w + "#" + strconv.Itoa(v)), i})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].hash != points[b].hash {
+			return points[a].hash < points[b].hash
+		}
+		return points[a].node < points[b].node
+	})
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.hash)
+		r.nodes = append(r.nodes, p.node)
+	}
+	return r
+}
+
+// owner maps a key to the first alive worker at or after the key's point,
+// walking clockwise past dead nodes. Returns -1 when no worker is alive.
+func (r *ring) owner(key string, alive []bool) int {
+	if len(r.hashes) == 0 {
+		return -1
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	for i := 0; i < len(r.hashes); i++ {
+		n := r.nodes[(start+i)%len(r.hashes)]
+		if alive[n] {
+			return n
+		}
+	}
+	return -1
+}

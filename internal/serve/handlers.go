@@ -47,6 +47,17 @@ func submitStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
+// writeSubmitError answers a failed submission. A full queue is a transient
+// condition — the 503 carries Retry-After so well-behaved clients (the
+// dispatch coordinator among them) back off instead of hammering; draining
+// is terminal for this process and gets no retry hint.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrQueueFull) {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, submitStatus(err), err)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -70,6 +81,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 		rate = float64(hits) / float64(hits+misses)
 	}
 	p50, p99 := s.met.percentiles()
+	st := s.cache.StoreStats()
 	return Metrics{
 		JobsRun:         s.met.jobsRun.Load(),
 		JobsFailed:      s.met.jobsFailed.Load(),
@@ -78,7 +90,14 @@ func (s *Server) MetricsSnapshot() Metrics {
 		CacheMisses:     misses,
 		CacheHitRate:    rate,
 		CacheEntries:    s.cache.Len(),
+		StoreHits:       s.met.storeHits.Load(),
+		StorePuts:       s.met.storePuts.Load(),
+		StoreErrors:     s.met.storeErrors.Load(),
+		StoreObjects:    st.Objects,
+		StoreBytes:      st.Bytes,
 		QueueDepth:      len(s.queue),
+		QueueCapacity:   s.cfg.QueueDepth,
+		QueueHighWater:  s.met.queueHighWater.Load(),
 		JobsRunning:     s.met.jobsRunning(),
 		Workers:         s.cfg.Workers,
 		RunLatencyMsP50: p50,
@@ -104,10 +123,9 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Fingerprint", fp)
 	async := r.URL.Query().Get("mode") == "job"
-	if body, ok := s.cache.Get(kindScenario + ":" + fp); ok {
-		s.met.cacheHits.Add(1)
+	if body, tier, ok := s.cacheGet(kindScenario, fp); ok {
 		if !async {
-			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("X-Cache", tier)
 			w.Header().Set("Content-Type", "application/json")
 			_, _ = w.Write(body)
 			return
@@ -127,7 +145,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 		s.register(j)
 		if err := s.submit(j); err != nil {
 			j.fail(err)
-			writeError(w, submitStatus(err), err)
+			writeSubmitError(w, err)
 			return
 		}
 		// Only scheduled work counts as a miss: a 503'd request never
@@ -145,7 +163,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	s.register(j)
 	if err := s.submit(j); err != nil {
 		j.fail(err)
-		writeError(w, submitStatus(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	s.met.cacheMisses.Add(1)
@@ -159,8 +177,56 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, errors.New(st.Error))
 		return
 	}
-	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("X-Cache", TierMiss)
 	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(j.resultBytes())
+}
+
+// handleTasks answers POST /v1/tasks: the distributed-sweep work unit. The
+// body is one self-contained task spec; the response is the task's canonical
+// record line, synchronously (a task is one engine run — the job machinery
+// provides queueing, panic isolation and disconnect cancellation, not
+// detachment). Task-level failures come back inside the record's error field
+// with status 200, exactly as a local sweep would record them, so a
+// coordinator merging remote records reproduces the local artifact
+// byte-for-byte even when cells fail.
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	ts, ok := parseSpec(w, r, sweep.ParseTaskSpec)
+	if !ok {
+		return
+	}
+	fp, err := ts.Fingerprint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("X-Fingerprint", fp)
+	if body, tier, ok := s.cacheGet(kindTask, fp); ok {
+		w.Header().Set("X-Cache", tier)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_, _ = w.Write(body)
+		return
+	}
+	j := s.newJob(kindTask, fp, r.Context())
+	j.task = ts
+	s.register(j)
+	if err := s.submit(j); err != nil {
+		j.fail(err)
+		writeSubmitError(w, err)
+		return
+	}
+	s.met.cacheMisses.Add(1)
+	<-j.done
+	st := j.status()
+	if st.State == JobFailed {
+		if r.Context().Err() != nil {
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, errors.New(st.Error))
+		return
+	}
+	w.Header().Set("X-Cache", TierMiss)
+	w.Header().Set("Content-Type", "application/x-ndjson")
 	_, _ = w.Write(j.resultBytes())
 }
 
@@ -181,8 +247,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Fingerprint", fp)
 	j := s.newJob(kindCampaign, fp, context.Background())
 	j.campaign = c
-	if body, ok := s.cache.Get(kindCampaign + ":" + fp); ok {
-		s.met.cacheHits.Add(1)
+	if body, _, ok := s.cacheGet(kindCampaign, fp); ok {
 		j.complete(body, true)
 		s.register(j)
 		writeJSON(w, http.StatusOK, j.status())
@@ -191,7 +256,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	s.register(j)
 	if err := s.submit(j); err != nil {
 		j.fail(err)
-		writeError(w, submitStatus(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	s.met.cacheMisses.Add(1)

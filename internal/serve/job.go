@@ -27,6 +27,7 @@ const (
 const (
 	kindScenario = "scenario"
 	kindCampaign = "campaign"
+	kindTask     = "task"
 )
 
 // JobStatus is the JSON view of one job — the body of GET /v1/jobs/{id} and
@@ -70,6 +71,7 @@ type job struct {
 	fingerprint string
 	spec        *scenario.Spec
 	campaign    *sweep.Campaign
+	task        *sweep.TaskSpec
 	ctx         context.Context
 	cancel      context.CancelFunc
 	created     time.Time

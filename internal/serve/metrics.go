@@ -20,18 +20,33 @@ type Metrics struct {
 	// scenario job, one per completed campaign task record (duplicate-task
 	// records cloned by the sweep dedup pass count as their representative).
 	EngineRuns int64 `json:"engineRuns"`
-	// CacheHits / CacheMisses count result-cache lookups; CacheHitRate is
-	// hits / (hits + misses), 0 before the first lookup. CacheEntries is
-	// the current cache population.
+	// CacheHits / CacheMisses count result-cache lookups across both tiers;
+	// CacheHitRate is hits / (hits + misses), 0 before the first lookup.
+	// CacheEntries is the current in-memory cache population.
 	CacheHits    int64   `json:"cacheHits"`
 	CacheMisses  int64   `json:"cacheMisses"`
 	CacheHitRate float64 `json:"cacheHitRate"`
 	CacheEntries int     `json:"cacheEntries"`
+	// StoreHits is the subset of CacheHits served from the durable store
+	// (an LRU miss promoted from disk); StorePuts counts documents written
+	// through to it and StoreErrors its read/write failures (corrupt objects
+	// are quarantined and counted here). StoreObjects / StoreBytes are the
+	// store's current census. All zero when no -store is configured.
+	StoreHits    int64 `json:"storeHits,omitempty"`
+	StorePuts    int64 `json:"storePuts,omitempty"`
+	StoreErrors  int64 `json:"storeErrors,omitempty"`
+	StoreObjects int64 `json:"storeObjects,omitempty"`
+	StoreBytes   int64 `json:"storeBytes,omitempty"`
 	// QueueDepth is the number of jobs waiting for a worker right now,
-	// JobsRunning the number being executed; Workers the pool size.
-	QueueDepth  int   `json:"queueDepth"`
-	JobsRunning int64 `json:"jobsRunning"`
-	Workers     int   `json:"workers"`
+	// QueueCapacity the queue bound, and QueueHighWater the deepest the
+	// queue has ever been — together they say how close the service has come
+	// to shedding load with 503s. JobsRunning is the number of jobs being
+	// executed; Workers the pool size.
+	QueueDepth     int   `json:"queueDepth"`
+	QueueCapacity  int   `json:"queueCapacity"`
+	QueueHighWater int64 `json:"queueHighWater"`
+	JobsRunning    int64 `json:"jobsRunning"`
+	Workers        int   `json:"workers"`
 	// RunLatencyMsP50 / P99 are percentiles of wall-clock job latency over
 	// the sliding sample window (0 before the first completed job).
 	RunLatencyMsP50 float64 `json:"runLatencyMsP50"`
@@ -41,9 +56,11 @@ type Metrics struct {
 // metrics aggregates the service counters. Latencies go into a fixed-size
 // ring so the percentile cost is bounded regardless of uptime.
 type metrics struct {
-	jobsRun, jobsFailed    atomic.Int64
-	cacheHits, cacheMisses atomic.Int64
-	running                atomic.Int64
+	jobsRun, jobsFailed               atomic.Int64
+	cacheHits, cacheMisses            atomic.Int64
+	storeHits, storePuts, storeErrors atomic.Int64
+	queueHighWater                    atomic.Int64
+	running                           atomic.Int64
 
 	mu   sync.Mutex
 	ring []float64 // job latencies, milliseconds
@@ -60,6 +77,16 @@ func newMetrics(window int) *metrics {
 
 // jobsRunning reports the number of jobs currently executing.
 func (m *metrics) jobsRunning() int64 { return m.running.Load() }
+
+// noteQueueDepth ratchets the queue high-water mark up to depth.
+func (m *metrics) noteQueueDepth(depth int64) {
+	for {
+		cur := m.queueHighWater.Load()
+		if depth <= cur || m.queueHighWater.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}
 
 // observe records one job's wall-clock latency.
 func (m *metrics) observe(d time.Duration) {

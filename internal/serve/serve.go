@@ -29,6 +29,7 @@ import (
 	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/scenario"
+	"wardrop/internal/store"
 	"wardrop/internal/sweep"
 )
 
@@ -75,6 +76,11 @@ type Config struct {
 	// Catalog supplies the /v1/catalog listing (default: every component
 	// registry, mirroring the root Catalog() aggregation).
 	Catalog func() []catalog.Description
+	// Store, when non-nil, is the durable second cache tier: every cached
+	// result document is written through to it, and LRU misses consult it
+	// before scheduling work, so results survive restarts (and can be shared
+	// between servers pointing at one directory). See internal/store.
+	Store *store.Store
 }
 
 // withDefaults resolves the zero values.
@@ -111,8 +117,15 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
-	cache *lru
+	cache *tieredCache
 	met   *metrics
+
+	// instCache memoizes built instances and their Frank–Wolfe reference
+	// potentials across every /v1/tasks job for the server's lifetime: a
+	// campaign sharded across a fleet scatters one topology cell's seeds
+	// over many task submissions, and each node should pay the cell's
+	// construction and Φ* solve once, not once per task.
+	instCache *sweep.InstanceCache
 
 	engineRuns atomic.Int64
 
@@ -129,12 +142,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		cache: newLRU(cfg.CacheEntries),
-		met:   newMetrics(cfg.LatencyWindow),
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  make(map[string]*job),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		cache:     newTieredCache(cfg.CacheEntries, cfg.Store),
+		met:       newMetrics(cfg.LatencyWindow),
+		instCache: sweep.NewInstanceCache(),
+		queue:     make(chan *job, cfg.QueueDepth),
+		jobs:      make(map[string]*job),
 	}
 	s.routes()
 	s.wg.Add(cfg.Workers)
@@ -149,6 +163,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("POST /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
+	s.mux.HandleFunc("POST /v1/tasks", s.handleTasks)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
@@ -246,6 +261,7 @@ func (s *Server) submit(j *job) error {
 	}
 	select {
 	case s.queue <- j:
+		s.met.noteQueueDepth(int64(len(s.queue)))
 		return nil
 	default:
 		return ErrQueueFull
@@ -292,6 +308,8 @@ func (s *Server) runJob(j *job, ws *flow.Workspace) {
 		err = s.runScenario(j, ws)
 	case kindCampaign:
 		err = s.runCampaign(j, ws)
+	case kindTask:
+		err = s.runTask(j, ws)
 	default:
 		err = fmt.Errorf("serve: unknown job kind %q", j.kind)
 	}
@@ -334,9 +352,41 @@ func (s *Server) runScenario(j *job, ws *flow.Workspace) error {
 		return err
 	}
 	body := buf.Bytes()
-	s.cache.Add(kindScenario+":"+j.fingerprint, body)
+	s.cacheAdd(kindScenario, j.fingerprint, body)
 	j.complete(body, false)
 	return nil
+}
+
+// cacheAdd writes a finished result document through both cache tiers,
+// counting durable-tier activity; a store write failure is an operational
+// metric, never a request failure.
+func (s *Server) cacheAdd(kind, fp string, body []byte) {
+	if err := s.cache.Add(kind, fp, body); err != nil {
+		s.met.storeErrors.Add(1)
+		return
+	}
+	if s.cfg.Store != nil {
+		s.met.storePuts.Add(1)
+	}
+}
+
+// cacheGet looks a fingerprint up through the cache tiers, maintaining the
+// hit/miss counters. The returned tier is the X-Cache value for a hit.
+func (s *Server) cacheGet(kind, fp string) (body []byte, tier string, ok bool) {
+	body, tier, err := s.cache.Get(kind, fp)
+	if err != nil {
+		s.met.storeErrors.Add(1)
+	}
+	if tier == TierMiss {
+		// The miss counter moves only when work is actually scheduled;
+		// callers add it after a successful submit.
+		return nil, tier, false
+	}
+	s.met.cacheHits.Add(1)
+	if tier == TierHitStore {
+		s.met.storeHits.Add(1)
+	}
+	return body, tier, true
 }
 
 // CampaignResult is the final result document of a campaign job: identity,
@@ -384,7 +434,32 @@ func (s *Server) runCampaign(j *job, ws *flow.Workspace) error {
 		return err
 	}
 	body = append(body, '\n')
-	s.cache.Add(kindCampaign+":"+j.fingerprint, body)
+	s.cacheAdd(kindCampaign, j.fingerprint, body)
+	j.complete(body, false)
+	return nil
+}
+
+// runTask executes one distributed-sweep task job. Task-level failures (a
+// diverging policy, an unbuildable cell) come back inside the record's error
+// field — exactly as a local sweep.Run records them — so the job itself fails
+// only when cancelled before producing a record. The memoized document is the
+// canonical record line: wall time is the submitter's measurement to take,
+// and a replayed cache hit carrying a stale wall time would poison it.
+func (s *Server) runTask(j *job, ws *flow.Workspace) error {
+	rec, aborted := sweep.RunTaskSpec(j.ctx, j.task, s.instCache, ws)
+	if aborted {
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+		return context.Canceled
+	}
+	s.engineRuns.Add(1)
+	body, err := json.Marshal(sweep.CanonicalRecord(rec))
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	s.cacheAdd(kindTask, j.fingerprint, body)
 	j.complete(body, false)
 	return nil
 }

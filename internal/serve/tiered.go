@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"errors"
+
+	"wardrop/internal/store"
+)
+
+// Cache tiers as reported in the X-Cache response header: an in-memory LRU
+// hit, a durable-store hit (promoted into the LRU on the way out), or a miss
+// that scheduled real work.
+const (
+	TierHit      = "hit"
+	TierHitStore = "hit-store"
+	TierMiss     = "miss"
+)
+
+// tieredCache is the server's two-tier result cache: the in-process LRU in
+// front of an optional durable content-addressed store. Lookups that miss
+// the LRU but hit the store promote the object back into memory, so a
+// restarted server re-warms itself from disk as traffic arrives; writes go
+// through to both tiers, so cached results survive restarts and the cache
+// working set can exceed RAM by the store's budget.
+type tieredCache struct {
+	lru   *lru
+	store *store.Store
+}
+
+func newTieredCache(entries int, st *store.Store) *tieredCache {
+	return &tieredCache{lru: newLRU(entries), store: st}
+}
+
+// Get looks the fingerprint up through the tiers. tier is TierHit or
+// TierHitStore on success and TierMiss otherwise; err reports a durable-tier
+// read problem (corruption — already quarantined by the store — or IO),
+// which callers count and then treat as a miss.
+func (c *tieredCache) Get(kind, fp string) (body []byte, tier string, err error) {
+	if body, ok := c.lru.Get(kind + ":" + fp); ok {
+		return body, TierHit, nil
+	}
+	if c.store == nil {
+		return nil, TierMiss, nil
+	}
+	body, err = c.store.Get(fp)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return nil, TierMiss, nil
+		}
+		return nil, TierMiss, err
+	}
+	c.lru.Add(kind+":"+fp, body)
+	return body, TierHitStore, nil
+}
+
+// Add writes the document through both tiers. The returned error reports a
+// durable-tier write failure; the in-memory tier has already been updated,
+// so the server keeps serving either way.
+func (c *tieredCache) Add(kind, fp string, body []byte) error {
+	c.lru.Add(kind+":"+fp, body)
+	if c.store == nil {
+		return nil
+	}
+	return c.store.Put(fp, body)
+}
+
+// Len reports the in-memory tier's population.
+func (c *tieredCache) Len() int { return c.lru.Len() }
+
+// StoreStats reports the durable tier's census (zero value when no store is
+// configured).
+func (c *tieredCache) StoreStats() store.Stats {
+	if c.store == nil {
+		return store.Stats{}
+	}
+	return c.store.Stats()
+}

@@ -1,0 +1,33 @@
+package sweep
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// CanonicalRecord returns rec with its nondeterministic annotations cleared:
+// the wall-clock cost is measurement, not result, so it is dropped (the
+// wallMs field is omitted from the JSON encoding at zero). Everything that
+// remains is a pure function of the task's run identity, which is what makes
+// canonical record streams byte-comparable across runs, machines and
+// local-vs-distributed execution.
+func CanonicalRecord(rec Record) Record {
+	rec.WallMS = 0
+	return rec
+}
+
+// EncodeRecords writes records as the canonical JSONL stream: one canonical
+// record per line, ordered by task ID. Two runs of the same campaign — on
+// one process or sharded across a fleet, with or without mid-run worker
+// failures — produce byte-identical output.
+func EncodeRecords(w io.Writer, records []Record) error {
+	sorted := append([]Record(nil), records...)
+	sortRecords(sorted)
+	enc := json.NewEncoder(w)
+	for _, rec := range sorted {
+		if err := enc.Encode(CanonicalRecord(rec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

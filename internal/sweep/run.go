@@ -62,8 +62,14 @@ type Record struct {
 	Phases    int  `json:"phases"`
 	Converged bool `json:"converged"`
 	// ElapsedSim is the simulated time covered; WallMS the wall-clock cost.
+	// WallMS is measurement rather than result — the one nondeterministic
+	// field — so it is omitted at zero and cleared by CanonicalRecord, which
+	// is how canonical record streams stay byte-comparable across runs and
+	// across local-vs-distributed execution. In-memory consumers (progress
+	// reporting, the coordinator's straggler accounting, timing summaries)
+	// always see the measured value.
 	ElapsedSim float64 `json:"elapsedSim"`
-	WallMS     float64 `json:"wallMs"`
+	WallMS     float64 `json:"wallMs,omitempty"`
 	// Error is non-empty when the task failed (including recovered panics);
 	// the result fields are zero in that case.
 	Error string `json:"error,omitempty"`
@@ -80,6 +86,10 @@ type Options struct {
 	// Results, if non-nil, receives one JSON line per completed task as it
 	// finishes (streaming, completion order).
 	Results io.Writer
+	// Canonical streams CanonicalRecord forms to Results (wall time
+	// stripped), so the streamed lines match the canonical byte-comparable
+	// record encoding. Progress always receives the full record.
+	Canonical bool
 	// Progress, if non-nil, is called after each task completes with the
 	// completed count, the total and the record. Called from the collector
 	// goroutine only, so it needs no locking.
@@ -217,7 +227,11 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 	var sinkErr error
 	for rec := range recCh {
 		if sinkErr == nil {
-			if err := enc.Encode(rec); err != nil {
+			line := rec
+			if opts.Canonical {
+				line = CanonicalRecord(rec)
+			}
+			if err := enc.Encode(line); err != nil {
 				sinkErr = fmt.Errorf("sweep: results sink: %w", err)
 				cancel()
 			}

@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wardrop/internal/flow"
+)
+
+// taskTestCampaign is a small deterministic fluid campaign shared by the
+// task-spec tests.
+func taskTestCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	c, err := ParseCampaign(strings.NewReader(`{
+		"name": "taskspec",
+		"topologies": [{"family":"pigou"},{"family":"braess"}],
+		"policies": [{"kind":"replicator"},{"kind":"uniform"}],
+		"updatePeriods": [0.05],
+		"seeds": 2,
+		"maxPhases": 25,
+		"delta": 0.3,
+		"eps": 0.15
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRunTaskSpecMatchesLocalRun is the distributed layer's foundation: a
+// task run through its self-contained spec must reproduce the in-campaign
+// record exactly (after rebinding the bookkeeping identity the spec does
+// not carry).
+func TestRunTaskSpecMatchesLocalRun(t *testing.T) {
+	c := taskTestCampaign(t)
+	res, err := Run(context.Background(), c, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := res.Tasks
+	cache := NewInstanceCache()
+	ws := flow.NewWorkspace()
+	for _, task := range tasks {
+		spec := NewTaskSpec(c, task)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("task %d spec invalid: %v", task.ID, err)
+		}
+		rec, aborted := RunTaskSpec(context.Background(), spec, cache, ws)
+		if aborted {
+			t.Fatalf("task %d aborted without cancellation", task.ID)
+		}
+		rec.ID, rec.SeedIndex = task.ID, task.SeedIndex
+		want := res.Records[task.ID]
+		if CanonicalRecord(rec) != CanonicalRecord(want) {
+			t.Errorf("task %d: spec run %+v != local run %+v", task.ID, rec, want)
+		}
+	}
+}
+
+func TestTaskSpecFingerprintCoversRunShape(t *testing.T) {
+	c := taskTestCampaign(t)
+	tasks, err := c.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := NewTaskSpec(c, tasks[0])
+	fp1, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task.Fingerprint may ignore campaign scalars; TaskSpec.Fingerprint
+	// must not — the durable store is shared across campaigns.
+	longer := *spec
+	longer.MaxPhases = 50
+	fp2, err := longer.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 == fp2 {
+		t.Error("fingerprint unchanged by a run-shape edit")
+	}
+	// Field order and whitespace are irrelevant: parse a reordered spelling
+	// and compare.
+	reordered, err := ParseTaskSpec(strings.NewReader(`{
+		"seed": ` + uitoa(spec.Seed) + `,
+		"maxPhases": 25, "eps": 0.15, "delta": 0.3,
+		"period": 0.05,
+		"policy": {"kind":"replicator"},
+		"topology": {"family":"pigou"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp3, err := reordered.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 != fp1 {
+		t.Errorf("reordered spelling fingerprints %s, want %s", fp3, fp1)
+	}
+}
+
+func uitoa(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func TestParseTaskSpecRejectsBadDocuments(t *testing.T) {
+	for _, doc := range []string{
+		``,
+		`{"topology":{"family":"pigou"}}`, // no policy/period/shape
+		`{"topology":{"family":"nope"},"policy":{"kind":"uniform"},"period":1,"horizon":1}`,                       // unknown family
+		`{"topology":{"family":"pigou"},"policy":{"kind":"uniform"},"period":1,"horizon":1,"bogus":3}`,            // unknown field
+		`{"topology":{"family":"pigou"},"policy":{"kind":"uniform"},"period":1,"horizon":1,"agents":5,"count":5}`, // both populations
+	} {
+		if _, err := ParseTaskSpec(strings.NewReader(doc)); err == nil {
+			t.Errorf("accepted %s", doc)
+		}
+	}
+}
+
+// TestEncodeRecordsCanonical pins the canonical stream properties: sorted by
+// ID, wallMs absent, byte-identical across shuffled input orders.
+func TestEncodeRecordsCanonical(t *testing.T) {
+	recs := []Record{
+		{ID: 2, Topology: "b", WallMS: 3.5},
+		{ID: 0, Topology: "a", WallMS: 1.25},
+		{ID: 1, Topology: "c", WallMS: 99},
+	}
+	var buf1 bytes.Buffer
+	if err := EncodeRecords(&buf1, recs); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf1.String(), "wallMs") {
+		t.Errorf("canonical stream leaks wallMs:\n%s", buf1.String())
+	}
+	var buf2 bytes.Buffer
+	if err := EncodeRecords(&buf2, []Record{recs[2], recs[0], recs[1]}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Errorf("canonical stream depends on input order:\n%s\nvs\n%s", buf1.String(), buf2.String())
+	}
+	lines := strings.Split(strings.TrimSpace(buf1.String()), "\n")
+	if len(lines) != 3 || !strings.Contains(lines[0], `"a"`) || !strings.Contains(lines[2], `"b"`) {
+		t.Errorf("canonical stream not ID-sorted:\n%s", buf1.String())
+	}
+	// The input slice order is the caller's; EncodeRecords must not mutate it.
+	if recs[0].ID != 2 {
+		t.Error("EncodeRecords reordered the caller's slice")
+	}
+}
