@@ -11,6 +11,7 @@ import (
 	"wardrop/internal/latency"
 	"wardrop/internal/policy"
 	"wardrop/internal/scenario"
+	"wardrop/internal/timeline"
 	"wardrop/internal/topo"
 )
 
@@ -94,6 +95,62 @@ type StartEntry = catalog.Entry[engine.StartFunc]
 // the "start" field of scenario files and campaign specs.
 func RegisterStart(e StartEntry) error { return engine.Starts.Register(e) }
 
+// Time-varying runs ---------------------------------------------------------
+
+// TimelineSpec is the declarative timeline block of a scenario or campaign
+// document: demand schedules, an event track and tolls that modulate an
+// otherwise stationary run deterministically in simulated time. The zero
+// value (and a nil pointer) is the stationary timeline.
+type TimelineSpec = timeline.Spec
+
+// TimelineSchedule selects and parameterises one demand schedule inside a
+// TimelineSpec.
+type TimelineSchedule = timeline.ScheduleSpec
+
+// TimelineEventSpec schedules one edge incident inside a TimelineSpec.
+type TimelineEventSpec = timeline.EventSpec
+
+// TimelineToll applies one toll inside a TimelineSpec.
+type TimelineToll = timeline.TollSpec
+
+// DemandSchedule is a built demand-rate profile: the multiplicative factor
+// applied to a commodity's rate at simulated time t.
+type DemandSchedule = timeline.Schedule
+
+// EdgePatch rewrites one edge's latency function — the building block of
+// timeline events and tolls.
+type EdgePatch = timeline.EdgePatch
+
+// ScheduleEntry registers one demand-schedule kind, selectable via a
+// timeline schedule document's "kind" field.
+type ScheduleEntry = catalog.Entry[timeline.Schedule]
+
+// EventEntry registers one timeline event action, selectable via a timeline
+// event document's "action" field.
+type EventEntry = catalog.Entry[timeline.EdgePatch]
+
+// TollEntry registers one toll kind, selectable via a timeline toll
+// document's "kind" field.
+type TollEntry = catalog.Entry[timeline.EdgePatch]
+
+// RegisterSchedule adds a demand-schedule kind to the catalog.
+func RegisterSchedule(e ScheduleEntry) error { return timeline.Schedules.Register(e) }
+
+// RegisterEvent adds a timeline event action to the catalog.
+func RegisterEvent(e EventEntry) error { return timeline.Events.Register(e) }
+
+// RegisterToll adds a toll kind to the catalog.
+func RegisterToll(e TollEntry) error { return timeline.Tolls.Register(e) }
+
+// ApplyTolls returns the instance with the timeline's tolls applied to its
+// edge latencies (the t = 0 transform of a timeline run). A nil or toll-free
+// timeline returns inst unchanged. The derived instance shares the original's
+// path enumeration, so flow vectors are index-compatible across both — useful
+// for evaluating a tolled equilibrium under the original latencies.
+func ApplyTolls(s *TimelineSpec, inst *Instance) (*Instance, error) {
+	return timeline.ApplyTolls(s, inst)
+}
+
 // DecodeCatalogArgs decodes a selecting document's flat fields into v — the
 // idiom builtin-style components use.
 func DecodeCatalogArgs(args json.RawMessage, v any) error { return catalog.DecodeArgs(args, v) }
@@ -114,6 +171,9 @@ func Catalog() []CatalogComponent {
 	out = append(out, engine.Catalog.Describe()...)
 	out = append(out, engine.Integrators.Describe()...)
 	out = append(out, engine.Starts.Describe()...)
+	out = append(out, timeline.Schedules.Describe()...)
+	out = append(out, timeline.Events.Describe()...)
+	out = append(out, timeline.Tolls.Describe()...)
 	return out
 }
 

@@ -2,16 +2,26 @@
 // named topology with the reference Frank–Wolfe solver and prints flows,
 // potential, total latencies and the price of anarchy.
 //
+// With -tolls it additionally applies a toll kind from the timeline catalog
+// to every edge, solves the tolled equilibrium, and reports its cost under
+// the ORIGINAL latencies — the before/after price-of-anarchy comparison.
+// Marginal-cost tolls (ℓ + x·ℓ') make the tolled equilibrium socially
+// optimal, driving the after-tolling ratio to 1.
+//
 // Usage:
 //
 //	wardeq -topo braess
 //	wardeq -topo links -m 16
+//	wardeq -topo braess -tolls marginal
+//	wardeq -topo pigou -tolls constant:0.5
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"wardrop"
 )
@@ -29,6 +39,7 @@ func run(args []string) error {
 	beta := fs.Float64("beta", 4, "kink slope (topo=kink)")
 	m := fs.Int("m", 8, "link count / grid side")
 	seed := fs.Uint64("seed", 1, "seed (topo=layered)")
+	tolls := fs.String("tolls", "", `toll kind applied to every edge: "marginal" or "constant:<amount>"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,5 +64,49 @@ func run(args []string) error {
 	fmt.Printf("equilibrium cost L: %.9g\n", eqCost)
 	fmt.Printf("optimal cost      : %.9g\n", optCost)
 	fmt.Printf("price of anarchy  : %.6g\n", poa)
+
+	if *tolls == "" {
+		return nil
+	}
+	tl, err := parseTolls(*tolls)
+	if err != nil {
+		return err
+	}
+	tolled, err := wardrop.ApplyTolls(tl, inst)
+	if err != nil {
+		return fmt.Errorf("tolls: %w", err)
+	}
+	teq, err := wardrop.SolveEquilibrium(tolled, wardrop.SolverOptions{})
+	if err != nil {
+		return fmt.Errorf("tolled equilibrium: %w", err)
+	}
+	// The derived instance shares the path enumeration, so the tolled
+	// equilibrium flow can be priced under the original latencies: what
+	// travellers actually experience once the toll revenue is set aside.
+	tolledCost := inst.OverallAvgLatency(teq.Flow, inst.PathLatencies(teq.Flow))
+	fmt.Printf("tolls             : %s (every edge)\n", *tolls)
+	fmt.Printf("tolled eq flow    : %v\n", teq.Flow)
+	fmt.Printf("tolled eq cost L  : %.9g  (under original latencies)\n", tolledCost)
+	fmt.Printf("PoA after tolling : %.6g\n", tolledCost/optCost)
 	return nil
+}
+
+// parseTolls turns the -tolls value into an every-edge timeline toll:
+// "marginal", "constant:<amount>", or any registered toll kind (optionally
+// with ":<amount>").
+func parseTolls(s string) (*wardrop.TimelineSpec, error) {
+	kind, amountStr, hasAmount := strings.Cut(s, ":")
+	toll := wardrop.TimelineToll{Kind: kind}
+	if hasAmount {
+		amount, err := strconv.ParseFloat(amountStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tolls: bad amount %q: %v", amountStr, err)
+		}
+		toll.Amount = amount
+	}
+	tl := &wardrop.TimelineSpec{Tolls: []wardrop.TimelineToll{toll}}
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	return tl, nil
 }

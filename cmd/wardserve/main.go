@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                 liveness (+ draining flag)
+//	GET  /healthz                 readiness: store probe + queue saturation (503 when not ready)
 //	GET  /v1/catalog              the registered component catalog
 //	POST /v1/scenarios            run a scenario (sync; ?mode=job for async)
 //	POST /v1/campaigns            run a campaign (always a job resource)

@@ -116,16 +116,12 @@ func TestServeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scen, err := sc.Scenario()
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := wardrop.Run(context.Background(), scen)
+	res, events, err := sc.Run(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var want bytes.Buffer
-	if err := wardrop.EncodeRunResult(&want, sc, res); err != nil {
+	if err := wardrop.EncodeRunResult(&want, sc, res, events); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(first, want.Bytes()) {

@@ -162,9 +162,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	return emit(stdout, res, err)
 }
 
-// runScenario executes a declarative scenario file through the same emit
-// path as the flag-driven runs; with jsonOut it emits the canonical result
-// document shared with the serving layer instead of CSV.
+// runScenario executes a declarative scenario file through the shared
+// ScenarioSpec.Run path (stationary specs run exactly as before; timeline
+// specs execute segment by segment); with jsonOut it emits the canonical
+// result document shared with the serving layer instead of CSV.
 func runScenario(ctx context.Context, path string, jsonOut bool, stdout io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -175,22 +176,24 @@ func runScenario(ctx context.Context, path string, jsonOut bool, stdout io.Write
 	if err != nil {
 		return err
 	}
-	scenario, err := sc.Scenario()
-	if err != nil {
-		return err
-	}
-	res, err := wardrop.Run(ctx, scenario)
+	res, events, err := sc.Run(ctx, nil)
 	if jsonOut {
 		if err != nil {
 			return err
 		}
-		doc, err := wardrop.NewRunResult(sc, res)
+		doc, err := wardrop.NewRunResult(sc, res, events)
 		if err != nil {
 			return err
 		}
 		return doc.Encode(stdout)
 	}
-	return emit(stdout, res, err)
+	if err := emit(stdout, res, err); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		fmt.Fprintf(stdout, "# event t=%g action=%s edge=%d\n", ev.Time, ev.Action, ev.Edge)
+	}
+	return nil
 }
 
 func parsePeriod(s string, safe float64) (float64, error) {

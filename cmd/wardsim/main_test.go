@@ -275,16 +275,12 @@ func TestScenarioJSONMatchesLibraryEncoder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scen, err := spec.Scenario()
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := wardrop.Run(context.Background(), scen)
+	res, events, err := spec.Run(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var want bytes.Buffer
-	if err := wardrop.EncodeRunResult(&want, spec, res); err != nil {
+	if err := wardrop.EncodeRunResult(&want, spec, res, events); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got.Bytes(), want.Bytes()) {

@@ -1,0 +1,93 @@
+package latency
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the load-axis and pricing wrappers the timeline subsystem
+// composes onto base latency functions: CapacityScaled models capacity drops
+// and upgrades by rescaling the congestion axis, and Marginal is the
+// marginal-cost (social) latency ℓ̃ = ℓ + x·ℓ' used both for marginal-cost
+// tolls and — via internal/solver — for computing social optima.
+
+// CapacityScaled rescales the load axis of a wrapped function: flow x is
+// served as if it were x/Capacity of the original edge. Capacity < 1 models
+// a capacity drop (the edge congests earlier), Capacity > 1 an upgrade.
+type CapacityScaled struct {
+	F        Function
+	Capacity float64
+}
+
+var _ Function = CapacityScaled{}
+
+// Value implements Function.
+func (c CapacityScaled) Value(x float64) float64 { return c.F.Value(x / c.Capacity) }
+
+// Derivative implements Function by the chain rule.
+func (c CapacityScaled) Derivative(x float64) float64 {
+	return c.F.Derivative(x/c.Capacity) / c.Capacity
+}
+
+// Integral implements Function: ∫₀ˣ ℓ(u/c) du = c·∫₀^{x/c} ℓ(v) dv.
+func (c CapacityScaled) Integral(x float64) float64 {
+	return c.Capacity * c.F.Integral(x/c.Capacity)
+}
+
+// SlopeBound implements Function. The wrapped bound only certifies [0,1], but
+// for Capacity < 1 the rescaled argument x/Capacity leaves that interval, so
+// the analytic bound is combined with a conservative grid scan of the actual
+// derivative over [0,1].
+func (c CapacityScaled) SlopeBound() float64 {
+	bound := c.F.SlopeBound() / c.Capacity
+	const n = 256
+	for i := 0; i <= n; i++ {
+		x := float64(i) / n
+		bound = math.Max(bound, c.Derivative(x))
+	}
+	return bound
+}
+
+func (c CapacityScaled) String() string {
+	return fmt.Sprintf("cap(%s,c=%g)", c.F.String(), c.Capacity)
+}
+
+// Marginal wraps ℓ into the marginal-cost function ℓ̃(x) = ℓ(x) + x·ℓ'(x).
+// Charging each agent its marginal externality is the classic toll that makes
+// the Wardrop equilibrium coincide with the social optimum; it is also the
+// transformation under which equilibria of the wrapped instance are optima of
+// the original (Beckmann's correspondence).
+type Marginal struct {
+	F Function
+}
+
+var _ Function = Marginal{}
+
+// Value implements Function.
+func (m Marginal) Value(x float64) float64 {
+	return m.F.Value(x) + x*m.F.Derivative(x)
+}
+
+// Derivative implements Function with a finite difference of the marginal
+// value (second derivatives are not in the Function contract).
+func (m Marginal) Derivative(x float64) float64 {
+	const h = 1e-6
+	return (m.Value(x+h) - m.Value(math.Max(0, x-h))) / (h + math.Min(x, h))
+}
+
+// Integral implements Function: d/dx [x·ℓ(x)] = ℓ + x·ℓ', so the
+// antiderivative is exactly x·ℓ(x).
+func (m Marginal) Integral(x float64) float64 { return x * m.F.Value(x) }
+
+// SlopeBound implements Function with a conservative scan.
+func (m Marginal) SlopeBound() float64 {
+	const n = 256
+	bound := 0.0
+	for i := 0; i <= n; i++ {
+		x := float64(i) / n
+		bound = math.Max(bound, m.Derivative(x))
+	}
+	return bound
+}
+
+func (m Marginal) String() string { return "marginal(" + m.F.String() + ")" }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"wardrop/internal/engine"
+	"wardrop/internal/timeline"
 )
 
 // TrajectorySample is one recorded trajectory point of a RunResult.
@@ -35,11 +36,15 @@ type RunResult struct {
 	// Trajectory holds the recorded samples (absent unless the spec set
 	// recordEvery).
 	Trajectory []TrajectorySample `json:"trajectory,omitempty"`
+	// Events lists the timeline events replayed into the run, in firing
+	// order (absent for stationary specs).
+	Events []timeline.AppliedEvent `json:"events,omitempty"`
 }
 
 // NewRunResult assembles the result document for a completed run of the
-// spec.
-func NewRunResult(s *Spec, res *engine.Result) (RunResult, error) {
+// spec; events is the replayed-event list Spec.Run returned (nil for
+// stationary runs).
+func NewRunResult(s *Spec, res *engine.Result, events []timeline.AppliedEvent) (RunResult, error) {
 	fp, err := s.Fingerprint()
 	if err != nil {
 		return RunResult{}, err
@@ -53,6 +58,7 @@ func NewRunResult(s *Spec, res *engine.Result) (RunResult, error) {
 		UnsatisfiedPhases: res.UnsatisfiedPhases,
 		Converged:         res.Stopped,
 		Final:             res.Final,
+		Events:            events,
 	}
 	if len(res.Trajectory) > 0 {
 		doc.Trajectory = make([]TrajectorySample, len(res.Trajectory))

@@ -9,6 +9,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"wardrop/internal/policy"
 	"wardrop/internal/spec"
 	"wardrop/internal/sweep"
+	"wardrop/internal/timeline"
 )
 
 // Sentinel errors.
@@ -79,6 +81,13 @@ type Spec struct {
 	Eps    float64 `json:"eps,omitempty"`
 	Weak   bool    `json:"weak,omitempty"`
 	Streak int     `json:"streak,omitempty"`
+
+	// Timeline makes the run time-varying: demand schedules, edge events and
+	// tolls (see package timeline). Omitted = stationary. A timeline with
+	// schedules or events needs segmented execution — run such specs through
+	// Spec.Run; Scenario() materialises only stationary (at most tolled)
+	// specs.
+	Timeline *timeline.Spec `json:"timeline,omitempty"`
 }
 
 // Parse decodes a JSON scenario specification, rejecting unknown fields, and
@@ -144,6 +153,9 @@ func (s *Spec) Validate() error {
 	if _, err := engine.LookupStart(s.Start); err != nil {
 		return badScenario(err)
 	}
+	if err := s.Timeline.Validate(); err != nil {
+		return badScenario(err)
+	}
 	return nil
 }
 
@@ -196,7 +208,22 @@ func (s *Spec) validatePolicyFor(eng engine.Engine) error {
 // not re-run the full Validate — each component is decoded and built exactly
 // once here, surfacing the same errors — only the cheap shape checks are
 // repeated so hand-constructed Specs fail fast too.
+//
+// A spec whose timeline carries schedules or events cannot be captured by a
+// single stationary engine.Scenario and is rejected here — run it through
+// Spec.Run, which compiles and executes the timeline program. Tolls alone
+// are fine: they transform the instance once at t = 0.
 func (s *Spec) Scenario() (engine.Scenario, error) {
+	if s.Timeline.NeedsProgram() {
+		return engine.Scenario{}, fmt.Errorf("%w: a timeline with schedules or events needs segmented execution — use Spec.Run", ErrBadScenario)
+	}
+	return s.materialize()
+}
+
+// materialize is Scenario() without the needs-program guard: it builds the
+// stationary engine.Scenario on the tolled instance, which is also the base
+// Spec.Run compiles a time-varying program against.
+func (s *Spec) materialize() (engine.Scenario, error) {
 	if err := s.validateShape(); err != nil {
 		return engine.Scenario{}, err
 	}
@@ -218,6 +245,15 @@ func (s *Spec) Scenario() (engine.Scenario, error) {
 			inst, err = doc.Build()
 		}
 	}
+	if err != nil {
+		return engine.Scenario{}, badScenario(err)
+	}
+
+	// Tolls transform the instance once at t = 0; every downstream
+	// resolution — policy smoothness bounds, the safe update period, the
+	// start distribution, timeline compilation — must see the tolled
+	// latencies.
+	inst, err = timeline.ApplyTolls(s.Timeline, inst)
 	if err != nil {
 		return engine.Scenario{}, badScenario(err)
 	}
@@ -265,6 +301,41 @@ func (s *Spec) Scenario() (engine.Scenario, error) {
 		StopAfterSatisfiedStreak: s.Streak,
 		RecordEvery:              s.RecordEvery,
 	}, nil
+}
+
+// Run materialises and executes the specification — the single execution
+// path shared by `wardsim -scenario` and the serving layer, so their result
+// documents are byte-identical by construction.
+//
+// A stationary spec (no timeline, or tolls only) runs exactly as
+// engine.Run(ctx, s.Scenario(), opts...) and returns nil events. A
+// time-varying spec compiles its timeline into a program of stationary
+// segments over the resolved horizon and replays it (see timeline.Run):
+// demand mass is rescaled at schedule breakpoints, edge events patch
+// latencies, and each event taking effect is reported to onEvent (if
+// non-nil) and collected into the returned slice. The policy is rebuilt per
+// segment from the spec's policy selection, so migration probabilities stay
+// well-conditioned when an event changes the instance's latency range.
+func (s *Spec) Run(ctx context.Context, onEvent func(timeline.AppliedEvent), opts ...engine.RunOption) (*engine.Result, []timeline.AppliedEvent, error) {
+	sc, err := s.materialize()
+	if err != nil {
+		return nil, nil, err
+	}
+	if !s.Timeline.NeedsProgram() {
+		res, err := engine.Run(ctx, sc, opts...)
+		return res, nil, err
+	}
+	prog, err := timeline.Compile(s.Timeline, sc.Instance, sc.Horizon)
+	if err != nil {
+		return nil, nil, badScenario(err)
+	}
+	var buildPolicy timeline.PolicyBuilder
+	if s.Policy != nil {
+		buildPolicy = func(inst *flow.Instance) (policy.Policy, error) {
+			return s.Policy.Build(inst)
+		}
+	}
+	return timeline.Run(ctx, prog, sc, buildPolicy, onEvent, opts...)
 }
 
 // Marshal encodes the specification as indented JSON.

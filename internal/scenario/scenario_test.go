@@ -10,6 +10,7 @@ import (
 	"wardrop/internal/engine"
 	"wardrop/internal/policy"
 	"wardrop/internal/sweep"
+	"wardrop/internal/timeline"
 	"wardrop/internal/topo"
 )
 
@@ -224,6 +225,12 @@ func TestValidateErrors(t *testing.T) {
 		"unknown field":      `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1, "bogus": 1}`,
 		"malformed instance": `{"instance": {"nodes": [], "bogus": 1}, "policy": {"kind": "uniform"}, "horizon": 1}`,
 		"bad json":           `{`,
+		"bad timeline schedule": `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1,
+		  "timeline": {"schedules": [{"kind": "lunar"}]}}`,
+		"bad timeline event": `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1,
+		  "timeline": {"events": [{"at": -1, "action": "restore", "edge": 0}]}}`,
+		"bad timeline toll": `{"topology": {"family": "pigou"}, "policy": {"kind": "uniform"}, "horizon": 1,
+		  "timeline": {"tolls": [{"kind": "constant", "amount": -1}]}}`,
 	}
 	for name, doc := range cases {
 		_, err := Parse(strings.NewReader(doc))
@@ -275,5 +282,100 @@ func TestMarshalRoundTrip(t *testing.T) {
 	}
 	if back.Topology.Family != "links" || back.Policy.C != 2 || back.Engine.N != 100 || back.UpdatePeriod.T != 0.5 {
 		t.Errorf("round trip lost fields: %+v", back)
+	}
+}
+
+const onsetScenario = `{
+  "name": "braess-onset",
+  "topology": {"family": "braess"},
+  "policy": {"kind": "uniform"},
+  "updatePeriod": 0.25,
+  "horizon": 20,
+  "timeline": {
+    "events": [
+      {"at": 0, "action": "block", "from": "a", "to": "b", "penalty": 4},
+      {"at": 10, "action": "restore", "from": "a", "to": "b"}
+    ]
+  }
+}`
+
+// A timeline with schedules or events needs segmented execution: Scenario()
+// must refuse it (wrapping the package sentinel), while Run executes it and
+// returns the replayed events.
+func TestTimelineNeedsRun(t *testing.T) {
+	s, err := Parse(strings.NewReader(onsetScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Scenario(); err == nil || !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("Scenario() on a segmented timeline returned %v, want ErrBadScenario", err)
+	}
+	var seen int
+	res, events, err := s.Run(context.Background(), func(timeline.AppliedEvent) { seen++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || seen != 2 {
+		t.Fatalf("replayed %d events (callback saw %d), want 2", len(events), seen)
+	}
+	if res.Elapsed != 20 {
+		t.Fatalf("elapsed %g, want 20", res.Elapsed)
+	}
+}
+
+// Tolls alone do not need a program: Scenario() materialises the tolled
+// instance directly, and Run on such a spec equals engine.Run on it.
+func TestTimelineTollsOnlyScenario(t *testing.T) {
+	doc := `{"topology": {"family": "pigou"}, "policy": {"kind": "replicator"}, "updatePeriod": "safe",
+	  "maxPhases": 20, "timeline": {"tolls": [{"kind": "marginal"}]}}`
+	s, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pigou edge 0 is ℓ(x) = x: the marginal toll doubles it.
+	if got := sc.Instance.Latency(0).Value(1); got != 2 {
+		t.Fatalf("tolled pigou latency(1) = %g, want 2", got)
+	}
+	want, err := engine.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, events, err := s.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("tolls-only run replayed %d events, want 0", len(events))
+	}
+	if got.FinalPotential != want.FinalPotential || got.Phases != want.Phases {
+		t.Fatalf("Run diverged from engine.Run: Φ %g vs %g", got.FinalPotential, want.FinalPotential)
+	}
+}
+
+// A timeline-bearing spec must fingerprint differently from its stationary
+// counterpart (the cache key covers the timeline), while a stationary spec
+// with an explicit empty timeline... keeps its historical fingerprint only
+// when the field is omitted — JSON omitempty drops nil, not empty objects,
+// and an empty object is not a meaningful document.
+func TestTimelineFingerprintDistinct(t *testing.T) {
+	stationary := parseSpec(t, braessScenario)
+	varying, err := Parse(strings.NewReader(onsetScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := stationary.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := varying.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 == fp2 {
+		t.Fatal("timeline-bearing spec fingerprints like a stationary one")
 	}
 }

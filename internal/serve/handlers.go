@@ -1,7 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"io"
@@ -58,11 +61,90 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 	writeError(w, submitStatus(err), err)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// Health is the JSON body of GET /healthz — a readiness probe, not a
+// liveness stub. It exercises the durable store tier with a write/read
+// roundtrip under a reserved probe key and reports queue saturation; the
+// endpoint answers 503 when the process is draining, the store probe fails,
+// or the job queue is saturated, so load balancers and the dispatch
+// coordinator stop routing work to a node that would only shed it.
+type Health struct {
+	// Status is "ok" when the node is ready and "unavailable" otherwise.
+	Status string `json:"status"`
+	// Draining reports a server refusing new jobs during shutdown.
+	Draining bool `json:"draining"`
+	// QueueDepth / QueueCapacity / QueueSaturation describe the job queue;
+	// saturation 1 means every further submission is shed with 503.
+	QueueDepth      int     `json:"queueDepth"`
+	QueueCapacity   int     `json:"queueCapacity"`
+	QueueSaturation float64 `json:"queueSaturation"`
+	// Store is the durable-tier probe outcome: "ok", "disabled" (no -store
+	// configured), or the probe error.
+	Store string `json:"store"`
+}
+
+// Store probe outcomes for the ready states.
+const (
+	storeOK       = "ok"
+	storeDisabled = "disabled"
+)
+
+// probeBody is the fixed document the readiness probe writes and reads back;
+// probeKey is its own SHA-256, which makes it a valid store key that cannot
+// collide with a real result fingerprint (those hash canonical spec
+// documents, none of which is this probe body).
+var (
+	probeBody = []byte(`{"wardserve":"readiness probe"}` + "\n")
+	probeKey  = func() string {
+		sum := sha256.Sum256(probeBody)
+		return hex.EncodeToString(sum[:])
+	}()
+)
+
+// storeProbe exercises the durable tier with a write/read roundtrip.
+func (s *Server) storeProbe() string {
+	st := s.cache.store
+	if st == nil {
+		return storeDisabled
+	}
+	if err := st.Put(probeKey, probeBody); err != nil {
+		return "error: " + err.Error()
+	}
+	got, err := st.Get(probeKey)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	if !bytes.Equal(got, probeBody) {
+		return "error: probe object corrupted"
+	}
+	return storeOK
+}
+
+// Health assembles the readiness document; ready reports whether the node
+// should receive traffic.
+func (s *Server) Health() (h Health, ready bool) {
 	s.mu.Lock()
-	draining := s.draining
+	h.Draining = s.draining
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+	h.QueueDepth = len(s.queue)
+	h.QueueCapacity = s.cfg.QueueDepth
+	h.QueueSaturation = float64(h.QueueDepth) / float64(h.QueueCapacity)
+	h.Store = s.storeProbe()
+	ready = !h.Draining && h.QueueDepth < h.QueueCapacity &&
+		(h.Store == storeOK || h.Store == storeDisabled)
+	h.Status = "ok"
+	if !ready {
+		h.Status = "unavailable"
+	}
+	return h, ready
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h, ready := s.Health()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
@@ -97,7 +179,9 @@ func (s *Server) MetricsSnapshot() Metrics {
 		StoreBytes:      st.Bytes,
 		QueueDepth:      len(s.queue),
 		QueueCapacity:   s.cfg.QueueDepth,
+		QueueSaturation: float64(len(s.queue)) / float64(s.cfg.QueueDepth),
 		QueueHighWater:  s.met.queueHighWater.Load(),
+		StoreProbe:      s.storeProbe(),
 		JobsRunning:     s.met.jobsRunning(),
 		Workers:         s.cfg.Workers,
 		RunLatencyMsP50: p50,

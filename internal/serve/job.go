@@ -9,6 +9,7 @@ import (
 
 	"wardrop/internal/scenario"
 	"wardrop/internal/sweep"
+	"wardrop/internal/timeline"
 )
 
 // JobState is a job's lifecycle state.
@@ -47,12 +48,14 @@ type JobStatus struct {
 }
 
 // streamLine is one NDJSON line of a job stream: a trajectory sample
-// (scenario jobs), a task record (campaign jobs), the final result document,
-// a terminal error, or a truncation marker (the attacher missed lines that
-// were trimmed from the bounded replay buffer). Exactly one field is set
-// per line.
+// (scenario jobs), a replayed timeline event (time-varying scenario jobs),
+// a task record (campaign jobs), the final result document, a terminal
+// error, or a truncation marker (the attacher missed lines that were
+// trimmed from the bounded replay buffer). Exactly one field is set per
+// line.
 type streamLine struct {
 	Sample    *scenario.TrajectorySample `json:"sample,omitempty"`
+	Event     *timeline.AppliedEvent     `json:"event,omitempty"`
 	Record    *sweep.Record              `json:"record,omitempty"`
 	Result    json.RawMessage            `json:"result,omitempty"`
 	Error     string                     `json:"error,omitempty"`

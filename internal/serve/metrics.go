@@ -42,11 +42,16 @@ type Metrics struct {
 	// queue has ever been — together they say how close the service has come
 	// to shedding load with 503s. JobsRunning is the number of jobs being
 	// executed; Workers the pool size.
-	QueueDepth     int   `json:"queueDepth"`
-	QueueCapacity  int   `json:"queueCapacity"`
-	QueueHighWater int64 `json:"queueHighWater"`
-	JobsRunning    int64 `json:"jobsRunning"`
-	Workers        int   `json:"workers"`
+	QueueDepth      int     `json:"queueDepth"`
+	QueueCapacity   int     `json:"queueCapacity"`
+	QueueSaturation float64 `json:"queueSaturation"`
+	QueueHighWater  int64   `json:"queueHighWater"`
+	JobsRunning     int64   `json:"jobsRunning"`
+	Workers         int     `json:"workers"`
+	// StoreProbe mirrors the /healthz durable-tier probe outcome ("ok",
+	// "disabled", or the probe error), so a metrics scrape sees the same
+	// readiness signal the probe endpoint reports.
+	StoreProbe string `json:"storeProbe"`
 	// RunLatencyMsP50 / P99 are percentiles of wall-clock job latency over
 	// the sliding sample window (0 before the first completed job).
 	RunLatencyMsP50 float64 `json:"runLatencyMsP50"`

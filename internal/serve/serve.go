@@ -31,6 +31,7 @@ import (
 	"wardrop/internal/scenario"
 	"wardrop/internal/store"
 	"wardrop/internal/sweep"
+	"wardrop/internal/timeline"
 )
 
 // Sentinel errors surfaced as HTTP statuses.
@@ -318,13 +319,11 @@ func (s *Server) runJob(j *job, ws *flow.Workspace) {
 	}
 }
 
-// runScenario executes a scenario job: materialise, run, encode the shared
-// result document, memoize it, complete.
+// runScenario executes a scenario job through the shared Spec.Run path —
+// the same execution `wardsim -scenario` uses, so the encoded result
+// document is byte-identical — streaming trajectory samples and replayed
+// timeline events as they happen, then memoizing the document.
 func (s *Server) runScenario(j *job, ws *flow.Workspace) error {
-	sc, err := j.spec.Scenario()
-	if err != nil {
-		return err
-	}
 	opts := []engine.RunOption{engine.WithWorkspace(ws)}
 	if every := j.spec.RecordEvery; every > 0 {
 		opts = append(opts, engine.WithObserver(dynamics.ObserverFunc(func(info dynamics.PhaseInfo) bool {
@@ -339,11 +338,13 @@ func (s *Server) runScenario(j *job, ws *flow.Workspace) error {
 		})))
 	}
 	s.engineRuns.Add(1)
-	res, err := engine.Run(j.ctx, sc, opts...)
+	res, events, err := j.spec.Run(j.ctx, func(ev timeline.AppliedEvent) {
+		j.appendLine(streamLine{Event: &ev})
+	}, opts...)
 	if err != nil {
 		return err
 	}
-	doc, err := scenario.NewRunResult(j.spec, res)
+	doc, err := scenario.NewRunResult(j.spec, res, events)
 	if err != nil {
 		return err
 	}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"wardrop/internal/flow"
 	"wardrop/internal/store"
@@ -192,5 +194,90 @@ func TestQueueFullRetryAfterAndHighWater(t *testing.T) {
 	}
 	if m.QueueHighWater < 1 {
 		t.Fatalf("QueueHighWater = %d, want >= 1", m.QueueHighWater)
+	}
+}
+
+// TestHealthzReadiness pins the /healthz contract: a healthy store-backed
+// server answers 200 with a passing store probe and queue saturation, a
+// broken durable tier flips the endpoint to 503 with the probe error, and a
+// draining server is not ready. /metrics mirrors the probe outcome and the
+// saturation.
+func TestHealthzReadiness(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Store: st})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy healthz status = %d", resp.StatusCode)
+	}
+	if h.Status != "ok" || h.Store != storeOK || h.Draining {
+		t.Fatalf("healthy healthz = %+v", h)
+	}
+	if h.QueueCapacity != 4 || h.QueueSaturation != 0 {
+		t.Fatalf("queue fields = %+v", h)
+	}
+
+	var m Metrics
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.StoreProbe != storeOK || m.QueueSaturation != 0 {
+		t.Fatalf("metrics probe fields = %+v", m)
+	}
+
+	// Break the durable tier: replace the store directory with a regular
+	// file so the probe's write fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = Health{}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("broken-store healthz status = %d", resp.StatusCode)
+	}
+	if h.Status != "unavailable" || !strings.HasPrefix(h.Store, "error: ") {
+		t.Fatalf("broken-store healthz = %+v", h)
+	}
+	if err := os.Remove(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Draining is terminal for readiness.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = Health{}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !h.Draining {
+		t.Fatalf("draining healthz = %d %+v", resp.StatusCode, h)
 	}
 }

@@ -14,7 +14,6 @@ import (
 	"testing"
 	"time"
 
-	"wardrop/internal/engine"
 	"wardrop/internal/scenario"
 )
 
@@ -89,15 +88,11 @@ func referenceResult(t *testing.T, doc string) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc, err := spec.Scenario()
+	res, events, err := spec.Run(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.Run(context.Background(), sc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rr, err := scenario.NewRunResult(spec, res)
+	rr, err := scenario.NewRunResult(spec, res, events)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -210,7 +210,7 @@ func SolveSocialOptimum(inst *flow.Instance, opts Options) (*Result, error) {
 	g := inst.Graph()
 	marginal := make([]latency.Function, g.NumEdges())
 	for e := 0; e < g.NumEdges(); e++ {
-		marginal[e] = marginalCost{f: inst.Latency(graph.EdgeID(e))}
+		marginal[e] = latency.Marginal{F: inst.Latency(graph.EdgeID(e))}
 	}
 	comms := make([]flow.Commodity, inst.NumCommodities())
 	for i := range comms {
@@ -249,40 +249,3 @@ func PriceOfAnarchy(inst *flow.Instance, opts Options) (poa, eqCost, optCost flo
 	}
 	return eqCost / optCost, eqCost, optCost, nil
 }
-
-// marginalCost wraps ℓ into ℓ̃(x) = ℓ(x) + x·ℓ'(x).
-type marginalCost struct {
-	f latency.Function
-}
-
-var _ latency.Function = marginalCost{}
-
-// Value implements latency.Function.
-func (m marginalCost) Value(x float64) float64 {
-	return m.f.Value(x) + x*m.f.Derivative(x)
-}
-
-// Derivative implements latency.Function with a finite difference of the
-// marginal value (second derivatives are not in the Function contract).
-func (m marginalCost) Derivative(x float64) float64 {
-	const h = 1e-6
-	return (m.Value(x+h) - m.Value(math.Max(0, x-h))) / (h + math.Min(x, h))
-}
-
-// Integral implements latency.Function: ∫₀ˣ (ℓ+uℓ') du = x·ℓ(x) by parts
-// minus ∫ uℓ' ... in fact d/dx [x·ℓ(x)] = ℓ + xℓ', so the antiderivative is
-// exactly x·ℓ(x).
-func (m marginalCost) Integral(x float64) float64 { return x * m.f.Value(x) }
-
-// SlopeBound implements latency.Function with a conservative scan.
-func (m marginalCost) SlopeBound() float64 {
-	const n = 256
-	bound := 0.0
-	for i := 0; i <= n; i++ {
-		x := float64(i) / n
-		bound = math.Max(bound, m.Derivative(x))
-	}
-	return bound
-}
-
-func (m marginalCost) String() string { return "marginal(" + m.f.String() + ")" }

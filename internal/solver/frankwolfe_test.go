@@ -196,7 +196,7 @@ func TestPriceOfAnarchyBraess(t *testing.T) {
 }
 
 func TestMarginalCostCalculus(t *testing.T) {
-	m := marginalCost{f: latency.Linear{Slope: 2, Offset: 1}}
+	m := latency.Marginal{F: latency.Linear{Slope: 2, Offset: 1}}
 	// ℓ̃(x) = 2x+1+2x = 4x+1.
 	if !approx(m.Value(0.5), 3, 1e-12) {
 		t.Errorf("marginal value = %g", m.Value(0.5))

@@ -17,6 +17,10 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{"nodes": ["s","t"], "edges": [{"from":"s","to":"t","latency":{"kind":"kink","beta":-1}}], "commodities": [{"source":"s","sink":"t","demand":1}]}`))
 	f.Add([]byte(`{"nodes": ["s","t"], "edges": [{"from":"s","to":"t","latency":{"kind":"mystery","params":{"a":1}}},{"from":"s","to":"t","latency":{"kind":"constant","c":1}}], "commodities": [{"source":"s","sink":"t","demand":1}], "kShortestPaths": 2}`))
 	f.Add([]byte(`{"nodes": ["a"], "edges": [{"from":"a","to":"a","latency":{"kind":"pwl","xs":[0],"ys":[0]}}], "commodities": [{"source":"a","sink":"a","demand":-1}], "maxPathLen": -3}`))
+	// Individually representable parameters that overflow to +Inf when the
+	// built function combines them: Build must reject the non-finite latency.
+	f.Add([]byte(`{"nodes": ["s","t"], "edges": [{"from":"s","to":"t","latency":{"kind":"linear","slope":1e308,"offset":1e308}}], "commodities": [{"source":"s","sink":"t","demand":1}]}`))
+	f.Add([]byte(`{"nodes": ["s","t"], "edges": [{"from":"s","to":"t","latency":{"kind":"constant","c":1}}], "commodities": [{"source":"s","sink":"t","demand":1e308}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Decode(bytes.NewReader(data))
 		if err != nil {

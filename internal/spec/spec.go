@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"wardrop/internal/catalog"
 	"wardrop/internal/flow"
@@ -146,6 +147,18 @@ func (s Instance) Build() (*flow.Instance, error) {
 		if err != nil {
 			return nil, fmt.Errorf("spec: edge %d: %w", i, err)
 		}
+		// Probe the built function at the ends of the certified load range:
+		// parameters that are individually representable can still overflow
+		// to ±Inf when combined (slope 1e308 + offset 1e308), and a NaN or
+		// Inf latency would flow straight into the kernel.
+		for _, x := range [...]float64{0, 1} {
+			if v := f.Value(x); math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: edge %d latency %s is non-finite at x=%g", ErrBadSpec, i, f, x)
+			}
+		}
+		if b := f.SlopeBound(); math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("%w: edge %d latency %s has non-finite slope bound", ErrBadSpec, i, f)
+		}
 		lats = append(lats, f)
 	}
 	comms := make([]flow.Commodity, 0, len(s.Commodities))
@@ -157,6 +170,9 @@ func (s Instance) Build() (*flow.Instance, error) {
 		sink, ok := g.Node(c.Sink)
 		if !ok {
 			return nil, fmt.Errorf("%w: commodity %d references unknown node %q", ErrBadSpec, i, c.Sink)
+		}
+		if c.Demand <= 0 || math.IsNaN(c.Demand) || math.IsInf(c.Demand, 0) {
+			return nil, fmt.Errorf("%w: commodity %d demand %g must be finite and > 0", ErrBadSpec, i, c.Demand)
 		}
 		comms = append(comms, flow.Commodity{Name: c.Name, Source: src, Sink: sink, Demand: c.Demand})
 	}

@@ -16,6 +16,8 @@ type Cell struct {
 	Agents   int
 	Count    int64
 	Delta    float64
+	// Timeline is the timelines-axis entry's label ("" for stationary cells).
+	Timeline string `json:",omitempty"`
 
 	// Runs is the replicate count, Errors how many of them failed.
 	Runs   int
@@ -44,10 +46,10 @@ func Aggregate(records []Record) []Cell {
 	var order []string
 	byKey := make(map[string]*acc)
 	for _, r := range records {
-		key := cellKey(r.Topology, r.Policy, r.Period, popLabel(r.Agents, r.Count), r.Delta)
+		key := cellKey(r.Topology, r.Policy, r.Period, popLabel(r.Agents, r.Count), r.Delta, r.Timeline)
 		a, ok := byKey[key]
 		if !ok {
-			a = &acc{cell: &Cell{Topology: r.Topology, Policy: r.Policy, Period: r.Period, Agents: r.Agents, Count: r.Count, Delta: r.Delta}}
+			a = &acc{cell: &Cell{Topology: r.Topology, Policy: r.Policy, Period: r.Period, Agents: r.Agents, Count: r.Count, Delta: r.Delta, Timeline: r.Timeline}}
 			byKey[key] = a
 			order = append(order, key)
 		}
@@ -81,24 +83,42 @@ func Aggregate(records []Record) []Cell {
 
 // SummaryTable renders the aggregated cells as a report.Table (ASCII and CSV
 // ready). Wall-clock columns are deliberately omitted so the table is
-// deterministic for fixed campaigns.
+// deterministic for fixed campaigns, and the timeline column appears only
+// when some cell carries a timeline, so stationary campaigns keep their
+// historical table bytes.
 func SummaryTable(name string, cells []Cell) *report.Table {
+	hasTimeline := false
+	for _, c := range cells {
+		if c.Timeline != "" {
+			hasTimeline = true
+			break
+		}
+	}
+	columns := []string{"topology", "policy", "T", "agents", "delta"}
+	if hasTimeline {
+		columns = append(columns, "timeline")
+	}
+	columns = append(columns,
+		"runs", "errors",
+		"gap_mean", "gap_median", "gap_p90",
+		"unsat_mean", "unsat_p90", "converged", "at_eq",
+	)
 	tbl := &report.Table{
-		Title: fmt.Sprintf("sweep %s: per-cell summary", name),
-		Columns: []string{
-			"topology", "policy", "T", "agents", "delta", "runs", "errors",
-			"gap_mean", "gap_median", "gap_p90",
-			"unsat_mean", "unsat_p90", "converged", "at_eq",
-		},
+		Title:   fmt.Sprintf("sweep %s: per-cell summary", name),
+		Columns: columns,
 	}
 	for _, c := range cells {
-		tbl.AddRow(
-			c.Topology, c.Policy, c.Period, popLabel(c.Agents, c.Count), report.F(c.Delta),
+		row := []string{c.Topology, c.Policy, c.Period, popLabel(c.Agents, c.Count), report.F(c.Delta)}
+		if hasTimeline {
+			row = append(row, c.Timeline)
+		}
+		row = append(row,
 			report.I(c.Runs), report.I(c.Errors),
 			report.F(c.Gap.Mean), report.F(c.Gap.Median), report.F(c.Gap.P90),
 			report.F(c.Unsatisfied.Mean), report.F(c.Unsatisfied.P90),
 			report.F(c.ConvergedFrac), report.F(c.EquilibriumFrac),
 		)
+		tbl.AddRow(row...)
 	}
 	tbl.AddNote("%d cells; gap = final potential minus Frank-Wolfe Phi*", len(cells))
 	return tbl

@@ -17,11 +17,13 @@ import (
 	"math"
 	"strconv"
 
+	"wardrop/internal/canon"
 	"wardrop/internal/catalog"
 	"wardrop/internal/engine"
 	"wardrop/internal/flow"
 	"wardrop/internal/meanfield"
 	"wardrop/internal/policy"
+	"wardrop/internal/timeline"
 	"wardrop/internal/topo"
 
 	// Register the "custom" topology family (embedded instance documents).
@@ -65,6 +67,11 @@ type Campaign struct {
 	// (millions and up). Combined with Agents it forms one population axis,
 	// Agents entries first.
 	Counts []int64 `json:"counts,omitempty"`
+	// Timelines, when non-empty, turns the timeline block into a sweep axis
+	// (between the delta and seed axes): each entry modulates every cell's
+	// runs with its demand schedules, edge events and tolls (see package
+	// timeline). An empty axis runs every cell stationary, exactly as before.
+	Timelines []TimelineSpec `json:"timelines,omitempty"`
 	// Seeds is the number of replicate runs per cell (default 1). Each task
 	// derives its own seed from BaseSeed and the task index.
 	Seeds int `json:"seeds,omitempty"`
@@ -187,6 +194,52 @@ func (t Topology) Build(seed uint64) (*flow.Instance, error) {
 func (t Topology) Validate() error {
 	_, err := t.builder()
 	return badCampaign(err)
+}
+
+// TimelineSpec is one timelines-axis entry: a timeline block (inlined —
+// schedules, events, tolls) plus an optional name used as the entry's cell
+// label. Unnamed entries label themselves with a digest of their canonical
+// form, so distinct timelines never collide in aggregation keys.
+type TimelineSpec struct {
+	// Name labels the entry in cell keys and summary tables.
+	Name string `json:"name,omitempty"`
+	timeline.Spec
+
+	// key caches the resolved label. Expand precomputes it once per axis
+	// entry (single-threaded) so workers sharing the entry only read it;
+	// hand-constructed specs recompute per call instead of writing.
+	key string
+}
+
+// Key renders the entry as a stable cell label: the name, or "tl:" plus the
+// first 8 hex digits of the timeline's canonical-JSON fingerprint. Nil-safe
+// (a nil entry — the stationary run — labels as the empty string).
+func (ts *TimelineSpec) Key() string {
+	if ts == nil {
+		return ""
+	}
+	if ts.key != "" {
+		return ts.key
+	}
+	return timelineKey(ts)
+}
+
+// timelineKey computes the label without touching the cache.
+func timelineKey(ts *TimelineSpec) string {
+	if ts.Name != "" {
+		return ts.Name
+	}
+	fp, err := canon.Fingerprint(&ts.Spec)
+	if err != nil || len(fp) < 8 {
+		return "tl"
+	}
+	return "tl:" + fp[:8]
+}
+
+// Validate checks the timeline block (instance-independent shape; commodity
+// names and edge addresses resolve per task).
+func (ts *TimelineSpec) Validate() error {
+	return badCampaign(ts.Spec.Validate())
 }
 
 // PolicySpec selects a rerouting policy — a sampling rule plus an optional
@@ -338,7 +391,11 @@ type Task struct {
 	Count int64
 	// Delta is the task's (δ,ε) accounting width (from the Deltas axis, or
 	// the campaign scalar).
-	Delta     float64
+	Delta float64
+	// Timeline is the task's timelines-axis entry (nil = stationary run).
+	// Tasks of one axis entry share the pointer; the entry is never mutated
+	// after expansion.
+	Timeline  *TimelineSpec
 	SeedIndex int
 	Seed      uint64
 
@@ -383,9 +440,15 @@ func (t Task) topologySeeded() bool {
 }
 
 // cellKey is the shared aggregation-cell label: every axis except the seed.
-// Task.CellKey and the aggregation pass must agree on it.
-func cellKey(topology, policy, period, pop string, delta float64) string {
-	return fmt.Sprintf("%s|%s|T=%s|N=%s|d=%g", topology, policy, period, pop, delta)
+// Task.CellKey and the aggregation pass must agree on it. The timeline
+// component is appended only when present, so stationary campaigns keep
+// their historical labels byte for byte.
+func cellKey(topology, policy, period, pop string, delta float64, tl string) string {
+	key := fmt.Sprintf("%s|%s|T=%s|N=%s|d=%g", topology, policy, period, pop, delta)
+	if tl != "" {
+		key += "|tl=" + tl
+	}
+	return key
 }
 
 // popLabel renders the population-axis component of a cell label: the agent
@@ -401,7 +464,7 @@ func popLabel(agents int, count int64) string {
 
 // CellKey is the task's aggregation cell (every axis except the seed).
 func (t Task) CellKey() string {
-	return cellKey(t.topologyLabel(), t.policyLabel(), t.Period.String(), popLabel(t.Agents, t.Count), t.Delta)
+	return cellKey(t.topologyLabel(), t.policyLabel(), t.Period.String(), popLabel(t.Agents, t.Count), t.Delta, t.Timeline.Key())
 }
 
 // Validate checks the campaign's axes and scalars without building instances.
@@ -465,6 +528,11 @@ func (c *Campaign) Validate() error {
 			return fmt.Errorf("%w: delta axis value %g must be positive", ErrBadCampaign, d)
 		}
 	}
+	for i := range c.Timelines {
+		if err := c.Timelines[i].Validate(); err != nil {
+			return fmt.Errorf("timelines[%d]: %w", i, err)
+		}
+	}
 	return nil
 }
 
@@ -495,11 +563,22 @@ func (c *Campaign) Expand() ([]Task, error) {
 	if len(deltas) == 0 {
 		deltas = []float64{c.Delta}
 	}
+	// The timeline axis degenerates to one stationary (nil) entry. Labels
+	// are resolved here, once per entry, so workers sharing an entry's
+	// pointer never write to it.
+	tls := make([]*TimelineSpec, 0, len(c.Timelines))
+	for i := range c.Timelines {
+		c.Timelines[i].key = timelineKey(&c.Timelines[i])
+		tls = append(tls, &c.Timelines[i])
+	}
+	if len(tls) == 0 {
+		tls = []*TimelineSpec{nil}
+	}
 	seeds := c.Seeds
 	if seeds == 0 {
 		seeds = 1
 	}
-	tasks := make([]Task, 0, len(c.Topologies)*len(c.Policies)*len(c.UpdatePeriods)*len(pops)*len(deltas)*seeds)
+	tasks := make([]Task, 0, len(c.Topologies)*len(c.Policies)*len(c.UpdatePeriods)*len(pops)*len(deltas)*len(tls)*seeds)
 	id := 0
 	for _, tp := range c.Topologies {
 		// Resolve the catalog once per axis entry; every task of the entry
@@ -519,20 +598,23 @@ func (c *Campaign) Expand() ([]Task, error) {
 			for _, per := range c.UpdatePeriods {
 				for _, n := range pops {
 					for _, d := range deltas {
-						for s := 0; s < seeds; s++ {
-							tasks = append(tasks, Task{
-								ID:        id,
-								Topology:  tp,
-								Policy:    pol,
-								Period:    per,
-								Agents:    n.agents,
-								Count:     n.count,
-								Delta:     d,
-								SeedIndex: s,
-								Seed:      topo.DeriveSeed(topoBase, uint64(s)),
-								meta:      meta,
-							})
-							id++
+						for _, tl := range tls {
+							for s := 0; s < seeds; s++ {
+								tasks = append(tasks, Task{
+									ID:        id,
+									Topology:  tp,
+									Policy:    pol,
+									Period:    per,
+									Agents:    n.agents,
+									Count:     n.count,
+									Delta:     d,
+									Timeline:  tl,
+									SeedIndex: s,
+									Seed:      topo.DeriveSeed(topoBase, uint64(s)),
+									meta:      meta,
+								})
+								id++
+							}
 						}
 					}
 				}

@@ -29,7 +29,10 @@ type taskIdentity struct {
 	// every archived fingerprint) is unchanged.
 	Count int64   `json:"count,omitempty"`
 	Delta float64 `json:"delta"`
-	Seed  uint64  `json:"seed"`
+	// Timeline is omitted when absent so every stationary task identity
+	// (and hence every archived fingerprint) is unchanged.
+	Timeline *TimelineSpec `json:"timeline,omitempty"`
+	Seed     uint64        `json:"seed"`
 }
 
 // Fingerprint is the canonical-JSON SHA-256 of the task's run identity.
@@ -44,6 +47,7 @@ func (t Task) Fingerprint() (string, error) {
 		Agents:   t.Agents,
 		Count:    t.Count,
 		Delta:    t.Delta,
+		Timeline: t.Timeline,
 		Seed:     t.Seed,
 	})
 }

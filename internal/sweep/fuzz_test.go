@@ -17,6 +17,14 @@ func FuzzParseCampaign(f *testing.F) {
 	f.Add([]byte(`{"topologies": [{"family":"kink","beta":-2}], "policies": [{"kind":"boltzmann","c":-1}], "updatePeriods": ["safe"], "horizon": 1}`))
 	f.Add([]byte(`{"topologies": [{"family":"custom","instance":{"nodes":[]}}], "policies": [{"kind":"uniform","migrator":"teleport"}], "updatePeriods": ["soon"], "maxPhases": -1}`))
 	f.Add([]byte(`{"topologies": [{"family":"layered","size":2,"layers":-1}], "policies": [{"kind":"uniform"}], "updatePeriods": [0.5], "horizon": 1, "deltas": [-0.1], "start": "sideways"}`))
+	// Timeline axes: a valid entry (schedule + event + toll), an unknown
+	// schedule kind, a pwl with non-ascending knots, and an event with a
+	// malformed edge selector — the invalid ones must classify as ErrBadSpec
+	// (and hence ErrBadCampaign after wrapping).
+	f.Add([]byte(`{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [0.5], "horizon": 2, "timelines": [{"name":"rush","schedules":[{"kind":"pwl","times":[0,1],"factors":[1,0.5]}],"events":[{"at":1,"action":"block","edge":0}],"tolls":[{"kind":"marginal"}]}]}`))
+	f.Add([]byte(`{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [0.5], "horizon": 2, "timelines": [{"schedules":[{"kind":"lunar","period":3}]}]}`))
+	f.Add([]byte(`{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [0.5], "horizon": 2, "timelines": [{"schedules":[{"kind":"pwl","times":[1,0],"factors":[1,1]}]}]}`))
+	f.Add([]byte(`{"topologies": [{"family":"pigou"}], "policies": [{"kind":"uniform"}], "updatePeriods": [0.5], "horizon": 2, "timelines": [{"events":[{"at":-1,"action":"restore","from":"s"}]}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := ParseCampaign(bytes.NewReader(data))
 		if err != nil {
@@ -33,6 +41,9 @@ func FuzzParseCampaign(f *testing.F) {
 			size *= n
 		}
 		if n := len(c.Deltas); n > 0 {
+			size *= n
+		}
+		if n := len(c.Timelines); n > 0 {
 			size *= n
 		}
 		if n := c.Seeds; n > 1 {

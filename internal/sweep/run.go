@@ -16,6 +16,7 @@ import (
 	"wardrop/internal/flow"
 	"wardrop/internal/policy"
 	"wardrop/internal/solver"
+	"wardrop/internal/timeline"
 )
 
 // Record is one task's outcome — one JSONL line in the streaming result file.
@@ -40,6 +41,9 @@ type Record struct {
 	Count int64 `json:"count,omitempty"`
 	// Delta is the task's (δ,ε) accounting width (0 = accounting disabled).
 	Delta float64 `json:"delta"`
+	// Timeline is the timelines-axis entry's cell label (absent for
+	// stationary cells, keeping pre-timeline record streams byte-identical).
+	Timeline string `json:"timeline,omitempty"`
 	// Seed is the task's derived seed.
 	Seed uint64 `json:"seed"`
 	// SeedIndex is the replicate number within the cell.
@@ -290,6 +294,7 @@ func errorRecord(t Task, err error) Record {
 		Agents:    t.Agents,
 		Count:     t.Count,
 		Delta:     t.Delta,
+		Timeline:  t.Timeline.Key(),
 		Seed:      t.Seed,
 		SeedIndex: t.SeedIndex,
 		Error:     err.Error(),
@@ -310,6 +315,19 @@ func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map, ws *flow
 		return errorRecord(t, entry.err)
 	}
 	inst := entry.inst
+
+	// Tolls transform the instance once at t = 0, before any downstream
+	// resolution (policy smoothness, safe period, start distribution);
+	// schedules and events compile into a segmented program below. A
+	// stationary task passes through unchanged.
+	var tl *timeline.Spec
+	if t.Timeline != nil {
+		tl = &t.Timeline.Spec
+	}
+	inst, err := timeline.ApplyTolls(tl, inst)
+	if err != nil {
+		return errorRecord(t, err)
+	}
 
 	pol, err := t.Policy.Build(inst)
 	if err != nil {
@@ -349,7 +367,7 @@ func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map, ws *flow
 	} else if t.Agents > 0 {
 		eng = engine.Agents{N: t.Agents, Seed: t.Seed, Workers: 1}
 	}
-	res, err := engine.Run(ctx, engine.Scenario{
+	sc := engine.Scenario{
 		Engine:                   eng,
 		Instance:                 inst,
 		Policy:                   pol,
@@ -360,12 +378,42 @@ func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map, ws *flow
 		Eps:                      c.Eps,
 		Weak:                     c.Weak,
 		StopAfterSatisfiedStreak: c.Streak,
-	}, engine.WithWorkspace(ws))
+	}
+	var res *engine.Result
+	finalInst := inst
+	if tl.NeedsProgram() {
+		// Time-varying cell: compile the timeline against the tolled
+		// instance and replay it segment by segment (the policy is rebuilt
+		// per segment, as events change the instance's latency range).
+		prog, perr := timeline.Compile(tl, inst, horizon)
+		if perr != nil {
+			return errorRecord(t, perr)
+		}
+		res, _, err = timeline.Run(ctx, prog, sc, func(segInst *flow.Instance) (policy.Policy, error) {
+			return t.Policy.Build(segInst)
+		}, nil, engine.WithWorkspace(ws))
+		finalInst = prog.Segments[len(prog.Segments)-1].Instance
+	} else {
+		res, err = engine.Run(ctx, sc, engine.WithWorkspace(ws))
+	}
 	if err != nil {
 		if engine.IsCancellation(err) {
 			return Record{aborted: true}
 		}
 		return errorRecord(t, err)
+	}
+
+	// The reference potential must match the instance the final flow lives
+	// on: the cell-cached Φ* for stationary tasks, a per-task solve when the
+	// timeline modified the instance (tolls, or the final segment's event
+	// state and demand factors).
+	phiStar := entry.phiStar
+	if finalInst != entry.inst {
+		sol, serr := solver.SolveEquilibrium(finalInst, solver.Options{RelGapTol: 1e-10})
+		if serr != nil {
+			return errorRecord(t, serr)
+		}
+		phiStar = sol.Potential
 	}
 
 	rec := Record{
@@ -377,12 +425,13 @@ func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map, ws *flow
 		Agents:    t.Agents,
 		Count:     t.Count,
 		Delta:     t.Delta,
+		Timeline:  t.Timeline.Key(),
 		Seed:      t.Seed,
 		SeedIndex: t.SeedIndex,
 
 		FinalPotential:    res.FinalPotential,
-		PhiStar:           entry.phiStar,
-		Gap:               res.FinalPotential - entry.phiStar,
+		PhiStar:           phiStar,
+		Gap:               res.FinalPotential - phiStar,
 		UnsatisfiedPhases: res.UnsatisfiedPhases,
 		Phases:            res.Phases,
 		Converged:         res.Stopped,
@@ -390,11 +439,11 @@ func runTask(ctx context.Context, c *Campaign, t Task, cache *sync.Map, ws *flow
 		WallMS:            float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	if t.Delta > 0 {
-		pathLat := inst.PathLatencies(res.Final)
+		pathLat := finalInst.PathLatencies(res.Final)
 		if c.Weak {
-			rec.AtEquilibrium = inst.AtWeakApproxEquilibrium(res.Final, pathLat, t.Delta, c.Eps)
+			rec.AtEquilibrium = finalInst.AtWeakApproxEquilibrium(res.Final, pathLat, t.Delta, c.Eps)
 		} else {
-			rec.AtEquilibrium = inst.AtApproxEquilibrium(res.Final, pathLat, t.Delta, c.Eps)
+			rec.AtEquilibrium = finalInst.AtApproxEquilibrium(res.Final, pathLat, t.Delta, c.Eps)
 		}
 	}
 	return rec

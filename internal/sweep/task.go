@@ -28,6 +28,8 @@ type TaskSpec struct {
 	Count  int64 `json:"count,omitempty"`
 	// Delta is the (δ,ε) accounting width (<= 0 disables).
 	Delta float64 `json:"delta,omitempty"`
+	// Timeline is the task's timelines-axis entry (absent = stationary run).
+	Timeline *TimelineSpec `json:"timeline,omitempty"`
 	// Seed is the derived per-task seed, already resolved by the campaign
 	// expansion — remote workers use it verbatim.
 	Seed uint64 `json:"seed"`
@@ -53,6 +55,7 @@ func NewTaskSpec(c *Campaign, t Task) *TaskSpec {
 		Agents:    t.Agents,
 		Count:     t.Count,
 		Delta:     t.Delta,
+		Timeline:  t.Timeline,
 		Seed:      t.Seed,
 		Horizon:   c.Horizon,
 		MaxPhases: c.MaxPhases,
@@ -83,6 +86,9 @@ func (ts *TaskSpec) campaign() *Campaign {
 	if ts.Count > 0 {
 		c.Counts = []int64{ts.Count}
 	}
+	if ts.Timeline != nil {
+		c.Timelines = []TimelineSpec{*ts.Timeline}
+	}
 	return c
 }
 
@@ -96,6 +102,7 @@ func (ts *TaskSpec) task() Task {
 		Agents:   ts.Agents,
 		Count:    ts.Count,
 		Delta:    ts.Delta,
+		Timeline: ts.Timeline,
 		Seed:     ts.Seed,
 	}
 }

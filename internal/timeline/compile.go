@@ -1,0 +1,275 @@
+package timeline
+
+import (
+	"fmt"
+	"sort"
+
+	"wardrop/internal/flow"
+	"wardrop/internal/graph"
+	"wardrop/internal/latency"
+)
+
+// maxSegments bounds the compiled segment count so a runaway schedule
+// resolution (tiny period, huge horizon) fails loudly instead of deriving
+// millions of instances.
+const maxSegments = 10_000
+
+// AppliedEvent is one event occurrence as replayed into a run: trajectories,
+// run-result documents and serve streams record these.
+type AppliedEvent struct {
+	// Time is the simulated time the event took effect (the start of the
+	// segment it opened).
+	Time float64 `json:"time"`
+	// Action is the event's registry name.
+	Action string `json:"action"`
+	// Edge is the patched edge's index.
+	Edge int `json:"edge"`
+	// Detail describes the edge's latency in effect after the event.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Segment is one stationary piece of a compiled timeline: on [Start, End)
+// the run executes on Instance, whose latencies carry the event state and
+// whose demands carry the schedule factors sampled at Start.
+type Segment struct {
+	Start, End float64
+	// Instance is the derived stationary instance for this segment.
+	Instance *flow.Instance
+	// Events lists the events that took effect exactly at Start.
+	Events []AppliedEvent
+}
+
+// Program is a compiled timeline: the tolled base instance and the
+// stationary segments covering [0, horizon).
+type Program struct {
+	// Base is the instance the program was compiled against (tolls applied,
+	// no events, unit schedule factors).
+	Base *flow.Instance
+	// Horizon is the covered simulated time.
+	Horizon float64
+	// Segments partition [0, Horizon) in ascending order; Segments[0] starts
+	// at 0 and the last segment ends at Horizon.
+	Segments []Segment
+}
+
+// Events returns every event the program replays, in firing order.
+func (p *Program) Events() []AppliedEvent {
+	var out []AppliedEvent
+	for _, seg := range p.Segments {
+		out = append(out, seg.Events...)
+	}
+	return out
+}
+
+// eventBinding is one resolved event occurrence.
+type eventBinding struct {
+	at     float64
+	action string
+	edge   graph.EdgeID
+	patch  EdgePatch
+}
+
+// scheduleBinding is one resolved schedule with its target commodities.
+type scheduleBinding struct {
+	sched Schedule
+	comms []int
+}
+
+// Compile lowers the timeline against the (already tolled — see ApplyTolls)
+// base instance into a Program of stationary segments over [0, horizon).
+// Segment boundaries are the union of the schedules' breakpoints and the
+// event times; at each boundary the per-commodity demand factors are sampled
+// and the per-edge event state updated, and a derived instance is built.
+// A stationary timeline compiles to one segment reusing base itself.
+// Errors wrap ErrBadTimeline.
+func Compile(s *Spec, base *flow.Instance, horizon float64) (*Program, error) {
+	if !isFinite(horizon) || horizon <= 0 {
+		return nil, badTimeline(fmt.Errorf("horizon %g must be finite and > 0", horizon))
+	}
+	schedules, err := bindSchedules(s, base)
+	if err != nil {
+		return nil, err
+	}
+	events, err := bindEvents(s, base)
+	if err != nil {
+		return nil, err
+	}
+
+	// Segment boundaries: t = 0, every schedule breakpoint, every event time
+	// inside the horizon.
+	bps := []float64{0}
+	for _, sb := range schedules {
+		bps = append(bps, sb.sched.Breakpoints(horizon)...)
+	}
+	for _, ev := range events {
+		if ev.at < horizon {
+			bps = append(bps, ev.at)
+		}
+	}
+	sort.Float64s(bps)
+	uniq := bps[:1]
+	for _, t := range bps[1:] {
+		if t != uniq[len(uniq)-1] {
+			uniq = append(uniq, t)
+		}
+	}
+	if len(uniq) > maxSegments {
+		return nil, badTimeline(fmt.Errorf("%d segments exceed the %d-segment bound (schedule resolution too fine for the horizon)", len(uniq), maxSegments))
+	}
+
+	prog := &Program{Base: base, Horizon: horizon}
+	nComm := base.NumCommodities()
+	state := make([]EdgePatch, base.Graph().NumEdges()) // nil: base latency
+	nextEvent := 0
+	for i, start := range uniq {
+		end := horizon
+		if i+1 < len(uniq) {
+			end = uniq[i+1]
+		}
+		seg := Segment{Start: start, End: end}
+
+		// Apply the events firing at this boundary (ascending time, stable
+		// in document order within a boundary; replace semantics per edge).
+		for nextEvent < len(events) && events[nextEvent].at <= start {
+			ev := events[nextEvent]
+			nextEvent++
+			state[ev.edge] = ev.patch
+			fn, err := ev.patch(base.Latency(ev.edge))
+			if err != nil {
+				return nil, badTimeline(fmt.Errorf("event %q at t=%g edge %d: %w", ev.action, ev.at, ev.edge, err))
+			}
+			seg.Events = append(seg.Events, AppliedEvent{
+				Time:   start,
+				Action: ev.action,
+				Edge:   int(ev.edge),
+				Detail: fn.String(),
+			})
+		}
+
+		// Sample the demand factors in effect on this segment.
+		var scale []float64
+		if len(schedules) > 0 {
+			scale = make([]float64, nComm)
+			for c := range scale {
+				scale[c] = 1
+			}
+			for _, sb := range schedules {
+				f := sb.sched.Factor(start)
+				if !isFinite(f) || f <= 0 {
+					return nil, badTimeline(fmt.Errorf("schedule %s factor %g at t=%g must be finite and > 0", sb.sched, f, start))
+				}
+				for _, c := range sb.comms {
+					scale[c] = f
+				}
+			}
+		}
+
+		inst := base
+		anyEvent := false
+		for _, p := range state {
+			if p != nil {
+				anyEvent = true
+				break
+			}
+		}
+		unitScale := true
+		for _, f := range scale {
+			if f != 1 {
+				unitScale = false
+				break
+			}
+		}
+		if anyEvent || !unitScale {
+			lats := baseLatencies(base)
+			for e, p := range state {
+				if p == nil {
+					continue
+				}
+				fn, err := p(lats[e])
+				if err != nil {
+					return nil, badTimeline(fmt.Errorf("edge %d patch at t=%g: %w", e, start, err))
+				}
+				lats[e] = fn
+			}
+			if unitScale {
+				scale = nil
+			}
+			inst, err = base.Derive(lats, scale)
+			if err != nil {
+				return nil, badTimeline(fmt.Errorf("segment at t=%g: %w", start, err))
+			}
+		}
+		seg.Instance = inst
+		prog.Segments = append(prog.Segments, seg)
+	}
+	return prog, nil
+}
+
+// bindSchedules builds the spec's schedules and resolves their commodity
+// targets against the instance.
+func bindSchedules(s *Spec, base *flow.Instance) ([]scheduleBinding, error) {
+	if s == nil || len(s.Schedules) == 0 {
+		return nil, nil
+	}
+	byName := make(map[string][]int)
+	for c := 0; c < base.NumCommodities(); c++ {
+		name := base.Commodity(c).Name
+		byName[name] = append(byName[name], c)
+	}
+	out := make([]scheduleBinding, 0, len(s.Schedules))
+	for i, ss := range s.Schedules {
+		sched, err := ss.Build()
+		if err != nil {
+			return nil, badTimeline(fmt.Errorf("schedule %d: %w", i, err))
+		}
+		var comms []int
+		if ss.Commodity == "" {
+			comms = make([]int, base.NumCommodities())
+			for c := range comms {
+				comms[c] = c
+			}
+		} else {
+			comms = byName[ss.Commodity]
+			if len(comms) == 0 {
+				return nil, badTimeline(fmt.Errorf("schedule %d: no commodity named %q", i, ss.Commodity))
+			}
+		}
+		out = append(out, scheduleBinding{sched: sched, comms: comms})
+	}
+	return out, nil
+}
+
+// bindEvents builds the spec's events, resolves their edges, and orders them
+// by time (stable in document order within a time).
+func bindEvents(s *Spec, base *flow.Instance) ([]eventBinding, error) {
+	if s == nil || len(s.Events) == 0 {
+		return nil, nil
+	}
+	out := make([]eventBinding, 0, len(s.Events))
+	for i, es := range s.Events {
+		if !isFinite(es.At) || es.At < 0 {
+			return nil, badTimeline(fmt.Errorf("event %d: time %g must be finite and >= 0", i, es.At))
+		}
+		patch, err := es.Build()
+		if err != nil {
+			return nil, badTimeline(fmt.Errorf("event %d: %w", i, err))
+		}
+		edges, err := resolveEdges(base, es.Edge, es.From, es.To, false)
+		if err != nil {
+			return nil, badTimeline(fmt.Errorf("event %d: %w", i, err))
+		}
+		out = append(out, eventBinding{at: es.At, action: es.Action, edge: edges[0], patch: patch})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].at < out[j].at })
+	return out, nil
+}
+
+// baseLatencies copies the base instance's latency functions.
+func baseLatencies(base *flow.Instance) []latency.Function {
+	g := base.Graph()
+	lats := make([]latency.Function, g.NumEdges())
+	for e := range lats {
+		lats[e] = base.Latency(graph.EdgeID(e))
+	}
+	return lats
+}

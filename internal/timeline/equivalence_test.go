@@ -1,0 +1,106 @@
+package timeline
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"wardrop/internal/engine"
+	"wardrop/internal/topo"
+)
+
+// summary condenses replicate outcomes for the equivalence comparisons.
+type summary struct {
+	mean, variance float64
+}
+
+func summarize(xs []float64) summary {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return summary{mean: mean, variance: ss / float64(len(xs)-1)}
+}
+
+// Population rescaling at schedule breakpoints must preserve the
+// distributional equivalence of the count engine and the per-agent engine
+// (the same property internal/meanfield pins for stationary runs): both
+// engines cross the same boundaries, rescale the same commodity masses, and
+// re-derive per-segment seeds the same way, so over fixed-seed replicate
+// sets their final-potential and final-flow statistics agree within small
+// multiples of the standard error. Everything is seeded — the test is
+// deterministic.
+func TestScheduleRescalingEquivalenceCountVsAgents(t *testing.T) {
+	inst := braess(t)
+	// Demand ramps 1 → 0.6 over [2, 4]: the pwl staircase inserts several
+	// breakpoints, so both engines rescale their populations repeatedly.
+	tl := &Spec{Schedules: []ScheduleSpec{{Kind: "pwl", Times: []float64{2, 4}, Factors: []float64{1, 0.6}}}}
+	const (
+		n       = 2000
+		T       = 0.25
+		horizon = 8.0
+		reps    = 40
+	)
+	prog, err := Compile(tl, inst, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Segments) < 3 {
+		t.Fatalf("ramp compiled to %d segments, want several breakpoints", len(prog.Segments))
+	}
+
+	base := engine.Scenario{
+		Instance:     inst,
+		Policy:       testPolicy(t, inst),
+		UpdatePeriod: T,
+		Horizon:      horizon,
+	}
+	run := func(e engine.Engine) (phi, f0 float64) {
+		t.Helper()
+		sc := base
+		sc.Engine = e
+		res, _, err := Run(context.Background(), prog, sc, rebuildPolicy(t), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalPotential, res.Final[0]
+	}
+
+	countPhi := make([]float64, 0, reps)
+	agentPhi := make([]float64, 0, reps)
+	countF0 := make([]float64, 0, reps)
+	agentF0 := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		seed := topo.DeriveSeed(1234, uint64(rep))
+		phi, f0 := run(engine.Count{N: n, Seed: seed})
+		countPhi = append(countPhi, phi)
+		countF0 = append(countF0, f0)
+		phi, f0 = run(engine.Agents{N: n, Seed: seed, Workers: 1})
+		agentPhi = append(agentPhi, phi)
+		agentF0 = append(agentF0, f0)
+	}
+
+	// The final demand is 0.6, so final flows must sum to it in both engines.
+	check := func(name string, c, a []float64) {
+		cs, as := summarize(c), summarize(a)
+		se := math.Sqrt((cs.variance + as.variance) / reps)
+		if d := math.Abs(cs.mean - as.mean); d > 4*se+1e-9 {
+			t.Errorf("%s: mean %g (count) vs %g (agents), |diff| %g > 4·se %g", name, cs.mean, as.mean, d, 4*se)
+		}
+		lo, hi := cs.variance, as.variance
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi > 4*lo+1e-12 {
+			t.Errorf("%s: variance %g (count) vs %g (agents) differ by more than 4x", name, cs.variance, as.variance)
+		}
+	}
+	check("final potential", countPhi, agentPhi)
+	check("final flow[0]", countF0, agentF0)
+}

@@ -1,0 +1,207 @@
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"wardrop/internal/catalog"
+	"wardrop/internal/flow"
+	"wardrop/internal/graph"
+	"wardrop/internal/latency"
+)
+
+// EdgePatch transforms one edge's latency function. Events and tolls are
+// both patches: an event patches the (tolled) base function of its edge for
+// as long as it is the edge's latest event, a toll patches it once at t = 0.
+type EdgePatch func(latency.Function) (latency.Function, error)
+
+// DefaultBlockPenalty is the additive latency of a "block" event with no
+// explicit penalty: large enough that no equilibrium routes over the edge on
+// the unit-demand instances the repro uses, small enough to keep the
+// dynamics' migration probabilities well-conditioned.
+const DefaultBlockPenalty = 1e3
+
+// Events is the event-action registry ("block", "capacity", "restore"
+// builtin).
+var Events = newEvents()
+
+func newEvents() *catalog.Registry[EdgePatch] {
+	r := catalog.NewRegistry[EdgePatch]("event")
+	r.MustRegister(catalog.Entry[EdgePatch]{
+		Name: "block",
+		Doc:  "edge failure: adds a large constant penalty to the edge latency",
+		Params: []catalog.Param{
+			{Name: "penalty", Type: "float", Doc: "additive latency (default 1e3)"},
+		},
+		Build: func(args json.RawMessage) (EdgePatch, error) {
+			var p struct {
+				Penalty float64 `json:"penalty"`
+			}
+			if err := catalog.DecodeArgs(args, &p); err != nil {
+				return nil, err
+			}
+			if !isFinite(p.Penalty) || p.Penalty < 0 {
+				return nil, fmt.Errorf("block penalty %g must be finite and >= 0", p.Penalty)
+			}
+			if p.Penalty == 0 {
+				p.Penalty = DefaultBlockPenalty
+			}
+			penalty := p.Penalty
+			return func(f latency.Function) (latency.Function, error) {
+				return latency.Shifted{F: f, Offset: penalty}, nil
+			}, nil
+		},
+	})
+	r.MustRegister(catalog.Entry[EdgePatch]{
+		Name: "capacity",
+		Doc:  "capacity change: flow x is served as x/capacity of the base edge",
+		Params: []catalog.Param{
+			{Name: "capacity", Type: "float", Doc: "rescale factor (> 0; < 1 drops capacity)"},
+		},
+		Build: func(args json.RawMessage) (EdgePatch, error) {
+			var p struct {
+				Capacity float64 `json:"capacity"`
+			}
+			if err := catalog.DecodeArgs(args, &p); err != nil {
+				return nil, err
+			}
+			if !isFinite(p.Capacity) || p.Capacity <= 0 {
+				return nil, fmt.Errorf("capacity %g must be finite and > 0", p.Capacity)
+			}
+			c := p.Capacity
+			return func(f latency.Function) (latency.Function, error) {
+				return latency.CapacityScaled{F: f, Capacity: c}, nil
+			}, nil
+		},
+	})
+	r.MustRegister(catalog.Entry[EdgePatch]{
+		Name: "restore",
+		Doc:  "clears the edge's previous events, restoring its base latency",
+		Build: func(json.RawMessage) (EdgePatch, error) {
+			return func(f latency.Function) (latency.Function, error) { return f, nil }, nil
+		},
+	})
+	return r
+}
+
+// Tolls is the toll registry ("constant", "marginal" builtin).
+var Tolls = newTolls()
+
+func newTolls() *catalog.Registry[EdgePatch] {
+	r := catalog.NewRegistry[EdgePatch]("toll")
+	r.MustRegister(catalog.Entry[EdgePatch]{
+		Name: "constant",
+		Doc:  "constant per-edge toll: adds amount to the edge latency",
+		Params: []catalog.Param{
+			{Name: "amount", Type: "float", Doc: "additive latency offset (>= 0)"},
+		},
+		Build: func(args json.RawMessage) (EdgePatch, error) {
+			var p struct {
+				Amount float64 `json:"amount"`
+			}
+			if err := catalog.DecodeArgs(args, &p); err != nil {
+				return nil, err
+			}
+			if !isFinite(p.Amount) || p.Amount < 0 {
+				return nil, fmt.Errorf("constant toll amount %g must be finite and >= 0", p.Amount)
+			}
+			amount := p.Amount
+			return func(f latency.Function) (latency.Function, error) {
+				return latency.Shifted{F: f, Offset: amount}, nil
+			}, nil
+		},
+	})
+	r.MustRegister(catalog.Entry[EdgePatch]{
+		Name: "marginal",
+		Doc:  "marginal-cost toll: replaces the edge latency by l(x) + x*l'(x)",
+		Build: func(json.RawMessage) (EdgePatch, error) {
+			return func(f latency.Function) (latency.Function, error) {
+				return latency.Marginal{F: f}, nil
+			}, nil
+		},
+	})
+	return r
+}
+
+// resolveEdges maps an Edge/From/To selector to concrete edge IDs on the
+// instance. A nil selector (no index, no node pair) selects every edge when
+// allowAll is set. From/To addressing requires the pair to name exactly one
+// edge — with parallel edges the index form must be used.
+func resolveEdges(inst *flow.Instance, edge *int, from, to string, allowAll bool) ([]graph.EdgeID, error) {
+	g := inst.Graph()
+	if edge != nil {
+		if *edge < 0 || *edge >= g.NumEdges() {
+			return nil, fmt.Errorf("edge index %d out of range [0,%d)", *edge, g.NumEdges())
+		}
+		return []graph.EdgeID{graph.EdgeID(*edge)}, nil
+	}
+	if from == "" && to == "" {
+		if !allowAll {
+			return nil, fmt.Errorf("needs an edge index or a from/to node pair")
+		}
+		all := make([]graph.EdgeID, g.NumEdges())
+		for e := range all {
+			all[e] = graph.EdgeID(e)
+		}
+		return all, nil
+	}
+	fromID, ok := g.Node(from)
+	if !ok {
+		return nil, fmt.Errorf("unknown node %q", from)
+	}
+	toID, ok := g.Node(to)
+	if !ok {
+		return nil, fmt.Errorf("unknown node %q", to)
+	}
+	var match []graph.EdgeID
+	for e := 0; e < g.NumEdges(); e++ {
+		ed, _ := g.Edge(graph.EdgeID(e))
+		if ed.From == fromID && ed.To == toID {
+			match = append(match, graph.EdgeID(e))
+		}
+	}
+	switch len(match) {
+	case 0:
+		return nil, fmt.Errorf("no edge %s->%s", from, to)
+	case 1:
+		return match, nil
+	default:
+		return nil, fmt.Errorf("%d parallel edges %s->%s: address by edge index", len(match), from, to)
+	}
+}
+
+// ApplyTolls returns the instance with the spec's tolls applied to its edge
+// latencies — the t = 0 transformation that persists for the whole run, and
+// the instance every downstream resolution (policy smoothness, safe update
+// period, start distribution, Compile) must see. A timeline without tolls
+// returns inst unchanged. Nil-safe; errors wrap ErrBadTimeline.
+func ApplyTolls(s *Spec, inst *flow.Instance) (*flow.Instance, error) {
+	if s == nil || len(s.Tolls) == 0 {
+		return inst, nil
+	}
+	g := inst.Graph()
+	lats := make([]latency.Function, g.NumEdges())
+	for e := range lats {
+		lats[e] = inst.Latency(graph.EdgeID(e))
+	}
+	for i, ts := range s.Tolls {
+		patch, err := ts.Build()
+		if err != nil {
+			return nil, badTimeline(fmt.Errorf("toll %d: %w", i, err))
+		}
+		edges, err := resolveEdges(inst, ts.Edge, ts.From, ts.To, true)
+		if err != nil {
+			return nil, badTimeline(fmt.Errorf("toll %d: %w", i, err))
+		}
+		for _, e := range edges {
+			if lats[e], err = patch(lats[e]); err != nil {
+				return nil, badTimeline(fmt.Errorf("toll %d edge %d: %w", i, e, err))
+			}
+		}
+	}
+	tolled, err := inst.Derive(lats, nil)
+	if err != nil {
+		return nil, badTimeline(err)
+	}
+	return tolled, nil
+}

@@ -1,0 +1,210 @@
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"wardrop/internal/catalog"
+)
+
+// Schedule is a deterministic demand-rate profile: a multiplier applied to a
+// commodity's base demand as a function of simulated time. The engines
+// consume schedules as a staircase — the factor is sampled at each segment
+// boundary and held until the next — so Breakpoints controls how finely a
+// continuously varying profile is discretised.
+type Schedule interface {
+	// Factor returns the demand multiplier at time t (finite, > 0).
+	Factor(t float64) float64
+	// Breakpoints returns ascending times in (0, horizon) at which the held
+	// factor is resampled (t = 0 is an implicit breakpoint).
+	Breakpoints(horizon float64) []float64
+	// String describes the schedule for event logs and error messages.
+	String() string
+}
+
+// Schedules is the demand-schedule registry ("pwl", "diurnal" builtin).
+var Schedules = newSchedules()
+
+func newSchedules() *catalog.Registry[Schedule] {
+	r := catalog.NewRegistry[Schedule]("schedule")
+	r.MustRegister(catalog.Entry[Schedule]{
+		Name: "pwl",
+		Doc:  "piecewise-linear demand factor through (times, factors) knots, clamped outside",
+		Params: []catalog.Param{
+			{Name: "times", Type: "[]float", Doc: "ascending knot times (>= 0)"},
+			{Name: "factors", Type: "[]float", Doc: "demand factors at the knots (finite, > 0)"},
+			{Name: "samples", Type: "int", Doc: "staircase samples per changing interval (default 4)"},
+		},
+		Build: func(args json.RawMessage) (Schedule, error) {
+			var p struct {
+				Times   []float64 `json:"times"`
+				Factors []float64 `json:"factors"`
+				Samples int       `json:"samples"`
+			}
+			if err := catalog.DecodeArgs(args, &p); err != nil {
+				return nil, err
+			}
+			return newPWL(p.Times, p.Factors, p.Samples)
+		},
+	})
+	r.MustRegister(catalog.Entry[Schedule]{
+		Name: "diurnal",
+		Doc:  "periodic demand factor base + amplitude*sin(2*pi*t/period)",
+		Params: []catalog.Param{
+			{Name: "base", Type: "float", Doc: "mean factor (must exceed |amplitude|)"},
+			{Name: "amplitude", Type: "float", Doc: "oscillation amplitude"},
+			{Name: "period", Type: "float", Doc: "oscillation period (> 0)"},
+			{Name: "samples", Type: "int", Doc: "staircase samples per period (default 8)"},
+		},
+		Build: func(args json.RawMessage) (Schedule, error) {
+			var p struct {
+				Base      float64 `json:"base"`
+				Amplitude float64 `json:"amplitude"`
+				Period    float64 `json:"period"`
+				Samples   int     `json:"samples"`
+			}
+			if err := catalog.DecodeArgs(args, &p); err != nil {
+				return nil, err
+			}
+			return newDiurnal(p.Base, p.Amplitude, p.Period, p.Samples)
+		},
+	})
+	return r
+}
+
+// pwl interpolates the demand factor linearly between knots.
+type pwl struct {
+	times, factors []float64
+	samples        int
+}
+
+func newPWL(times, factors []float64, samples int) (Schedule, error) {
+	if len(times) == 0 || len(times) != len(factors) {
+		return nil, fmt.Errorf("pwl needs matching non-empty times and factors (%d vs %d)", len(times), len(factors))
+	}
+	if samples < 0 {
+		return nil, fmt.Errorf("pwl samples %d must be >= 0", samples)
+	}
+	if samples == 0 {
+		samples = 4
+	}
+	for i, t := range times {
+		if !isFinite(t) || t < 0 {
+			return nil, fmt.Errorf("pwl time %d = %g must be finite and >= 0", i, t)
+		}
+		if i > 0 && t <= times[i-1] {
+			return nil, fmt.Errorf("pwl times must be strictly ascending (time %d = %g after %g)", i, t, times[i-1])
+		}
+	}
+	for i, f := range factors {
+		if !isFinite(f) || f <= 0 {
+			return nil, fmt.Errorf("pwl factor %d = %g must be finite and > 0", i, f)
+		}
+	}
+	return pwl{
+		times:   append([]float64(nil), times...),
+		factors: append([]float64(nil), factors...),
+		samples: samples,
+	}, nil
+}
+
+func (p pwl) Factor(t float64) float64 {
+	if t <= p.times[0] {
+		return p.factors[0]
+	}
+	last := len(p.times) - 1
+	if t >= p.times[last] {
+		return p.factors[last]
+	}
+	i := sort.SearchFloat64s(p.times, t)
+	if p.times[i] == t {
+		return p.factors[i]
+	}
+	// Interpolate on (times[i-1], times[i]).
+	w := (t - p.times[i-1]) / (p.times[i] - p.times[i-1])
+	return p.factors[i-1] + w*(p.factors[i]-p.factors[i-1])
+}
+
+func (p pwl) Breakpoints(horizon float64) []float64 {
+	var bps []float64
+	add := func(t float64) {
+		if t > 0 && t < horizon {
+			bps = append(bps, t)
+		}
+	}
+	// Knots always resample; intervals with a changing factor additionally
+	// get samples-1 interior points to staircase the ramp.
+	for i, t := range p.times {
+		add(t)
+		if i+1 < len(p.times) && p.factors[i] != p.factors[i+1] {
+			step := (p.times[i+1] - t) / float64(p.samples)
+			for k := 1; k < p.samples; k++ {
+				add(t + float64(k)*step)
+			}
+		}
+	}
+	sort.Float64s(bps)
+	return bps
+}
+
+func (p pwl) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pwl(")
+	for i := range p.times {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g:%g", p.times[i], p.factors[i])
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// diurnal is the periodic profile base + amplitude·sin(2πt/period).
+type diurnal struct {
+	base, amplitude, period float64
+	samples                 int
+}
+
+func newDiurnal(base, amplitude, period float64, samples int) (Schedule, error) {
+	if !isFinite(base) || !isFinite(amplitude) || !isFinite(period) {
+		return nil, fmt.Errorf("diurnal parameters must be finite (base %g, amplitude %g, period %g)", base, amplitude, period)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("diurnal period %g must be > 0", period)
+	}
+	if base-math.Abs(amplitude) <= 0 {
+		return nil, fmt.Errorf("diurnal base %g must exceed |amplitude| %g to keep factors positive", base, math.Abs(amplitude))
+	}
+	if samples < 0 {
+		return nil, fmt.Errorf("diurnal samples %d must be >= 0", samples)
+	}
+	if samples == 0 {
+		samples = 8
+	}
+	return diurnal{base: base, amplitude: amplitude, period: period, samples: samples}, nil
+}
+
+func (d diurnal) Factor(t float64) float64 {
+	return d.base + d.amplitude*math.Sin(2*math.Pi*t/d.period)
+}
+
+func (d diurnal) Breakpoints(horizon float64) []float64 {
+	var bps []float64
+	step := d.period / float64(d.samples)
+	for k := 1; ; k++ {
+		t := float64(k) * step
+		if t >= horizon {
+			break
+		}
+		bps = append(bps, t)
+	}
+	return bps
+}
+
+func (d diurnal) String() string {
+	return fmt.Sprintf("diurnal(base=%g,amp=%g,period=%g)", d.base, d.amplitude, d.period)
+}

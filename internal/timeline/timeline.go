@@ -1,0 +1,241 @@
+// Package timeline makes scenarios time-varying: a declarative timeline
+// block modulates an otherwise stationary run deterministically in simulated
+// time through three catalog-registered component families —
+//
+//   - demand schedules (piecewise-linear and periodic/diurnal total-rate
+//     profiles per commodity), consumed identically by the fluid integrator,
+//     the per-agent engine and the mean-field count engine via mass
+//     rescaling at phase boundaries;
+//   - an event track (scheduled edge capacity drops, failures and
+//     restorations) applied as latency patches and replayed through the
+//     observer pipeline so trajectories record each incident;
+//   - tolls (per-edge latency offsets, including the marginal-cost toll
+//     ℓ + x·ℓ' derived from the latency derivative) applied at t = 0 for
+//     price-of-anarchy experiments.
+//
+// Compile lowers a timeline against a base instance and horizon into a
+// Program: a sequence of stationary segments, each a derived flow.Instance
+// (flow.Instance.Derive shares the path enumeration and compiled incidence,
+// so segments are cheap). Run then executes the program on any engine,
+// rescaling commodity mass and deriving fresh per-segment seeds at every
+// boundary, with observer phase indices and times offset so a timeline run
+// looks like one continuous trajectory.
+//
+// Everything is deterministic: the same spec, instance, horizon and seed
+// produce the same segment boundaries, the same event replay and the same
+// result bytes.
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"wardrop/internal/catalog"
+	"wardrop/internal/spec"
+)
+
+// ErrBadTimeline classifies every invalid timeline document. It wraps
+// spec.ErrBadSpec: the timeline block is part of the declarative spec
+// vocabulary, so spec-level classifiers treat timeline failures as spec
+// failures.
+var ErrBadTimeline = fmt.Errorf("timeline: invalid timeline (%w)", spec.ErrBadSpec)
+
+// badTimeline tags err with ErrBadTimeline unless it already wraps it.
+func badTimeline(err error) error { return catalog.WrapSentinel(ErrBadTimeline, err) }
+
+// Spec is the declarative timeline block of a scenario or campaign document.
+// The zero value (and nil) is the stationary timeline: no schedules, no
+// events, no tolls.
+type Spec struct {
+	// Schedules modulate commodity demand rates over time. At most one
+	// schedule may target any given commodity; a schedule with no commodity
+	// name targets all commodities and must then be the only one.
+	Schedules []ScheduleSpec `json:"schedules,omitempty"`
+	// Events patch edge latencies at scheduled times. Per edge the latest
+	// event at or before t is in effect (replace semantics, relative to the
+	// tolled base latency).
+	Events []EventSpec `json:"events,omitempty"`
+	// Tolls transform edge latencies once at t = 0 and persist for the whole
+	// run.
+	Tolls []TollSpec `json:"tolls,omitempty"`
+}
+
+// Empty reports whether the timeline modifies nothing. Nil-safe.
+func (s *Spec) Empty() bool {
+	return s == nil || (len(s.Schedules) == 0 && len(s.Events) == 0 && len(s.Tolls) == 0)
+}
+
+// NeedsProgram reports whether the timeline varies in simulated time —
+// schedules and events require segmented execution, while tolls alone only
+// transform the instance at t = 0. Nil-safe.
+func (s *Spec) NeedsProgram() bool {
+	return s != nil && (len(s.Schedules) > 0 || len(s.Events) > 0)
+}
+
+// Validate checks the timeline's instance-independent shape: every component
+// must resolve in its registry and build with finite, in-range parameters,
+// schedule targets must be exclusive, and every event needs a well-formed
+// edge selector. Commodity names and edge addresses are resolved against the
+// instance later, by ApplyTolls and Compile. Nil-safe; errors wrap
+// ErrBadTimeline (and therefore spec.ErrBadSpec).
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	targeted := make(map[string]int, len(s.Schedules))
+	for i, ss := range s.Schedules {
+		if _, err := ss.Build(); err != nil {
+			return badTimeline(fmt.Errorf("schedule %d: %w", i, err))
+		}
+		if j, dup := targeted[ss.Commodity]; dup {
+			return badTimeline(fmt.Errorf("schedules %d and %d both target commodity %q", j, i, ss.Commodity))
+		}
+		targeted[ss.Commodity] = i
+	}
+	if _, all := targeted[""]; all && len(s.Schedules) > 1 {
+		return badTimeline(fmt.Errorf("an all-commodity schedule (no commodity name) must be the only schedule"))
+	}
+	for i, es := range s.Events {
+		if !isFinite(es.At) || es.At < 0 {
+			return badTimeline(fmt.Errorf("event %d: time %g must be finite and >= 0", i, es.At))
+		}
+		if err := validateSelector(es.Edge, es.From, es.To, false); err != nil {
+			return badTimeline(fmt.Errorf("event %d: %w", i, err))
+		}
+		if _, err := es.Build(); err != nil {
+			return badTimeline(fmt.Errorf("event %d: %w", i, err))
+		}
+	}
+	for i, ts := range s.Tolls {
+		if err := validateSelector(ts.Edge, ts.From, ts.To, true); err != nil {
+			return badTimeline(fmt.Errorf("toll %d: %w", i, err))
+		}
+		if _, err := ts.Build(); err != nil {
+			return badTimeline(fmt.Errorf("toll %d: %w", i, err))
+		}
+	}
+	return nil
+}
+
+// ScheduleSpec selects and parameterises one demand schedule.
+type ScheduleSpec struct {
+	// Kind names the schedule family in the Schedules registry
+	// ("pwl", "diurnal", or a user-registered kind).
+	Kind string `json:"kind"`
+	// Commodity names the targeted commodity; empty targets all.
+	Commodity string `json:"commodity,omitempty"`
+
+	// Times and Factors are the pwl knots: the demand factor is linearly
+	// interpolated between (Times[i], Factors[i]) and clamped outside.
+	Times   []float64 `json:"times,omitempty"`
+	Factors []float64 `json:"factors,omitempty"`
+
+	// Base, Amplitude and Period parameterise the diurnal profile
+	// base + amplitude·sin(2πt/period).
+	Base      float64 `json:"base,omitempty"`
+	Amplitude float64 `json:"amplitude,omitempty"`
+	Period    float64 `json:"period,omitempty"`
+
+	// Samples is the staircase resolution: boundary samples per pwl interval
+	// or per diurnal period (0 selects the kind's default).
+	Samples int `json:"samples,omitempty"`
+
+	// Params carries parameters of user-registered kinds verbatim.
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Build resolves and constructs the schedule from the registry.
+func (ss ScheduleSpec) Build() (Schedule, error) {
+	raw, err := json.Marshal(ss)
+	if err != nil {
+		return nil, err
+	}
+	return Schedules.Build(ss.Kind, raw)
+}
+
+// EventSpec schedules one edge incident.
+type EventSpec struct {
+	// At is the simulated time the event fires.
+	At float64 `json:"at"`
+	// Action names the event family in the Events registry
+	// ("block", "capacity", "restore", or a user-registered action).
+	Action string `json:"action"`
+
+	// Edge addresses the target edge by index; alternatively From/To address
+	// it by its endpoints' node names (unambiguous only without parallel
+	// edges).
+	Edge *int   `json:"edge,omitempty"`
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+
+	// Capacity is the "capacity" action's rescale factor (> 0; < 1 drops
+	// capacity, > 1 upgrades).
+	Capacity float64 `json:"capacity,omitempty"`
+	// Penalty is the "block" action's additive latency (0 selects the
+	// default blocking penalty).
+	Penalty float64 `json:"penalty,omitempty"`
+
+	// Params carries parameters of user-registered actions verbatim.
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Build resolves and constructs the event's edge patch from the registry.
+func (es EventSpec) Build() (EdgePatch, error) {
+	raw, err := json.Marshal(es)
+	if err != nil {
+		return nil, err
+	}
+	return Events.Build(es.Action, raw)
+}
+
+// TollSpec applies one toll.
+type TollSpec struct {
+	// Kind names the toll family in the Tolls registry
+	// ("constant", "marginal", or a user-registered kind).
+	Kind string `json:"kind"`
+
+	// Edge/From/To address the tolled edge as in EventSpec; a toll with no
+	// selector tolls every edge (the usual form for marginal-cost pricing).
+	Edge *int   `json:"edge,omitempty"`
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+
+	// Amount is the "constant" toll's additive latency offset (>= 0).
+	Amount float64 `json:"amount,omitempty"`
+
+	// Params carries parameters of user-registered kinds verbatim.
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Build resolves and constructs the toll's edge patch from the registry.
+func (ts TollSpec) Build() (EdgePatch, error) {
+	raw, err := json.Marshal(ts)
+	if err != nil {
+		return nil, err
+	}
+	return Tolls.Build(ts.Kind, raw)
+}
+
+// validateSelector checks the Edge/From/To edge-address shape shared by
+// events and tolls.
+func validateSelector(edge *int, from, to string, allowAll bool) error {
+	switch {
+	case edge != nil:
+		if *edge < 0 {
+			return fmt.Errorf("edge index %d must be >= 0", *edge)
+		}
+		if from != "" || to != "" {
+			return fmt.Errorf("edge index and from/to are mutually exclusive")
+		}
+	case from != "" && to != "":
+	case from != "" || to != "":
+		return fmt.Errorf("from and to must be given together")
+	case !allowAll:
+		return fmt.Errorf("needs an edge index or a from/to node pair")
+	}
+	return nil
+}
+
+// isFinite reports x is neither NaN nor ±Inf.
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -1,0 +1,348 @@
+package timeline
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"wardrop/internal/engine"
+	"wardrop/internal/flow"
+	"wardrop/internal/policy"
+	"wardrop/internal/solver"
+	"wardrop/internal/spec"
+	"wardrop/internal/topo"
+)
+
+func braess(t *testing.T) *flow.Instance {
+	t.Helper()
+	inst, err := topo.Braess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func testPolicy(t *testing.T, inst *flow.Instance) policy.Policy {
+	t.Helper()
+	mig, err := policy.NewLinear(inst.LMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return policy.Policy{Sampler: policy.Uniform{}, Migrator: mig}
+}
+
+func rebuildPolicy(t *testing.T) PolicyBuilder {
+	t.Helper()
+	return func(inst *flow.Instance) (policy.Policy, error) {
+		mig, err := policy.NewLinear(inst.LMax())
+		if err != nil {
+			return policy.Policy{}, err
+		}
+		return policy.Policy{Sampler: policy.Uniform{}, Migrator: mig}, nil
+	}
+}
+
+func intp(i int) *int { return &i }
+
+// Every invalid timeline must classify as spec.ErrBadSpec (through
+// ErrBadTimeline), so the scenario and campaign layers map it to their own
+// bad-input sentinels and the HTTP layer answers 400, not 500.
+func TestValidateClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		tl   Spec
+	}{
+		{"unknown schedule kind", Spec{Schedules: []ScheduleSpec{{Kind: "lunar"}}}},
+		{"pwl non-ascending times", Spec{Schedules: []ScheduleSpec{{Kind: "pwl", Times: []float64{1, 0}, Factors: []float64{1, 1}}}}},
+		{"pwl non-positive factor", Spec{Schedules: []ScheduleSpec{{Kind: "pwl", Times: []float64{0, 1}, Factors: []float64{1, 0}}}}},
+		{"pwl NaN factor", Spec{Schedules: []ScheduleSpec{{Kind: "pwl", Times: []float64{0, 1}, Factors: []float64{1, math.NaN()}}}}},
+		{"diurnal negative factor range", Spec{Schedules: []ScheduleSpec{{Kind: "diurnal", Base: 1, Amplitude: 2, Period: 4}}}},
+		{"diurnal infinite period", Spec{Schedules: []ScheduleSpec{{Kind: "diurnal", Base: 1, Amplitude: 0.5, Period: math.Inf(1)}}}},
+		{"duplicate commodity target", Spec{Schedules: []ScheduleSpec{
+			{Kind: "diurnal", Base: 1, Amplitude: 0.5, Period: 4},
+			{Kind: "pwl", Times: []float64{0}, Factors: []float64{2}},
+		}}},
+		{"event negative time", Spec{Events: []EventSpec{{At: -1, Action: "restore", Edge: intp(0)}}}},
+		{"event NaN time", Spec{Events: []EventSpec{{At: math.NaN(), Action: "restore", Edge: intp(0)}}}},
+		{"event without selector", Spec{Events: []EventSpec{{At: 1, Action: "restore"}}}},
+		{"event half selector", Spec{Events: []EventSpec{{At: 1, Action: "restore", From: "s"}}}},
+		{"event unknown action", Spec{Events: []EventSpec{{At: 1, Action: "meteor", Edge: intp(0)}}}},
+		{"event bad capacity", Spec{Events: []EventSpec{{At: 1, Action: "capacity", Edge: intp(0), Capacity: -2}}}},
+		{"toll unknown kind", Spec{Tolls: []TollSpec{{Kind: "congestion-zone"}}}},
+		{"toll negative amount", Spec{Tolls: []TollSpec{{Kind: "constant", Amount: -1}}}},
+		{"toll infinite amount", Spec{Tolls: []TollSpec{{Kind: "constant", Amount: math.Inf(1)}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.tl.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid timeline")
+			}
+			if !errors.Is(err, ErrBadTimeline) || !errors.Is(err, spec.ErrBadSpec) {
+				t.Fatalf("error %v does not wrap ErrBadTimeline and spec.ErrBadSpec", err)
+			}
+		})
+	}
+
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err != nil {
+		t.Fatalf("nil timeline must validate: %v", err)
+	}
+	if !nilSpec.Empty() || nilSpec.NeedsProgram() {
+		t.Fatal("nil timeline must be empty and program-free")
+	}
+}
+
+// A stationary timeline compiles to a single segment that reuses the base
+// instance itself — no derivation, no event replay — which is what keeps
+// stationary scenarios byte-identical to their pre-timeline outputs.
+func TestCompileStationary(t *testing.T) {
+	inst := braess(t)
+	for _, tl := range []*Spec{nil, {}} {
+		prog, err := Compile(tl, inst, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(prog.Segments) != 1 {
+			t.Fatalf("stationary timeline compiled to %d segments", len(prog.Segments))
+		}
+		seg := prog.Segments[0]
+		if seg.Instance != inst {
+			t.Fatal("stationary segment must reuse the base instance")
+		}
+		if seg.Start != 0 || seg.End != 10 || len(seg.Events) != 0 {
+			t.Fatalf("stationary segment = %+v", seg)
+		}
+	}
+}
+
+// Compile unions schedule breakpoints and event times into segment
+// boundaries, samples the demand factor at each segment start, and applies
+// per-edge replace semantics for events.
+func TestCompileSegmentation(t *testing.T) {
+	inst := braess(t)
+	tl := &Spec{
+		// A single-knot pwl holds factor 2 for the whole run (clamping), so
+		// every segment's demand doubles without adding breakpoints.
+		Schedules: []ScheduleSpec{{Kind: "pwl", Times: []float64{0}, Factors: []float64{2}}},
+		Events: []EventSpec{
+			{At: 4, Action: "capacity", Edge: intp(0), Capacity: 0.5},
+			{At: 2, Action: "block", Edge: intp(4), Penalty: 7},
+			{At: 6, Action: "restore", Edge: intp(4)},
+			{At: 12, Action: "block", Edge: intp(1)}, // beyond the horizon: never fires
+		},
+	}
+	prog, err := Compile(tl, inst, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := make([]float64, len(prog.Segments))
+	for i, seg := range prog.Segments {
+		starts[i] = seg.Start
+	}
+	wantStarts := []float64{0, 2, 4, 6}
+	if len(starts) != len(wantStarts) {
+		t.Fatalf("segment starts = %v, want %v", starts, wantStarts)
+	}
+	for i := range wantStarts {
+		if starts[i] != wantStarts[i] {
+			t.Fatalf("segment starts = %v, want %v", starts, wantStarts)
+		}
+	}
+	if last := prog.Segments[len(prog.Segments)-1]; last.End != 10 {
+		t.Fatalf("last segment ends at %g, want the horizon 10", last.End)
+	}
+
+	// The schedule factor doubles every segment's demand.
+	for i, seg := range prog.Segments {
+		got := seg.Instance.Commodity(0).Demand
+		want := 2 * inst.Commodity(0).Demand
+		if got != want {
+			t.Fatalf("segment %d demand = %g, want %g", i, got, want)
+		}
+	}
+
+	// Event replay: block at 2, capacity at 4 (both edges patched), restore
+	// at 6 clears the bridge but keeps the capacity patch.
+	events := prog.Events()
+	if len(events) != 3 {
+		t.Fatalf("replayed events = %+v, want 3", events)
+	}
+	if events[0].Action != "block" || events[0].Time != 2 || events[0].Edge != 4 {
+		t.Fatalf("events[0] = %+v", events[0])
+	}
+	if events[1].Action != "capacity" || events[1].Edge != 0 {
+		t.Fatalf("events[1] = %+v", events[1])
+	}
+	if events[2].Action != "restore" || events[2].Edge != 4 {
+		t.Fatalf("events[2] = %+v", events[2])
+	}
+	// Latency evidence: on [2,4) the bridge carries the +7 block; on [6,10)
+	// it is back to base while edge 0 keeps half capacity.
+	if got := prog.Segments[1].Instance.Latency(4).Value(0); got != 7 {
+		t.Fatalf("blocked bridge latency(0) = %g, want 7", got)
+	}
+	last := prog.Segments[3].Instance
+	if got := last.Latency(4).Value(0); got != inst.Latency(4).Value(0) {
+		t.Fatalf("restored bridge latency(0) = %g, want base %g", got, inst.Latency(4).Value(0))
+	}
+	if got, want := last.Latency(0).Value(1), inst.Latency(0).Value(2); got != want {
+		t.Fatalf("half-capacity edge 0 latency(1) = %g, want %g", got, want)
+	}
+}
+
+// A schedule resolution too fine for the horizon must fail loudly instead of
+// deriving millions of instances.
+func TestCompileSegmentBound(t *testing.T) {
+	inst := braess(t)
+	tl := &Spec{Schedules: []ScheduleSpec{{Kind: "diurnal", Base: 1, Amplitude: 0.5, Period: 1e-4}}}
+	_, err := Compile(tl, inst, 10)
+	if err == nil || !errors.Is(err, spec.ErrBadSpec) {
+		t.Fatalf("segment-bound overflow returned %v, want a spec.ErrBadSpec wrap", err)
+	}
+}
+
+// ApplyTolls is the t = 0 instance transform: nil and toll-free timelines
+// pass the instance through unchanged (pointer identity — the stationary
+// fast path), and the tolled instance shares the base's path enumeration so
+// flow vectors stay index-compatible.
+func TestApplyTolls(t *testing.T) {
+	inst := braess(t)
+	for _, tl := range []*Spec{nil, {}, {Events: []EventSpec{{At: 1, Action: "restore", Edge: intp(0)}}}} {
+		got, err := ApplyTolls(tl, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != inst {
+			t.Fatal("toll-free timeline must return the instance unchanged")
+		}
+	}
+
+	tolled, err := ApplyTolls(&Spec{Tolls: []TollSpec{{Kind: "constant", Amount: 0.25, From: "a", To: "b"}}}, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tolled == inst {
+		t.Fatal("tolling must derive a new instance")
+	}
+	if got, want := tolled.Latency(4).Value(0), inst.Latency(4).Value(0)+0.25; got != want {
+		t.Fatalf("tolled bridge latency = %g, want %g", got, want)
+	}
+	if tolled.NumPaths() != inst.NumPaths() {
+		t.Fatalf("tolled instance enumerates %d paths, want %d", tolled.NumPaths(), inst.NumPaths())
+	}
+
+	// An unresolvable selector is a bad spec.
+	_, err = ApplyTolls(&Spec{Tolls: []TollSpec{{Kind: "constant", Amount: 1, From: "s", To: "nowhere"}}}, inst)
+	if err == nil || !errors.Is(err, spec.ErrBadSpec) {
+		t.Fatalf("unknown node returned %v, want a spec.ErrBadSpec wrap", err)
+	}
+}
+
+// The Braess-onset experiment: the bridge starts blocked (the classic
+// four-edge network), and opening it mid-run degrades the equilibrium cost
+// from 1.5 to 2 — adding capacity makes everyone worse off. Each segment's
+// terminal state is cross-checked against the Frank–Wolfe reference solution
+// of that segment's instance.
+func TestBraessOnset(t *testing.T) {
+	inst := braess(t)
+	tl := &Spec{Events: []EventSpec{
+		{At: 0, Action: "block", Edge: intp(4), Penalty: 4},
+		{At: 40, Action: "restore", Edge: intp(4)},
+	}}
+	const horizon = 400.0
+	prog, err := Compile(tl, inst, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Segments) != 2 {
+		t.Fatalf("onset program has %d segments, want 2", len(prog.Segments))
+	}
+
+	// Reference equilibria per segment: blocked cost 1.5, open cost 2.
+	segCost := make([]float64, 2)
+	segPhi := make([]float64, 2)
+	for i, seg := range prog.Segments {
+		sol, err := solver.SolveEquilibrium(seg.Instance, solver.Options{RelGapTol: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := seg.Instance.PathLatencies(sol.Flow)
+		segCost[i] = seg.Instance.OverallAvgLatency(sol.Flow, pl)
+		segPhi[i] = sol.Potential
+	}
+	if math.Abs(segCost[0]-1.5) > 1e-6 {
+		t.Fatalf("blocked-bridge equilibrium cost = %g, want 1.5", segCost[0])
+	}
+	if math.Abs(segCost[1]-2) > 1e-6 {
+		t.Fatalf("open-bridge equilibrium cost = %g, want 2", segCost[1])
+	}
+
+	// Run the fluid dynamics through the program and check each epoch
+	// converges to its segment's equilibrium potential.
+	sc := engine.Scenario{
+		Engine:       engine.Fluid{},
+		Instance:     inst,
+		Policy:       testPolicy(t, inst),
+		UpdatePeriod: 0.25,
+		Horizon:      horizon,
+		RecordEvery:  1,
+	}
+	var seen []AppliedEvent
+	res, events, err := Run(context.Background(), prog, sc, rebuildPolicy(t), func(ev AppliedEvent) {
+		seen = append(seen, ev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || len(seen) != 2 {
+		t.Fatalf("replayed %d events (callback saw %d), want 2", len(events), len(seen))
+	}
+	if events[0].Action != "block" || events[0].Time != 0 || events[1].Action != "restore" || events[1].Time != 40 {
+		t.Fatalf("events = %+v", events)
+	}
+	if res.Elapsed != horizon {
+		t.Fatalf("elapsed %g, want %g", res.Elapsed, horizon)
+	}
+
+	// Terminal state: at the open-bridge equilibrium.
+	if d := math.Abs(res.FinalPotential - segPhi[1]); d > 0.02 {
+		t.Fatalf("final potential %g vs open-bridge Φ* %g (|diff| %g)", res.FinalPotential, segPhi[1], d)
+	}
+	lastInst := prog.Segments[1].Instance
+	finalCost := lastInst.OverallAvgLatency(res.Final, lastInst.PathLatencies(res.Final))
+	if d := math.Abs(finalCost - 2); d > 0.05 {
+		t.Fatalf("final travel cost %g, want ~2 (the Braess degradation)", finalCost)
+	}
+
+	// Epoch 1: just before the bridge opens the run must sit at the
+	// blocked-bridge equilibrium. The trajectory strides globally, so find
+	// the last sample before t = 40.
+	if len(res.Trajectory) == 0 {
+		t.Fatal("no trajectory recorded")
+	}
+	var preOnset float64
+	found := false
+	for _, s := range res.Trajectory {
+		if s.Time < 40 {
+			preOnset = s.Potential
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no trajectory sample before the onset (samples: %d)", len(res.Trajectory))
+	}
+	if d := math.Abs(preOnset - segPhi[0]); d > 0.02 {
+		t.Fatalf("pre-onset potential %g vs blocked-bridge Φ* %g (|diff| %g)", preOnset, segPhi[0], d)
+	}
+
+	// Determinism: a second run reproduces the result exactly.
+	res2, _, err := Run(context.Background(), prog, sc, rebuildPolicy(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FinalPotential != res.FinalPotential || res2.Phases != res.Phases {
+		t.Fatalf("rerun diverged: Φ %g vs %g, phases %d vs %d", res2.FinalPotential, res.FinalPotential, res2.Phases, res.Phases)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"wardrop/internal/canon"
 	"wardrop/internal/scenario"
 	"wardrop/internal/serve"
+	"wardrop/internal/timeline"
 )
 
 // Serving layer ---------------------------------------------------------------
@@ -60,16 +61,22 @@ func SpecFingerprint(v any) (string, error) { return canon.Fingerprint(v) }
 // POST /v1/scenarios response (byte-identical for the same spec).
 type ScenarioRunResult = scenario.RunResult
 
+// TimelineEvent is one replayed timeline event of a time-varying scenario
+// run — ScenarioSpec.Run returns the replayed list, and the result document
+// and the server's NDJSON streams record them.
+type TimelineEvent = timeline.AppliedEvent
+
 // NewRunResult assembles the canonical result document for a completed run
-// of the spec.
-func NewRunResult(s *ScenarioSpec, res *Result) (ScenarioRunResult, error) {
-	return scenario.NewRunResult(s, res)
+// of the spec; events is the replayed-event list ScenarioSpec.Run returned
+// (nil for stationary runs).
+func NewRunResult(s *ScenarioSpec, res *Result, events []TimelineEvent) (ScenarioRunResult, error) {
+	return scenario.NewRunResult(s, res, events)
 }
 
 // EncodeRunResult writes the canonical result document for a completed run
 // of the spec to w as one JSON line.
-func EncodeRunResult(w io.Writer, s *ScenarioSpec, res *Result) error {
-	doc, err := scenario.NewRunResult(s, res)
+func EncodeRunResult(w io.Writer, s *ScenarioSpec, res *Result, events []TimelineEvent) error {
+	doc, err := scenario.NewRunResult(s, res, events)
 	if err != nil {
 		return err
 	}
