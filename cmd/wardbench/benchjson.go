@@ -31,6 +31,11 @@ type benchReport struct {
 	Kernel []bench.Measurement `json:"kernel,omitempty"`
 	// Speedups maps workload prefix to reference-ns / kernel-ns.
 	Speedups map[string]float64 `json:"speedups,omitempty"`
+	// KernelScaling holds the kernelScaling suite: one row per instance
+	// size with reference/serial/parallel ns per full evaluation pass and
+	// the derived speedup and parallel-efficiency ratios (empty: suite
+	// skipped).
+	KernelScaling []bench.ScalingMeasurement `json:"kernelScaling,omitempty"`
 	// Serve holds the serving-layer suite: per-request cost and derived
 	// requests/sec for cached vs uncached scenario requests.
 	Serve []bench.ServeMeasurement `json:"serve,omitempty"`
@@ -142,9 +147,10 @@ func headline(id string, tbl *report.Table) (string, float64, bool) {
 
 // writeBenchJSON assembles and writes the report. gridN > 0 runs the
 // kernel-vs-reference suite (a few benchmark-seconds per measurement);
+// scaleSizes is the edge counts for the kernelScaling suite (nil skips it);
 // withServe runs the serving-layer suite; withMeanfield the
 // population-scaling suite; withDispatch the distributed-sweep suite.
-func writeBenchJSON(w io.Writer, gridN int, withServe, withMeanfield, withDispatch bool, exps []expEntry) error {
+func writeBenchJSON(w io.Writer, gridN int, scaleSizes []int, withServe, withMeanfield, withDispatch bool, exps []expEntry) error {
 	rep := benchReport{
 		Schema:      "wardrop/bench/v1",
 		GoOS:        runtime.GOOS,
@@ -167,6 +173,13 @@ func writeBenchJSON(w io.Writer, gridN int, withServe, withMeanfield, withDispat
 			}
 			rep.Speedups[prefix] = s
 		}
+	}
+	if len(scaleSizes) > 0 {
+		sm, err := bench.ScalingSuite(scaleSizes)
+		if err != nil {
+			return fmt.Errorf("scaling suite: %w", err)
+		}
+		rep.KernelScaling = sm
 	}
 	if withServe {
 		sm, err := bench.ServeSuite()

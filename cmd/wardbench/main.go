@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,11 +37,22 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "directory to write per-experiment CSV files (optional)")
 	benchJSON := fs.String("benchjson", "", "file to write machine-readable results (ns, allocs, headline metric per experiment plus kernel-vs-reference benchmarks)")
 	benchGrid := fs.Int("benchgrid", 6, "grid size for the kernel benchmark suite in -benchjson (0 skips the suite)")
+	benchScale := fs.String("benchscale", "", "comma-separated edge counts for the kernelScaling suite in -benchjson, e.g. 10000,30000,100000 (empty skips the suite)")
 	benchServe := fs.Bool("benchserve", true, "include the serving-layer suite (cached vs uncached scenario requests) in -benchjson")
 	benchMeanfield := fs.Bool("benchmeanfield", true, "include the population-scaling suite (count vs per-agent engine) in -benchjson")
 	benchDispatch := fs.Bool("benchdispatch", true, "include the distributed-sweep suite (local vs cold/warm fleet) in -benchjson")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var scaleSizes []int
+	if *benchScale != "" {
+		for _, s := range strings.Split(*benchScale, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("-benchscale: bad edge count %q", s)
+			}
+			scaleSizes = append(scaleSizes, n)
+		}
 	}
 
 	runners := map[string]func() (*report.Table, error){
@@ -136,7 +148,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := writeBenchJSON(f, *benchGrid, *benchServe, *benchMeanfield, *benchDispatch, exps); err != nil {
+		if err := writeBenchJSON(f, *benchGrid, scaleSizes, *benchServe, *benchMeanfield, *benchDispatch, exps); err != nil {
 			f.Close()
 			return err
 		}

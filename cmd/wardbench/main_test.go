@@ -38,6 +38,14 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+func TestRunBadBenchScale(t *testing.T) {
+	for _, v := range []string{"ten", "0", "-5", "1000,,2000"} {
+		if err := run([]string{"-exp", "e1", "-benchscale", v}); err == nil || !strings.Contains(err.Error(), "-benchscale") {
+			t.Errorf("-benchscale %q: error = %v", v, err)
+		}
+	}
+}
+
 func TestRunBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_kernel.json")

@@ -203,7 +203,7 @@ func TestListPrintsBuiltinCatalog(t *testing.T) {
 	}
 	for _, name := range []string{
 		"constant", "linear", "polynomial", "monomial", "bpr", "mm1", "pwl", "kink",
-		"pigou", "braess", "links", "grid", "layered", "custom",
+		"pigou", "braess", "links", "grid", "layered", "sparse-random", "scalefree", "tntp", "custom",
 		"uniform", "replicator", "proportional", "boltzmann",
 		"alphalinear", "betterresponse",
 		"fluid", "fresh", "bestresponse", "agents", "count",

@@ -1,0 +1,39 @@
+package flow
+
+import "testing"
+
+// balanceChunks must always produce a valid partition: parts+1
+// nondecreasing boundaries from 0 to the row count, regardless of weight
+// skew or parts exceeding rows — the parallel phases index chunks blindly.
+func TestBalanceChunksPartitions(t *testing.T) {
+	cases := []struct {
+		name   string
+		starts []int32
+		parts  int
+	}{
+		{"uniform", []int32{0, 2, 4, 6, 8, 10, 12, 14, 16}, 4},
+		{"skewed-front", []int32{0, 100, 101, 102, 103, 104}, 3},
+		{"skewed-back", []int32{0, 1, 2, 3, 4, 200}, 3},
+		{"one-row", []int32{0, 7}, 4},
+		{"more-parts-than-rows", []int32{0, 1, 2, 3}, 8},
+		{"single-part", []int32{0, 5, 9}, 1},
+		{"all-empty-rows", []int32{0, 0, 0, 0}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := len(c.starts) - 1
+			bounds := balanceChunks(c.starts, c.parts)
+			if len(bounds) != c.parts+1 {
+				t.Fatalf("len(bounds) = %d, want %d", len(bounds), c.parts+1)
+			}
+			if bounds[0] != 0 || bounds[c.parts] != int32(n) {
+				t.Fatalf("bounds endpoints %d..%d, want 0..%d", bounds[0], bounds[c.parts], n)
+			}
+			for i := 0; i < c.parts; i++ {
+				if bounds[i] > bounds[i+1] {
+					t.Fatalf("bounds not nondecreasing: %v", bounds)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,9 @@
 package flow
 
 import (
+	"runtime"
+	"sync"
+
 	"wardrop/internal/latency"
 )
 
@@ -34,6 +37,11 @@ type incidence struct {
 	// the paths through edge e in ascending order.
 	edgeStart []int32
 	edgePaths []int32
+	// pathWork[g] = Σ_{e ∈ path g} deg(e): the reverse-index rescan cost an
+	// incremental refresh pays for a change to path g. Precomputed so the
+	// incremental-vs-full crossover gate costs O(changed paths), not a walk
+	// of their edge lists.
+	pathWork []int32
 }
 
 // kernel returns the instance's compiled incidence and batch latency
@@ -100,6 +108,14 @@ func (in *Instance) compileIncidence() *incidence {
 			}
 			g++
 		}
+	}
+	inc.pathWork = make([]int32, in.totalPaths)
+	for g := range inc.pathWork {
+		w := int32(0)
+		for _, e := range inc.pathEdges[inc.pathStart[g]:inc.pathStart[g+1]] {
+			w += deg[e]
+		}
+		inc.pathWork[g] = w
 	}
 	return inc
 }
@@ -179,6 +195,37 @@ type Evaluator struct {
 	// them current once materialized, so runs that never ask for the
 	// potential never pay for it.
 	potValid bool
+
+	// Parallel full-pass state. par is the worker count (1 disables);
+	// forcePar bypasses the size crossover so tests can exercise the
+	// parallel kernel on toy instances. The chunk plans are CSR-weight-
+	// balanced boundaries in edge and path space, computed once per worker
+	// count and reused by every pass, so parallel phases allocate nothing
+	// beyond the goroutine fan-out itself (the same trade the dynamics
+	// parfill makes).
+	par        int
+	forcePar   bool
+	edgeChunks []int32
+	pathChunks []int32
+}
+
+const (
+	// evalParMinWork is the serial/parallel crossover for full passes:
+	// below this total work (incidence entries + edges) the goroutine
+	// fan-out costs more than it saves — toy catalog instances (the 6×6
+	// grid is a few hundred entries) stay on the serial path.
+	evalParMinWork = 1 << 14
+	// maxEvalWorkers caps the fan-out; beyond ~8 workers the passes are
+	// memory-bound (matches the dynamics parfill cap).
+	maxEvalWorkers = 8
+)
+
+func defaultEvalWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxEvalWorkers {
+		n = maxEvalWorkers
+	}
+	return n
 }
 
 // NewEvaluator builds an evaluator for the instance, carving its buffers
@@ -198,16 +245,92 @@ func NewEvaluator(inst *Instance, ws *Workspace) *Evaluator {
 		edgeMark: make([]int32, nE),
 		pathMark: make([]int32, nP),
 		touched:  make([]int32, 0, nE),
+		par:      defaultEvalWorkers(),
 	}
 	return ev
+}
+
+// SetParallelism overrides the worker count for parallel full passes.
+// workers <= 1 forces the serial path; workers > 1 forces the parallel path
+// with that many workers regardless of the size crossover (differential
+// tests use this to exercise the parallel kernel on small instances).
+// workers == 0 restores the default: min(GOMAXPROCS, 8) workers, engaged
+// only above the crossover threshold. Parallel and serial passes produce
+// identical bits, so this is a performance knob, never a semantic one.
+func (ev *Evaluator) SetParallelism(workers int) {
+	switch {
+	case workers == 0:
+		ev.par = defaultEvalWorkers()
+		ev.forcePar = false
+	case workers <= 1:
+		ev.par = 1
+		ev.forcePar = false
+	default:
+		ev.par = workers
+		ev.forcePar = true
+	}
+	ev.edgeChunks = nil
+	ev.pathChunks = nil
+}
+
+// parallelEval reports whether a full pass should take the parallel path.
+func (ev *Evaluator) parallelEval() bool {
+	if ev.par <= 1 {
+		return false
+	}
+	return ev.forcePar || len(ev.inc.pathEdges)+len(ev.edgeFlow) >= evalParMinWork
+}
+
+// ensureChunks builds (or rebuilds after SetParallelism) the cached chunk
+// plans: par+1 boundaries in edge space balanced by reverse-index degree,
+// and in path space balanced by path length.
+func (ev *Evaluator) ensureChunks() {
+	if len(ev.edgeChunks) == ev.par+1 {
+		return
+	}
+	ev.edgeChunks = balanceChunks(ev.inc.edgeStart, ev.par)
+	ev.pathChunks = balanceChunks(ev.inc.pathStart, ev.par)
+}
+
+// balanceChunks splits the rows of a CSR starts array (len(starts)-1 rows,
+// row i weighing starts[i+1]-starts[i]) into parts contiguous chunks of
+// roughly equal total weight, returning parts+1 nondecreasing boundaries.
+func balanceChunks(starts []int32, parts int) []int32 {
+	n := len(starts) - 1
+	total := int64(starts[n])
+	bounds := make([]int32, parts+1)
+	bounds[parts] = int32(n)
+	i := 0
+	for c := 1; c < parts; c++ {
+		target := total * int64(c) / int64(parts)
+		for i < n && int64(starts[i]) < target {
+			i++
+		}
+		bounds[c] = int32(i)
+	}
+	return bounds
 }
 
 // Instance returns the bound instance.
 func (ev *Evaluator) Instance() *Instance { return ev.inst }
 
-// Eval fully re-evaluates edge flows, edge latencies, path latencies and
-// the per-edge potential terms from f.
+// Eval fully re-evaluates edge flows, edge latencies and path latencies
+// from f. Above the size crossover (and with more than one worker
+// available) the pass runs in parallel over pre-balanced edge and path
+// chunks; below it, serially. Both paths produce identical bits — see
+// evalParallel for the argument — so the crossover is purely a performance
+// decision.
 func (ev *Evaluator) Eval(f Vector) {
+	if ev.parallelEval() {
+		ev.evalParallel(f)
+	} else {
+		ev.evalSerial(f)
+	}
+	ev.evaluated = true
+	ev.potValid = false
+}
+
+func (ev *Evaluator) evalSerial(f Vector) {
 	pathEdges := ev.inc.pathEdges
 	pathStart := ev.inc.pathStart
 	edgeFlow := ev.edgeFlow
@@ -235,8 +358,67 @@ func (ev *Evaluator) Eval(f Vector) {
 		}
 		pathLat[g] = sum
 	}
-	ev.evaluated = true
-	ev.potValid = false
+}
+
+// evalParallel is the chunked full pass. Phase 1 fans out over disjoint
+// edge ranges: each worker computes its edges' flows by a gather over the
+// reverse index and batch-evaluates their latencies via ValuesRange. Phase
+// 2 (after a barrier — path sums read edge latencies across chunk
+// boundaries) fans out over disjoint path ranges summing path latencies.
+//
+// Bit-identity with evalSerial: the gather iterates edge e's path list in
+// ascending global order skipping zero flows — exactly the per-edge
+// addition sequence the serial forward scatter produces (the invariant the
+// incremental rescan already relies on, pinned by the kernel differential
+// tests); latency evaluation and path sums are per-edge/per-path
+// independent, so chunking cannot reorder anything. No worker writes
+// outside its range and phases are separated by barriers, so the pass is
+// race-free by construction.
+func (ev *Evaluator) evalParallel(f Vector) {
+	ev.ensureChunks()
+	inc := ev.inc
+	var wg sync.WaitGroup
+	for c := 0; c < ev.par; c++ {
+		e0, e1 := ev.edgeChunks[c], ev.edgeChunks[c+1]
+		if e0 == e1 {
+			continue
+		}
+		wg.Add(1)
+		go func(e0, e1 int32) {
+			defer wg.Done()
+			edgeFlow := ev.edgeFlow
+			for e := e0; e < e1; e++ {
+				sum := 0.0
+				for _, g := range inc.edgePaths[inc.edgeStart[e]:inc.edgeStart[e+1]] {
+					if fp := f[g]; fp != 0 {
+						sum += fp
+					}
+				}
+				edgeFlow[e] = sum
+			}
+			ev.prog.ValuesRange(edgeFlow, ev.edgeLat, e0, e1)
+		}(e0, e1)
+	}
+	wg.Wait()
+	for c := 0; c < ev.par; c++ {
+		g0, g1 := ev.pathChunks[c], ev.pathChunks[c+1]
+		if g0 == g1 {
+			continue
+		}
+		wg.Add(1)
+		go func(g0, g1 int32) {
+			defer wg.Done()
+			edgeLat := ev.edgeLat
+			for g := g0; g < g1; g++ {
+				sum := 0.0
+				for _, e := range inc.pathEdges[inc.pathStart[g]:inc.pathStart[g+1]] {
+					sum += edgeLat[e]
+				}
+				ev.pathLat[g] = sum
+			}
+		}(g0, g1)
+	}
+	wg.Wait()
 }
 
 // ApplyDelta moves amount flow from global path p to global path q
@@ -252,14 +434,34 @@ func (ev *Evaluator) ApplyDelta(f Vector, p, q int, amount float64) {
 // Refresh incrementally re-evaluates after the caller changed f on exactly
 // the given global paths (f is already updated). Requires that every other
 // entry of f is unchanged since the evaluator last saw it, and a prior
-// Eval. Passing a large changed set degrades to full-evaluation cost; use
-// Update when the caller cannot bound the sparsity.
+// Eval. Refresh gates itself by estimated cost: when the rescan the change
+// implies (precomputed per-path as pathWork) approaches the cost of a full
+// pass, it falls back to Eval — which batches latency evaluation and
+// parallelizes on large instances, and produces identical bits — so a move
+// through a bottleneck edge shared by most paths never does more work than
+// a full evaluation.
 func (ev *Evaluator) Refresh(f Vector, changed ...int) {
 	if !ev.evaluated {
 		ev.Eval(f)
 		return
 	}
 	inc := ev.inc
+	// pathWork prices the reverse-index rescan; the dependent-path re-sums
+	// and the epoch marking cost roughly that much again, while the batched
+	// full pass streams linearly. The 3x factor makes the incremental path
+	// engage only where it clearly wins (changes touching under about a
+	// third of the incidence) — on dense overlapping path sets like the
+	// grid, a two-path move reaches most of the incidence and the full pass
+	// is faster.
+	work := int32(0)
+	limit := int32(len(inc.pathEdges))
+	for _, g := range changed {
+		work += inc.pathWork[g]
+		if work >= limit/3 {
+			ev.fullRefresh(f, changed)
+			return
+		}
+	}
 	ev.epoch++
 	// Epoch wrap (int32 increment past MaxInt32 goes negative): reset the
 	// marks to 0 and restart at 1, so live epochs are always positive and
@@ -316,31 +518,35 @@ func (ev *Evaluator) Refresh(f Vector, changed ...int) {
 	}
 }
 
-// Update re-evaluates after the caller changed f on the given global paths,
-// choosing between the incremental path and a full Eval by estimated cost.
-// The estimate is the work Refresh actually does — for every edge of a
-// changed path, a rescan of that edge's full path list plus the dependent
-// path re-sums, both proportional to the edge's degree in the reverse
-// index — so a sparse move through a bottleneck edge shared by most paths
-// correctly falls back to Eval (which is always correct: the two produce
-// identical bits).
-func (ev *Evaluator) Update(f Vector, changed []int) {
-	if !ev.evaluated {
-		ev.Eval(f)
+// fullRefresh is Refresh's dense fallback: a batched full pass, plus a
+// repair of the potential terms when they were live. Only the changed
+// paths' edges carry new flows — every other edge recomputes to identical
+// bits (same nonzero flows, same ascending addition order) — so patching
+// just those integrals leaves edgeInt exactly as a from-scratch
+// materialization would, and the next Potential call is a plain sum
+// instead of a full Integrals pass. The patch uses the same per-edge
+// Integral calls the incremental path uses, which match the batched
+// program bit-for-bit (the invariant the incremental mode is built on).
+func (ev *Evaluator) fullRefresh(f Vector, changed []int) {
+	hadPot := ev.potValid
+	ev.Eval(f)
+	if !hadPot {
 		return
 	}
 	inc := ev.inc
-	work := 0
-	total := len(inc.pathEdges)
+	lats := ev.inst.latencies
 	for _, g := range changed {
 		for _, e := range inc.pathEdges[inc.pathStart[g]:inc.pathStart[g+1]] {
-			work += int(inc.edgeStart[e+1] - inc.edgeStart[e])
-		}
-		if work*2 >= total {
-			ev.Eval(f)
-			return
+			ev.edgeInt[e] = lats[e].Integral(ev.edgeFlow[e])
 		}
 	}
+	ev.potValid = true
+}
+
+// Update re-evaluates after the caller changed f on the given global
+// paths. The incremental-vs-full cost gate now lives in Refresh itself, so
+// Update is a thin alias kept for callers holding a slice.
+func (ev *Evaluator) Update(f Vector, changed []int) {
 	ev.Refresh(f, changed...)
 }
 
@@ -359,7 +565,24 @@ func (ev *Evaluator) PathLatencies() []float64 { return ev.pathLat }
 // summation sequence.
 func (ev *Evaluator) Potential() float64 {
 	if !ev.potValid {
-		ev.prog.Integrals(ev.edgeFlow, ev.edgeInt)
+		if ev.parallelEval() {
+			ev.ensureChunks()
+			var wg sync.WaitGroup
+			for c := 0; c < ev.par; c++ {
+				e0, e1 := ev.edgeChunks[c], ev.edgeChunks[c+1]
+				if e0 == e1 {
+					continue
+				}
+				wg.Add(1)
+				go func(e0, e1 int32) {
+					defer wg.Done()
+					ev.prog.IntegralsRange(ev.edgeFlow, ev.edgeInt, e0, e1)
+				}(e0, e1)
+			}
+			wg.Wait()
+		} else {
+			ev.prog.Integrals(ev.edgeFlow, ev.edgeInt)
+		}
 		ev.potValid = true
 	}
 	phi := 0.0

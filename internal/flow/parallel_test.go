@@ -1,0 +1,146 @@
+package flow_test
+
+// Differential tests for the parallel full-pass kernel: with forced
+// parallelism at several worker counts, Eval, Refresh and Potential must
+// reproduce the serial evaluator — and therefore the naive reference —
+// bit for bit, on the toy topology zoo and on 10⁴+-edge instances from
+// the large catalog families. Run under -race these tests also prove the
+// chunked phases are data-race-free.
+
+import (
+	"math"
+	"testing"
+
+	"wardrop/internal/flow"
+	"wardrop/internal/topo"
+)
+
+// largeInstances builds one 10⁴-edge instance per large family (k-shortest
+// path strategy sets keep enumeration tractable at this size).
+func largeInstances(t testing.TB) map[string]*flow.Instance {
+	t.Helper()
+	sparse, err := topo.SparseRandom(10000, 4, 4, 6, 0xabc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale, err := topo.ScaleFree(10000, 3, 4, 6, 0xdef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*flow.Instance{
+		"sparse-random/10k": sparse,
+		"scalefree/10k":     scale,
+	}
+}
+
+func mustEqualScalarBits(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: got %v (%#x), want %v (%#x)",
+			what, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// TestParallelEvalMatchesSerialBitwise forces the parallel path at several
+// worker counts — including more workers than some instances have edges —
+// and requires every full-pass quantity to match the serial evaluator and
+// the naive reference bitwise.
+func TestParallelEvalMatchesSerialBitwise(t *testing.T) {
+	insts := kernelInstances(t)
+	for name, inst := range largeInstances(t) {
+		insts[name] = inst
+	}
+	for name, inst := range insts {
+		t.Run(name, func(t *testing.T) {
+			rng := &topo.SplitMix{State: 7}
+			ser := flow.NewEvaluator(inst, nil)
+			ser.SetParallelism(1)
+			for _, workers := range []int{2, 3, 8, 16} {
+				par := flow.NewEvaluator(inst, nil)
+				par.SetParallelism(workers)
+				for trial := 0; trial < 5; trial++ {
+					f := randomFlow(inst, rng)
+					ser.Eval(f)
+					par.Eval(f)
+					mustEqualBits(t, "edge flows", par.EdgeFlows(), ser.EdgeFlows())
+					mustEqualBits(t, "edge latencies", par.EdgeLatencies(), ser.EdgeLatencies())
+					mustEqualBits(t, "path latencies", par.PathLatencies(), ser.PathLatencies())
+					mustEqualScalarBits(t, "potential", par.Potential(), ser.Potential())
+
+					fe, le, pl, phi := reference(inst, f)
+					mustEqualBits(t, "edge flows vs reference", par.EdgeFlows(), fe)
+					mustEqualBits(t, "edge latencies vs reference", par.EdgeLatencies(), le)
+					mustEqualBits(t, "path latencies vs reference", par.PathLatencies(), pl)
+					mustEqualScalarBits(t, "potential vs reference", par.Potential(), phi)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelIncrementalMatchesSerial400Steps drives serial and
+// forced-parallel evaluators through the same 400-step random delta
+// sequence on 10⁴-edge instances. After every step the two must agree
+// bitwise, and periodically both must agree with a from-scratch serial
+// Eval — delta-updated parallel state may never drift.
+func TestParallelIncrementalMatchesSerial400Steps(t *testing.T) {
+	for name, inst := range largeInstances(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := &topo.SplitMix{State: 99}
+			ser := flow.NewEvaluator(inst, nil)
+			ser.SetParallelism(1)
+			par := flow.NewEvaluator(inst, nil)
+			par.SetParallelism(4)
+			fresh := flow.NewEvaluator(inst, nil)
+			fresh.SetParallelism(1)
+
+			fSer := inst.UniformFlow()
+			fPar := inst.UniformFlow()
+			ser.Eval(fSer)
+			par.Eval(fPar)
+			n := inst.NumPaths()
+			for step := 0; step < 400; step++ {
+				p := int(rng.Next() % uint64(n))
+				q := int(rng.Next() % uint64(n))
+				amount := rng.Float64() * fSer[p]
+				ser.ApplyDelta(fSer, p, q, amount)
+				par.ApplyDelta(fPar, p, q, amount)
+				mustEqualBits(t, "flow vectors", fPar, fSer)
+				mustEqualBits(t, "edge flows", par.EdgeFlows(), ser.EdgeFlows())
+				mustEqualBits(t, "path latencies", par.PathLatencies(), ser.PathLatencies())
+				if step%50 == 49 {
+					mustEqualBits(t, "edge latencies", par.EdgeLatencies(), ser.EdgeLatencies())
+					mustEqualScalarBits(t, "potential", par.Potential(), ser.Potential())
+					fresh.Eval(fSer)
+					mustEqualBits(t, "edge flows vs fresh", par.EdgeFlows(), fresh.EdgeFlows())
+					mustEqualBits(t, "path latencies vs fresh", par.PathLatencies(), fresh.PathLatencies())
+				}
+			}
+		})
+	}
+}
+
+// TestRefreshCostGateFallsBackBitIdentically changes every path at once:
+// the Refresh cost gate must take the full-Eval fallback and still produce
+// exactly the bits an incremental-only evaluator would have.
+func TestRefreshCostGateFallsBackBitIdentically(t *testing.T) {
+	for name, inst := range kernelInstances(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := &topo.SplitMix{State: 3}
+			ev := flow.NewEvaluator(inst, nil)
+			f := randomFlow(inst, rng)
+			ev.Eval(f)
+			changed := make([]int, inst.NumPaths())
+			for g := range changed {
+				changed[g] = g
+				f[g] = rng.Float64()
+			}
+			ev.Refresh(f, changed...)
+			fe, le, pl, phi := reference(inst, f)
+			mustEqualBits(t, "edge flows", ev.EdgeFlows(), fe)
+			mustEqualBits(t, "edge latencies", ev.EdgeLatencies(), le)
+			mustEqualBits(t, "path latencies", ev.PathLatencies(), pl)
+			mustEqualScalarBits(t, "potential", ev.Potential(), phi)
+		})
+	}
+}

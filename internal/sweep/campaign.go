@@ -28,6 +28,8 @@ import (
 
 	// Register the "custom" topology family (embedded instance documents).
 	_ "wardrop/internal/spec"
+	// Register the "tntp" topology family (road networks loaded from disk).
+	_ "wardrop/internal/tntp"
 )
 
 // Sentinel errors.

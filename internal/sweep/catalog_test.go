@@ -21,6 +21,12 @@ var sampleTopologies = map[string]Topology{
 	"links":   {Family: "links", Size: 5},
 	"grid":    {Family: "grid", Size: 3},
 	"layered": {Family: "layered", Size: 2, Layers: 2},
+	"sparse-random": {Family: "sparse-random", Size: 200,
+		Params: json.RawMessage(`{"degree": 3, "commodities": 2, "kpaths": 4}`)},
+	"scalefree": {Family: "scalefree", Size: 200,
+		Params: json.RawMessage(`{"attach": 2, "commodities": 2, "kpaths": 4}`)},
+	"tntp": {Family: "tntp",
+		Params: json.RawMessage(`{"net": "../tntp/testdata/siouxfalls_net.tntp", "trips": "../tntp/testdata/siouxfalls_trips.tntp", "kpaths": 2}`)},
 	"custom": {Family: "custom", Instance: json.RawMessage(`{
 	  "nodes": ["s", "t"],
 	  "edges": [
@@ -122,12 +128,15 @@ func TestSeededFamiliesUseTheSeed(t *testing.T) {
 // cells after the catalog rewire.
 func TestBuiltinTopologyKeysPinned(t *testing.T) {
 	cases := map[string]string{
-		"pigou":   "pigou",
-		"braess":  "braess",
-		"kink":    "kink(beta=4)",
-		"links":   "links(m=5)",
-		"grid":    "grid(n=3)",
-		"layered": "layered(l=2,w=2)",
+		"pigou":         "pigou",
+		"braess":        "braess",
+		"kink":          "kink(beta=4)",
+		"links":         "links(m=5)",
+		"grid":          "grid(n=3)",
+		"layered":       "layered(l=2,w=2)",
+		"sparse-random": "sparse-random(m=200,d=3,c=2,k=4)",
+		"scalefree":     "scalefree(m=200,a=2,c=2,k=4)",
+		"tntp":          "tntp(siouxfalls,k=2)",
 	}
 	for family, want := range cases {
 		if got := sampleTopologies[family].Key(); got != want {

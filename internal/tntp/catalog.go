@@ -1,0 +1,58 @@
+package tntp
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"wardrop/internal/catalog"
+	"wardrop/internal/flow"
+	"wardrop/internal/topo"
+)
+
+// The "tntp" topology family loads a TNTP network/trips pair from disk,
+// giving scenarios, campaigns and the CLIs real road networks. File I/O
+// happens in Builder.New — at task execution, not parse time — so a
+// campaign referencing many instances validates quickly; the cell label is
+// derived from the network file name (plus k and any demand scale), which
+// is how TNTP instances are conventionally identified.
+func init() {
+	topo.Catalog.MustRegister(catalog.Entry[topo.Builder]{
+		Name: "tntp",
+		Doc:  "a TNTP traffic-assignment instance loaded from net/trips files",
+		Params: []catalog.Param{
+			{Name: "net", Type: "string", Doc: "path to the _net.tntp network file"},
+			{Name: "trips", Type: "string", Doc: "path to the _trips.tntp demand file"},
+			{Name: "kpaths", Type: "int", Doc: "k shortest free-flow paths per OD pair (default 8)"},
+			{Name: "scale", Type: "float", Doc: "demand multiplier (default 1)"},
+		},
+		Build: func(raw json.RawMessage) (topo.Builder, error) {
+			var a struct {
+				Net    string  `json:"net"`
+				Trips  string  `json:"trips"`
+				KPaths int     `json:"kpaths"`
+				Scale  float64 `json:"scale"`
+			}
+			if err := catalog.DecodeArgs(raw, &a); err != nil {
+				return topo.Builder{}, fmt.Errorf("%w: %v", topo.ErrBadParam, err)
+			}
+			if a.Net == "" || a.Trips == "" {
+				return topo.Builder{}, fmt.Errorf("%w: tntp requires net and trips file paths", topo.ErrBadParam)
+			}
+			opts := Options{KPaths: a.KPaths, DemandScale: a.Scale}
+			base := strings.TrimSuffix(filepath.Base(a.Net), filepath.Ext(a.Net))
+			base = strings.TrimSuffix(base, "_net")
+			key := fmt.Sprintf("tntp(%s,k=%d)", base, opts.kPaths())
+			if s := opts.demandScale(); s != 1 {
+				key = fmt.Sprintf("tntp(%s,k=%d,scale=%g)", base, opts.kPaths(), s)
+			}
+			return topo.Builder{
+				Key: key,
+				New: func(uint64) (*flow.Instance, error) {
+					return Load(a.Net, a.Trips, opts)
+				},
+			}, nil
+		},
+	})
+}

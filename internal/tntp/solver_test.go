@@ -1,0 +1,49 @@
+package tntp_test
+
+import (
+	"math"
+	"testing"
+
+	"wardrop/internal/solver"
+	"wardrop/internal/tntp"
+)
+
+// The published best-known Sioux Falls user equilibrium: total system
+// travel time ≈ 7,480,225 veh·min (average trip time 20.74 min at total
+// demand 360,600) and Beckmann objective ≈ 4.231335×10⁶. With k = 8
+// shortest paths per OD pair our restricted-path equilibrium lands within
+// a fraction of a percent (k = 16 reproduces the objective to 5 digits
+// but takes several times longer; this is the CI point).
+func TestSiouxFallsEquilibriumObjective(t *testing.T) {
+	inst, err := tntp.Load("testdata/siouxfalls_net.tntp", "testdata/siouxfalls_trips.tntp",
+		tntp.Options{KPaths: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.SolveEquilibrium(inst, solver.Options{MaxIters: 5000, RelGapTol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelGap > 1e-6 {
+		t.Fatalf("solver did not converge: relGap %g after %d iters", res.RelGap, res.Iters)
+	}
+	fe := inst.EdgeFlows(res.Flow, nil)
+	le := inst.EdgeLatencies(fe, nil)
+	tstt := 0.0
+	for e := range fe {
+		tstt += fe[e] * le[e]
+	}
+	const (
+		wantTSTT      = 7480225.0
+		wantObjective = 4231335.0
+	)
+	if rel := math.Abs(tstt-wantTSTT) / wantTSTT; rel > 0.005 {
+		t.Errorf("TSTT = %.1f, want %.1f ± 0.5%% (off by %.3f%%)", tstt, wantTSTT, 100*rel)
+	}
+	if rel := math.Abs(res.Potential-wantObjective) / wantObjective; rel > 0.005 {
+		t.Errorf("Beckmann objective = %.1f, want %.1f ± 0.5%%", res.Potential, wantObjective)
+	}
+	if avg := tstt / inst.TotalDemand(); math.Abs(avg-20.74) > 0.2 {
+		t.Errorf("average trip time = %.3f min, want ≈ 20.74", avg)
+	}
+}

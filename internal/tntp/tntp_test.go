@@ -1,0 +1,166 @@
+package tntp
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"wardrop/internal/latency"
+)
+
+const (
+	netFixture   = "testdata/siouxfalls_net.tntp"
+	tripsFixture = "testdata/siouxfalls_trips.tntp"
+)
+
+// Golden counts for the Sioux Falls fixture: 24 zones/nodes, 76 links,
+// a 24×24 trip table totalling 360,600 with 528 positive off-diagonal
+// pairs — the canonical shape of the instance.
+func TestParseSiouxFallsGolden(t *testing.T) {
+	nf, err := os.Open(netFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Close()
+	net, err := ParseNet(nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Zones != 24 || net.Nodes != 24 || net.FirstThruNode != 1 {
+		t.Fatalf("metadata = zones %d nodes %d firstThru %d, want 24/24/1",
+			net.Zones, net.Nodes, net.FirstThruNode)
+	}
+	if len(net.Links) != 76 {
+		t.Fatalf("links = %d, want 76", len(net.Links))
+	}
+	first := net.Links[0]
+	if first.From != 1 || first.To != 2 || first.Capacity != 25900.20064 ||
+		first.FreeFlowTime != 6 || first.B != 0.15 || first.Power != 4 {
+		t.Fatalf("first link = %+v, want 1→2 cap 25900.20064 fft 6 B 0.15 power 4", first)
+	}
+	for _, lk := range net.Links {
+		if lk.B != 0.15 || lk.Power != 4 {
+			t.Fatalf("link %d→%d has B %g power %g; every Sioux Falls link is standard BPR",
+				lk.From, lk.To, lk.B, lk.Power)
+		}
+	}
+
+	tf, err := os.Open(tripsFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	trips, err := ParseTrips(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trips.Zones != 24 || trips.TotalOD != 360600 {
+		t.Fatalf("trips metadata = zones %d total %g, want 24/360600", trips.Zones, trips.TotalOD)
+	}
+	sum := 0.0
+	positive := 0
+	for _, od := range trips.ODs {
+		sum += od.Demand
+		if od.Origin != od.Dest && od.Demand > 0 {
+			positive++
+		}
+	}
+	if sum != 360600 {
+		t.Fatalf("summed OD demand = %g, want 360600", sum)
+	}
+	if positive != 528 {
+		t.Fatalf("positive off-diagonal ODs = %d, want 528", positive)
+	}
+}
+
+func TestInstanceSiouxFallsGolden(t *testing.T) {
+	inst, err := Load(netFixture, tripsFixture, Options{KPaths: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Graph().NumNodes(); got != 24 {
+		t.Fatalf("NumNodes = %d, want 24", got)
+	}
+	if got := inst.Graph().NumEdges(); got != 76 {
+		t.Fatalf("NumEdges = %d, want 76", got)
+	}
+	if got := inst.NumCommodities(); got != 528 {
+		t.Fatalf("NumCommodities = %d, want 528", got)
+	}
+	if got := inst.NumPaths(); got != 528*4 {
+		t.Fatalf("NumPaths = %d, want %d (4 per OD pair)", got, 528*4)
+	}
+	if got := inst.TotalDemand(); got != 360600 {
+		t.Fatalf("TotalDemand = %g, want 360600", got)
+	}
+	// Every link is standard BPR, so the whole instance must land in the
+	// kernel's batched BPR group.
+	if sizes := inst.Program().GroupSizes(); sizes["bpr"] != 76 {
+		t.Fatalf("bpr group = %d, want 76 (%v)", sizes["bpr"], sizes)
+	}
+	// Demand scaling.
+	half, err := Load(netFixture, tripsFixture, Options{KPaths: 4, DemandScale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := half.TotalDemand(); got != 180300 {
+		t.Fatalf("scaled TotalDemand = %g, want 180300", got)
+	}
+}
+
+func TestLinkLatencyMapping(t *testing.T) {
+	if lat, err := linkLatency(Link{Capacity: 100, FreeFlowTime: 2, B: 0.15, Power: 4}); err != nil {
+		t.Fatal(err)
+	} else if _, ok := lat.(latency.BPR); !ok {
+		t.Fatalf("standard BPR row mapped to %T, want latency.BPR", lat)
+	}
+	lat, err := linkLatency(Link{Capacity: 100, FreeFlowTime: 2, B: 0.5, Power: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t(x) = 2·(1 + 0.5·(x/100)²); check at x = 100 → 3.
+	if got := lat.Value(100); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("power-2 latency at capacity = %g, want 3", got)
+	}
+	if lat, err := linkLatency(Link{FreeFlowTime: 5}); err != nil {
+		t.Fatal(err)
+	} else if got := lat.Value(123); got != 5 {
+		t.Fatalf("B=0 row must be constant free-flow time, got %g", got)
+	}
+	if _, err := linkLatency(Link{Capacity: 100, FreeFlowTime: 2, B: 0.3, Power: 2.5}); err == nil {
+		t.Fatal("non-integer power must be rejected")
+	}
+	if _, err := linkLatency(Link{Capacity: 0, FreeFlowTime: 2, B: 0.15, Power: 4}); err == nil {
+		t.Fatal("zero capacity with positive B must be rejected")
+	}
+	if _, err := linkLatency(Link{Capacity: 100, FreeFlowTime: -1}); err == nil {
+		t.Fatal("negative free-flow time must be rejected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseNet(strings.NewReader("<NUMBER OF ZONES> 2\n")); err == nil {
+		t.Error("net without <END OF METADATA> must fail")
+	}
+	if _, err := ParseNet(strings.NewReader(
+		"<NUMBER OF ZONES> 2\n<NUMBER OF NODES> 2\n<NUMBER OF LINKS> 1\n<END OF METADATA>\n1 2 bad 1 1 0.15 4 0 0 1 ;\n")); err == nil {
+		t.Error("unparseable link field must fail")
+	}
+	if _, err := ParseNet(strings.NewReader(
+		"<NUMBER OF ZONES> 2\n<NUMBER OF NODES> 2\n<NUMBER OF LINKS> 2\n<END OF METADATA>\n1 2 100 1 1 0.15 4 0 0 1 ;\n")); err == nil {
+		t.Error("link count mismatch with metadata must fail")
+	}
+	if _, err := ParseNet(strings.NewReader(
+		"<NUMBER OF ZONES> 2\n<NUMBER OF NODES> 2\n<NUMBER OF LINKS> 1\n<END OF METADATA>\n1 3 100 1 1 0.15 4 0 0 1 ;\n")); err == nil {
+		t.Error("link endpoint outside node range must fail")
+	}
+	if _, err := ParseTrips(strings.NewReader(
+		"<NUMBER OF ZONES> 2\n<END OF METADATA>\n1 : 5.0;\n")); err == nil {
+		t.Error("OD entry before Origin header must fail")
+	}
+	if _, err := ParseTrips(strings.NewReader(
+		"<NUMBER OF ZONES> 2\n<END OF METADATA>\nOrigin 1\n2 = 5.0;\n")); err == nil {
+		t.Error("malformed OD entry must fail")
+	}
+}

@@ -1,0 +1,252 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"wardrop/internal/catalog"
+	"wardrop/internal/flow"
+	"wardrop/internal/graph"
+	"wardrop/internal/latency"
+)
+
+// This file holds the large parameterized topology families (10⁴–10⁶
+// edges). Path enumeration would explode on graphs this size, so both
+// families restrict each commodity's strategy space to its k shortest
+// free-flow paths (flow.WithKShortestPaths); the families exist to give the
+// compiled evaluation kernel full passes big enough to parallelize.
+
+// SparseRandom builds a sparse random DAG with exactly edges edges over
+// roughly edges/degree nodes. Nodes are topologically ordered; a spine
+// i→i+1 guarantees every earlier node reaches every later one, and the
+// remaining edges connect uniformly random forward pairs, so shortest
+// paths are short even at 10⁶ edges. Latencies are seed-deterministic
+// affine functions; commodities route from the first third of the order to
+// the last third with staggered demands. Each commodity's strategy set is
+// its kPaths shortest free-flow paths.
+func SparseRandom(edges int, degree float64, commodities, kPaths int, seed uint64) (*flow.Instance, error) {
+	if edges < 8 || degree < 1.5 || commodities < 1 || kPaths < 1 {
+		return nil, fmt.Errorf("%w: sparse-random edges=%d degree=%g commodities=%d kPaths=%d (need edges >= 8, degree >= 1.5, commodities >= 1, kPaths >= 1)",
+			ErrBadParam, edges, degree, commodities, kPaths)
+	}
+	n := int(float64(edges) / degree)
+	if n < 6 {
+		n = 6
+	}
+	if n > edges-1 {
+		n = edges - 1
+	}
+	rng := SplitMix{State: seed}
+	g := graph.New()
+	nodes := make([]graph.NodeID, n)
+	for i := range nodes {
+		nodes[i] = g.MustAddNode(fmt.Sprintf("v%d", i))
+	}
+	lats := make([]latency.Function, 0, edges)
+	randLinear := func() latency.Function {
+		return latency.Linear{
+			Slope:  0.05 + 0.5*rng.Float64(),
+			Offset: 0.5 + rng.Float64(),
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(nodes[i], nodes[i+1])
+		lats = append(lats, randLinear())
+	}
+	for len(lats) < edges {
+		u := int(rng.Float64() * float64(n-1))
+		v := u + 1 + int(rng.Float64()*float64(n-1-u))
+		g.MustAddEdge(nodes[u], nodes[v])
+		lats = append(lats, randLinear())
+	}
+	return flow.NewInstance(g, lats, spreadCommodities(nodes, commodities, &rng),
+		flow.WithKShortestPaths(kPaths))
+}
+
+// ScaleFree builds a directed scale-free DAG with exactly edges edges by
+// preferential attachment: the complete spine (i-1)→i is laid down first
+// so every forward pair stays connected even when the edge budget is
+// tight, then each node i in arrival order receives attach-1 edges from
+// endpoints sampled proportionally to their current degree, and the edge
+// count is padded to exact with further preferential forward edges. Hub
+// edges get BPR latencies (free-flow time and capacity drawn from the
+// seed), exercising the kernel's BPR batch group; commodities are spread
+// as in SparseRandom.
+func ScaleFree(edges, attach, commodities, kPaths int, seed uint64) (*flow.Instance, error) {
+	if edges < 8 || attach < 1 || commodities < 1 || kPaths < 1 {
+		return nil, fmt.Errorf("%w: scalefree edges=%d attach=%d commodities=%d kPaths=%d (need edges >= 8, attach >= 1, commodities >= 1, kPaths >= 1)",
+			ErrBadParam, edges, attach, commodities, kPaths)
+	}
+	n := edges/attach + 1
+	if n < 6 {
+		n = 6
+	}
+	if n > edges-1 {
+		n = edges - 1
+	}
+	rng := SplitMix{State: seed}
+	g := graph.New()
+	nodes := make([]graph.NodeID, n)
+	for i := range nodes {
+		nodes[i] = g.MustAddNode(fmt.Sprintf("v%d", i))
+	}
+	lats := make([]latency.Function, 0, edges)
+	randBPR := func() latency.Function {
+		return latency.BPR{
+			FreeTime: 0.5 + rng.Float64(),
+			Capacity: 1 + 4*rng.Float64(),
+		}
+	}
+	// endpoints lists every edge endpoint once; sampling it uniformly is
+	// degree-proportional (preferential) attachment.
+	endpoints := make([]int, 0, 2*edges)
+	addEdge := func(u, v int) {
+		g.MustAddEdge(nodes[u], nodes[v])
+		lats = append(lats, randBPR())
+		endpoints = append(endpoints, u, v)
+	}
+	// The spine goes in first, before attachment can exhaust the budget:
+	// n is clamped to at most edges-1 nodes, so the n-1 spine edges always
+	// fit, and with them every source index reaches every later sink.
+	for i := 1; i < n; i++ {
+		addEdge(i-1, i)
+	}
+	for i := 1; i < n && len(lats) < edges; i++ {
+		for a := 1; a < attach && len(lats) < edges; a++ {
+			u := int(rng.Float64() * float64(i))
+			if len(endpoints) > 0 {
+				if c := endpoints[int(rng.Float64()*float64(len(endpoints)))]; c < i {
+					u = c
+				}
+			}
+			addEdge(u, i)
+		}
+	}
+	// Pad to the exact edge count with preferential forward edges.
+	for len(lats) < edges {
+		u := endpoints[int(rng.Float64()*float64(len(endpoints)))]
+		if u >= n-1 {
+			u = int(rng.Float64() * float64(n-1))
+		}
+		v := u + 1 + int(rng.Float64()*float64(n-1-u))
+		addEdge(u, v)
+	}
+	return flow.NewInstance(g, lats, spreadCommodities(nodes, commodities, &rng),
+		flow.WithKShortestPaths(kPaths))
+}
+
+// spreadCommodities places c commodities with sources drawn from the first
+// third of the topological order and sinks from the last third (the spine
+// guarantees each source reaches its sink), demands staggered 1, 1.5, 2, …
+func spreadCommodities(nodes []graph.NodeID, c int, rng *SplitMix) []flow.Commodity {
+	n := len(nodes)
+	third := n / 3
+	if third < 1 {
+		third = 1
+	}
+	comms := make([]flow.Commodity, c)
+	for i := range comms {
+		s := int(rng.Float64() * float64(third))
+		t := n - 1 - int(rng.Float64()*float64(third))
+		comms[i] = flow.Commodity{
+			Name:   fmt.Sprintf("c%d", i),
+			Source: nodes[s],
+			Sink:   nodes[t],
+			Demand: 1 + 0.5*float64(i),
+		}
+	}
+	return comms
+}
+
+// largeArgs is the parameter vocabulary of the large families. The edge
+// count doubles as the shared flat "size" field so campaign axes and
+// wardsim -m work unchanged; everything else arrives via the nested params
+// document.
+type largeArgs struct {
+	Size        int     `json:"size"`
+	Edges       int     `json:"edges"`
+	Degree      float64 `json:"degree"`
+	Attach      int     `json:"attach"`
+	Commodities int     `json:"commodities"`
+	KPaths      int     `json:"kpaths"`
+}
+
+func decodeLargeArgs(raw json.RawMessage) (largeArgs, error) {
+	var a largeArgs
+	if err := catalog.DecodeArgs(raw, &a); err != nil {
+		return a, fmt.Errorf("%w: %v", ErrBadParam, err)
+	}
+	if a.Edges == 0 {
+		a.Edges = a.Size
+	}
+	if a.Commodities == 0 {
+		a.Commodities = 4
+	}
+	if a.KPaths == 0 {
+		a.KPaths = 12
+	}
+	return a, nil
+}
+
+func init() {
+	Catalog.MustRegister(catalog.Entry[Builder]{
+		Name: "sparse-random",
+		Doc:  "sparse random DAG at 10⁴–10⁶ edges, affine latencies, k-shortest-path strategy sets",
+		Params: []catalog.Param{
+			{Name: "size", Type: "int", Doc: "edge count m (>= 8); alias: edges"},
+			{Name: "degree", Type: "float", Doc: "mean out-degree d (>= 1.5, default 4): nodes ≈ m/d"},
+			{Name: "commodities", Type: "int", Doc: "commodity count (default 4)"},
+			{Name: "kpaths", Type: "int", Doc: "k shortest free-flow paths per commodity (default 12)"},
+		},
+		Build: func(raw json.RawMessage) (Builder, error) {
+			a, err := decodeLargeArgs(raw)
+			if err != nil {
+				return Builder{}, err
+			}
+			if a.Degree == 0 {
+				a.Degree = 4
+			}
+			if a.Edges < 8 || a.Degree < 1.5 || a.Commodities < 1 || a.KPaths < 1 {
+				return Builder{}, fmt.Errorf("%w: sparse-random size=%d degree=%g commodities=%d kpaths=%d",
+					ErrBadParam, a.Edges, a.Degree, a.Commodities, a.KPaths)
+			}
+			return Builder{
+				Key:    fmt.Sprintf("sparse-random(m=%d,d=%g,c=%d,k=%d)", a.Edges, a.Degree, a.Commodities, a.KPaths),
+				Seeded: true,
+				New: func(seed uint64) (*flow.Instance, error) {
+					return SparseRandom(a.Edges, a.Degree, a.Commodities, a.KPaths, seed)
+				},
+			}, nil
+		},
+	})
+	Catalog.MustRegister(catalog.Entry[Builder]{
+		Name: "scalefree",
+		Doc:  "scale-free DAG by preferential attachment, BPR latencies, k-shortest-path strategy sets",
+		Params: []catalog.Param{
+			{Name: "size", Type: "int", Doc: "edge count m (>= 8); alias: edges"},
+			{Name: "attach", Type: "int", Doc: "edges per arriving node a (>= 1, default 3): nodes ≈ m/a"},
+			{Name: "commodities", Type: "int", Doc: "commodity count (default 4)"},
+			{Name: "kpaths", Type: "int", Doc: "k shortest free-flow paths per commodity (default 12)"},
+		},
+		Build: func(raw json.RawMessage) (Builder, error) {
+			a, err := decodeLargeArgs(raw)
+			if err != nil {
+				return Builder{}, err
+			}
+			if a.Attach == 0 {
+				a.Attach = 3
+			}
+			if a.Edges < 8 || a.Attach < 1 || a.Commodities < 1 || a.KPaths < 1 {
+				return Builder{}, fmt.Errorf("%w: scalefree size=%d attach=%d commodities=%d kpaths=%d",
+					ErrBadParam, a.Edges, a.Attach, a.Commodities, a.KPaths)
+			}
+			return Builder{
+				Key:    fmt.Sprintf("scalefree(m=%d,a=%d,c=%d,k=%d)", a.Edges, a.Attach, a.Commodities, a.KPaths),
+				Seeded: true,
+				New: func(seed uint64) (*flow.Instance, error) {
+					return ScaleFree(a.Edges, a.Attach, a.Commodities, a.KPaths, seed)
+				},
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,142 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"wardrop/internal/graph"
+)
+
+// The large families must deliver exactly the requested edge count, valid
+// instances (every path positive-demand-routable, invariants enforced by
+// flow.NewInstance), determinism per seed and genuine seed sensitivity —
+// the properties the scaling benchmarks and sweep campaigns assume.
+
+func TestSparseRandomProperties(t *testing.T) {
+	const edges, seed = 2000, uint64(0x5eed)
+	a, err := SparseRandom(edges, 4, 3, 5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Graph().NumEdges(); got != edges {
+		t.Fatalf("NumEdges = %d, want exactly %d", got, edges)
+	}
+	if a.NumCommodities() != 3 {
+		t.Fatalf("NumCommodities = %d, want 3", a.NumCommodities())
+	}
+	for i := 0; i < a.NumCommodities(); i++ {
+		if n := a.NumCommodityPaths(i); n < 1 || n > 5 {
+			t.Fatalf("commodity %d has %d paths, want 1..5", i, n)
+		}
+	}
+	if !a.Graph().IsAcyclic() {
+		t.Fatal("sparse-random graph must be a DAG")
+	}
+	// Determinism: same seed, same instance (structure and latencies).
+	b, err := SparseRandom(edges, 4, 3, 5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.PathLatencies(a.UniformFlow()), b.PathLatencies(b.UniformFlow())
+	if len(pa) != len(pb) {
+		t.Fatalf("path counts differ across rebuilds: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if math.Float64bits(pa[i]) != math.Float64bits(pb[i]) {
+			t.Fatalf("path latency %d differs across rebuilds: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+	// Seed sensitivity.
+	c, err := SparseRandom(edges, 4, 3, 5, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := c.PathLatencies(c.UniformFlow())
+	same := len(pa) == len(pc)
+	if same {
+		for i := range pa {
+			if pa[i] != pc[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("sparse-random ignored the seed")
+	}
+}
+
+func TestScaleFreeProperties(t *testing.T) {
+	const edges, seed = 2000, uint64(0xcafe)
+	a, err := ScaleFree(edges, 3, 3, 5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Graph().NumEdges(); got != edges {
+		t.Fatalf("NumEdges = %d, want exactly %d", got, edges)
+	}
+	if !a.Graph().IsAcyclic() {
+		t.Fatal("scalefree graph must be a DAG")
+	}
+	// BPR latencies throughout (the family exists to exercise that group).
+	if sizes := a.Program().GroupSizes(); sizes["bpr"] != edges {
+		t.Fatalf("bpr group = %d, want %d (%v)", sizes["bpr"], edges, sizes)
+	}
+	b, err := ScaleFree(edges, 3, 3, 5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.PathLatencies(a.UniformFlow()), b.PathLatencies(b.UniformFlow())
+	if len(pa) != len(pb) {
+		t.Fatalf("path counts differ across rebuilds: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if math.Float64bits(pa[i]) != math.Float64bits(pb[i]) {
+			t.Fatalf("path latency %d differs across rebuilds: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+	// Scale-free shape: the maximum out-degree should dwarf the mean.
+	g := a.Graph()
+	maxOut := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := len(g.OutEdges(graph.NodeID(v))); d > maxOut {
+			maxOut = d
+		}
+	}
+	mean := float64(edges) / float64(g.NumNodes())
+	if float64(maxOut) < 4*mean {
+		t.Fatalf("max out-degree %d vs mean %.1f: no preferential-attachment hubs", maxOut, mean)
+	}
+}
+
+// Tiny edge budgets clamp the node count up relative to edges/attach; the
+// spine must still be complete so every commodity's source reaches its
+// sink. Size 8 is wardsim's -m default (this is a regression test for
+// `wardsim -topo scalefree` failing with "no path between terminals").
+func TestLargeFamiliesConnectedAtSmallSizes(t *testing.T) {
+	for edges := 8; edges <= 24; edges++ {
+		for seed := uint64(1); seed <= 5; seed++ {
+			if _, err := ScaleFree(edges, 3, 4, 12, seed); err != nil {
+				t.Errorf("ScaleFree(%d, 3, 4, 12, %d): %v", edges, seed, err)
+			}
+			if _, err := SparseRandom(edges, 4, 4, 12, seed); err != nil {
+				t.Errorf("SparseRandom(%d, 4, 4, 12, %d): %v", edges, seed, err)
+			}
+		}
+	}
+}
+
+func TestLargeFamilyParamValidation(t *testing.T) {
+	if _, err := SparseRandom(4, 4, 1, 1, 1); err == nil {
+		t.Error("SparseRandom accepted edges < 8")
+	}
+	if _, err := SparseRandom(100, 1.0, 1, 1, 1); err == nil {
+		t.Error("SparseRandom accepted degree < 1.5")
+	}
+	if _, err := ScaleFree(100, 0, 1, 1, 1); err == nil {
+		t.Error("ScaleFree accepted attach < 1")
+	}
+	if _, err := ScaleFree(100, 3, 0, 1, 1); err == nil {
+		t.Error("ScaleFree accepted commodities < 1")
+	}
+}
