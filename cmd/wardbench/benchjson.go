@@ -39,6 +39,10 @@ type benchReport struct {
 	// Serve holds the serving-layer suite: per-request cost and derived
 	// requests/sec for cached vs uncached scenario requests.
 	Serve []bench.ServeMeasurement `json:"serve,omitempty"`
+	// ServeLoad holds the concurrent-client ramp: throughput and latency
+	// percentiles per client-count step, plus the saturation point (nil:
+	// suite skipped).
+	ServeLoad *bench.LoadSummary `json:"serveLoad,omitempty"`
 	// Meanfield holds the population-scaling suite: ns/phase for the count
 	// engine (10^3..10^7 agents) next to the per-agent engine
 	// (10^3..10^5).
@@ -148,9 +152,10 @@ func headline(id string, tbl *report.Table) (string, float64, bool) {
 // writeBenchJSON assembles and writes the report. gridN > 0 runs the
 // kernel-vs-reference suite (a few benchmark-seconds per measurement);
 // scaleSizes is the edge counts for the kernelScaling suite (nil skips it);
-// withServe runs the serving-layer suite; withMeanfield the
-// population-scaling suite; withDispatch the distributed-sweep suite.
-func writeBenchJSON(w io.Writer, gridN int, scaleSizes []int, withServe, withMeanfield, withDispatch bool, exps []expEntry) error {
+// withServe runs the serving-layer suite; loadClients the client counts of
+// the serveLoad ramp (nil skips it); withMeanfield the population-scaling
+// suite; withDispatch the distributed-sweep suite.
+func writeBenchJSON(w io.Writer, gridN int, scaleSizes []int, withServe bool, loadClients []int, withMeanfield, withDispatch bool, exps []expEntry) error {
 	rep := benchReport{
 		Schema:      "wardrop/bench/v1",
 		GoOS:        runtime.GOOS,
@@ -187,6 +192,13 @@ func writeBenchJSON(w io.Writer, gridN int, scaleSizes []int, withServe, withMea
 			return fmt.Errorf("serve suite: %w", err)
 		}
 		rep.Serve = sm
+	}
+	if len(loadClients) > 0 {
+		ls, err := bench.LoadSuite(loadClients, 0)
+		if err != nil {
+			return fmt.Errorf("serve load suite: %w", err)
+		}
+		rep.ServeLoad = ls
 	}
 	if withMeanfield {
 		pm, err := bench.MeanfieldSuite(nil, nil)

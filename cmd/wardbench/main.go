@@ -39,6 +39,7 @@ func run(args []string) error {
 	benchGrid := fs.Int("benchgrid", 6, "grid size for the kernel benchmark suite in -benchjson (0 skips the suite)")
 	benchScale := fs.String("benchscale", "", "comma-separated edge counts for the kernelScaling suite in -benchjson, e.g. 10000,30000,100000 (empty skips the suite)")
 	benchServe := fs.Bool("benchserve", true, "include the serving-layer suite (cached vs uncached scenario requests) in -benchjson")
+	benchLoad := fs.String("benchload", "1,2,4,8,16", "comma-separated client counts for the serveLoad ramp in -benchjson (empty skips the suite)")
 	benchMeanfield := fs.Bool("benchmeanfield", true, "include the population-scaling suite (count vs per-agent engine) in -benchjson")
 	benchDispatch := fs.Bool("benchdispatch", true, "include the distributed-sweep suite (local vs cold/warm fleet) in -benchjson")
 	if err := fs.Parse(args); err != nil {
@@ -52,6 +53,16 @@ func run(args []string) error {
 				return fmt.Errorf("-benchscale: bad edge count %q", s)
 			}
 			scaleSizes = append(scaleSizes, n)
+		}
+	}
+	var loadClients []int
+	if *benchLoad != "" {
+		for _, s := range strings.Split(*benchLoad, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("-benchload: bad client count %q", s)
+			}
+			loadClients = append(loadClients, n)
 		}
 	}
 
@@ -148,7 +159,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := writeBenchJSON(f, *benchGrid, scaleSizes, *benchServe, *benchMeanfield, *benchDispatch, exps); err != nil {
+		if err := writeBenchJSON(f, *benchGrid, scaleSizes, *benchServe, loadClients, *benchMeanfield, *benchDispatch, exps); err != nil {
 			f.Close()
 			return err
 		}

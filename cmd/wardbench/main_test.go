@@ -46,13 +46,21 @@ func TestRunBadBenchScale(t *testing.T) {
 	}
 }
 
+func TestRunBadBenchLoad(t *testing.T) {
+	for _, v := range []string{"many", "0", "-2", "1,,4"} {
+		if err := run([]string{"-exp", "e1", "-benchload", v}); err == nil || !strings.Contains(err.Error(), "-benchload") {
+			t.Errorf("-benchload %q: error = %v", v, err)
+		}
+	}
+}
+
 func TestRunBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_kernel.json")
 	// -benchgrid 0 / -benchserve=false skip the (slow) kernel and serving
 	// suites; the experiment entries and document shape are what this test
 	// pins.
-	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0", "-benchserve=false", "-benchmeanfield=false"}); err != nil {
+	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0", "-benchserve=false", "-benchload=", "-benchmeanfield=false"}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -95,7 +103,7 @@ func TestHeadlineCoversEveryExperiment(t *testing.T) {
 func TestRunBenchJSONServeSuite(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_kernel.json")
-	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0", "-benchmeanfield=false"}); err != nil {
+	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0", "-benchload=", "-benchmeanfield=false"}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -121,6 +129,35 @@ func TestRunBenchJSONServeSuite(t *testing.T) {
 	}
 }
 
+// TestRunBenchJSONServeLoadSuite pins the serveLoad document shape: a short
+// two-step ramp lands in BENCH_kernel.json with a saturation point.
+func TestRunBenchJSONServeLoadSuite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_kernel.json")
+	if err := run([]string{"-exp", "e1", "-benchjson", path, "-benchgrid", "0", "-benchserve=false", "-benchload", "1,2", "-benchmeanfield=false", "-benchdispatch=false"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.ServeLoad == nil || len(rep.ServeLoad.Steps) == 0 {
+		t.Fatalf("serveLoad suite missing: %+v", rep.ServeLoad)
+	}
+	if rep.ServeLoad.SaturationClients == 0 || rep.ServeLoad.SaturationRequestsPerSec <= 0 {
+		t.Fatalf("serveLoad saturation point incomplete: %+v", rep.ServeLoad)
+	}
+	for _, s := range rep.ServeLoad.Steps {
+		if s.Requests == 0 || s.P99Ms < s.P50Ms {
+			t.Errorf("malformed step: %+v", s)
+		}
+	}
+}
+
 // The count experiments run through wardbench end-to-end, and the meanfield
 // population-scaling suite lands in the benchjson document.
 func TestRunBenchJSONMeanfieldSuite(t *testing.T) {
@@ -129,7 +166,7 @@ func TestRunBenchJSONMeanfieldSuite(t *testing.T) {
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_kernel.json")
-	if err := run([]string{"-exp", "e6c", "-benchjson", path, "-benchgrid", "0", "-benchserve=false"}); err != nil {
+	if err := run([]string{"-exp", "e6c", "-benchjson", path, "-benchgrid", "0", "-benchserve=false", "-benchload="}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

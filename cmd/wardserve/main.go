@@ -37,14 +37,23 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux the -pprof listener serves
 	"os"
 	"time"
 
 	"wardrop"
 	"wardrop/internal/drain"
+	"wardrop/internal/obs"
 )
+
+// newLogger builds the process logger; see obs.NewLogger for the shared
+// conventions.
+func newLogger(w io.Writer, verbose, json bool) *slog.Logger {
+	return obs.NewLogger(w, verbose, json)
+}
 
 func main() {
 	ctx, stop := drain.Context(context.Background())
@@ -66,12 +75,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	storeMax := fs.Int64("store-max", 0, "result-store byte budget, least-recently-used eviction (0 = unbounded)")
 	grace := fs.Duration("grace", 15*time.Second, "shutdown grace period for in-flight jobs")
 	list := fs.Bool("list", false, "print the registered component catalog and exit")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
+	verbose := fs.Bool("v", false, "debug-level structured logs (per-request access log included)")
+	logJSON := fs.Bool("logjson", false, "structured logs as JSON lines instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		return wardrop.WriteCatalog(stdout)
 	}
+	logger := newLogger(os.Stderr, *verbose, *logJSON)
 
 	// Bind before starting the worker pool so a bad -addr never spawns (and
 	// leaks) workers.
@@ -99,8 +112,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// The resolved address line is machine-readable on purpose: tests and
 	// scripts bind :0 and scrape the port.
 	fmt.Fprintf(stdout, "wardserve: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String(), "workers", cfg.Workers)
 
-	hs := &http.Server{Handler: srv}
+	// Opt-in pprof on its own listener: profiling must never share the
+	// public address, and a bad -pprof is a startup error, not a silent gap.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		fmt.Fprintf(stdout, "wardserve: pprof on %s\n", pln.Addr())
+		logger.Info("pprof", "addr", pln.Addr().String())
+		go func() { _ = http.Serve(pln, nil) }()
+	}
+
+	hs := &http.Server{Handler: wardrop.ServerAccessLog(logger, srv)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -117,6 +145,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// Drain: stop accepting, give in-flight handlers and queued jobs the
 	// grace period, then cancel whatever is still running.
 	fmt.Fprintf(stdout, "wardserve: draining (grace %s)\n", *grace)
+	logger.Info("draining", "grace", grace.String())
 	gctx, cancel := drain.Grace(*grace)
 	defer cancel()
 	shutdownErr := hs.Shutdown(gctx)

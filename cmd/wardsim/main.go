@@ -15,6 +15,7 @@
 //	wardsim -topo links -m 16 -policy uniform -T safe -horizon 100 -agents 1000
 //	wardsim -topo pigou -policy uniform -T safe -horizon 100 -count 1000000
 //	wardsim -scenario run.json
+//	wardsim -topo braess -horizon 10 -trace run-trace.jsonl
 //	wardsim -list
 package main
 
@@ -59,6 +60,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	countN := fs.Int64("count", 0, "if > 0, run the mean-field count engine (same process as -agents, O(paths) per phase — use for millions of agents)")
 	list := fs.Bool("list", false, "print the registered component catalog and exit")
 	jsonOut := fs.Bool("json", false, "with -scenario: emit the canonical JSON result document instead of CSV (byte-identical to wardserve's POST /v1/scenarios response)")
+	traceOut := fs.String("trace", "", "write one JSONL span per phase (and per timeline event) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,8 +70,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *jsonOut && *scenFile == "" {
 		return fmt.Errorf("-json requires -scenario (only scenario files have a canonical result document)")
 	}
+	// The tracer rides the engine observer pipeline, so every run path —
+	// fluid, best response, agents, counts, scenario timelines — traces the
+	// same way. The ring bounds memory on unbounded runs; an overflow is
+	// reported, not silent.
+	var tracer *wardrop.Tracer
+	var traceOpts []wardrop.RunOption
+	if *traceOut != "" {
+		tracer = wardrop.NewTracer(1 << 16)
+		traceOpts = append(traceOpts, wardrop.WithObserver(tracer))
+	}
 	if *scenFile != "" {
-		return runScenario(ctx, *scenFile, *jsonOut, stdout)
+		return runScenario(ctx, *scenFile, *jsonOut, tracer, *traceOut, stdout)
 	}
 	// Reject bad run-shape flags up front instead of passing them to the
 	// simulators (where e.g. -every 0 silently disables recording and
@@ -131,8 +143,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			f1, _, _ := wardrop.TwoLinkOscillation(*beta, T, 0)
 			scenario.InitialFlow = wardrop.Flow{f1, 1 - f1}
 		}
-		res, err := wardrop.Run(ctx, scenario)
-		return emit(stdout, res, err)
+		res, err := wardrop.Run(ctx, scenario, traceOpts...)
+		return finish(stdout, res, err, tracer, *traceOut)
 	}
 
 	pol, err := wardrop.CampaignPolicy{Kind: *policyName, C: *c}.Build(inst)
@@ -158,15 +170,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	default:
 		scenario.Engine = wardrop.FluidEngine{Integrator: wardrop.Uniformization}
 	}
-	res, err := wardrop.Run(ctx, scenario)
-	return emit(stdout, res, err)
+	res, err := wardrop.Run(ctx, scenario, traceOpts...)
+	return finish(stdout, res, err, tracer, *traceOut)
 }
 
 // runScenario executes a declarative scenario file through the shared
 // ScenarioSpec.Run path (stationary specs run exactly as before; timeline
 // specs execute segment by segment); with jsonOut it emits the canonical
-// result document shared with the serving layer instead of CSV.
-func runScenario(ctx context.Context, path string, jsonOut bool, stdout io.Writer) error {
+// result document shared with the serving layer instead of CSV. A tracer
+// additionally marks every applied timeline event between its phase spans.
+func runScenario(ctx context.Context, path string, jsonOut bool, tracer *wardrop.Tracer, tracePath string, stdout io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -176,7 +189,13 @@ func runScenario(ctx context.Context, path string, jsonOut bool, stdout io.Write
 	if err != nil {
 		return err
 	}
-	res, events, err := sc.Run(ctx, nil)
+	var onEvent func(wardrop.TimelineEvent)
+	var opts []wardrop.RunOption
+	if tracer != nil {
+		onEvent = func(ev wardrop.TimelineEvent) { tracer.MarkEvent(ev.Action, ev.Time) }
+		opts = append(opts, wardrop.WithObserver(tracer))
+	}
+	res, events, err := sc.Run(ctx, onEvent, opts...)
 	if jsonOut {
 		if err != nil {
 			return err
@@ -185,9 +204,12 @@ func runScenario(ctx context.Context, path string, jsonOut bool, stdout io.Write
 		if err != nil {
 			return err
 		}
-		return doc.Encode(stdout)
+		if err := doc.Encode(stdout); err != nil {
+			return err
+		}
+		return writeTrace(tracer, tracePath)
 	}
-	if err := emit(stdout, res, err); err != nil {
+	if err := finish(stdout, res, err, tracer, tracePath); err != nil {
 		return err
 	}
 	for _, ev := range events {
@@ -205,6 +227,40 @@ func parsePeriod(s string, safe float64) (float64, error) {
 		return 0, fmt.Errorf("invalid period %q", s)
 	}
 	return v, nil
+}
+
+// finish emits the trajectory, then flushes the trace file — also on an
+// interrupted run, so a cancelled simulation still leaves its partial spans
+// on disk next to the partial trajectory.
+func finish(w io.Writer, res *wardrop.Result, err error, tracer *wardrop.Tracer, tracePath string) error {
+	emitErr := emit(w, res, err)
+	if terr := writeTrace(tracer, tracePath); terr != nil && emitErr == nil {
+		return terr
+	}
+	return emitErr
+}
+
+// writeTrace dumps the tracer ring as JSONL (one span per line); a nil tracer
+// is a no-op. A ring overflow on a long run is reported on stderr.
+func writeTrace(tracer *wardrop.Tracer, path string) error {
+	if tracer == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if n := tracer.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "wardsim: trace ring overflowed, oldest %d spans dropped\n", n)
+	}
+	return nil
 }
 
 // emit prints the recorded trajectory as CSV. On context cancellation the

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"os"
@@ -296,4 +297,81 @@ func TestJSONRequiresScenario(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "-scenario") {
 		t.Fatalf("-json without -scenario accepted: %v", err)
 	}
+}
+
+// TestTraceFlagWritesJSONL pins the -trace contract: one well-formed JSON
+// span per line, phase spans on every run path, and — through a timeline
+// scenario — event spans marking each applied edge event.
+func TestTraceFlagWritesJSONL(t *testing.T) {
+	dir := t.TempDir()
+
+	flagTrace := filepath.Join(dir, "flags.jsonl")
+	args := []string{"-topo", "braess", "-policy", "replicator", "-horizon", "2", "-trace", flagTrace}
+	if err := run(context.Background(), args, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	phases, events := readTrace(t, flagTrace)
+	if phases == 0 || events != 0 {
+		t.Fatalf("flag run: %d phase spans, %d event spans; want >0 phases and no events", phases, events)
+	}
+
+	doc := `{
+	  "topology": {"family": "braess"},
+	  "policy": {"kind": "uniform"},
+	  "updatePeriod": 0.25,
+	  "horizon": 4,
+	  "timeline": {
+	    "events": [
+	      {"at": 0, "action": "block", "from": "a", "to": "b", "penalty": 4},
+	      {"at": 2, "action": "restore", "from": "a", "to": "b"}
+	    ]
+	  }
+	}`
+	scenPath := filepath.Join(dir, "onset.json")
+	if err := os.WriteFile(scenPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scenTrace := filepath.Join(dir, "scenario.jsonl")
+	if err := run(context.Background(), []string{"-scenario", scenPath, "-trace", scenTrace}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	phases, events = readTrace(t, scenTrace)
+	if phases == 0 || events != 2 {
+		t.Fatalf("scenario run: %d phase spans, %d event spans; want >0 phases and 2 events", phases, events)
+	}
+}
+
+// readTrace parses a trace JSONL file and counts spans by kind, failing on
+// any line that is not a well-formed span.
+func readTrace(t *testing.T, path string) (phases, events int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var span struct {
+			Kind  string   `json:"kind"`
+			Time  *float64 `json:"t"`
+			Phase *int     `json:"phase"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("line %d: %v (%q)", i+1, err, line)
+		}
+		switch span.Kind {
+		case "phase":
+			if span.Time == nil || span.Phase == nil {
+				t.Fatalf("line %d: phase span missing t/phase: %q", i+1, line)
+			}
+			phases++
+		case "event":
+			if span.Time == nil {
+				t.Fatalf("line %d: event span missing t: %q", i+1, line)
+			}
+			events++
+		default:
+			t.Fatalf("line %d: unknown span kind %q", i+1, span.Kind)
+		}
+	}
+	return phases, events
 }

@@ -12,7 +12,7 @@
 //
 //	wardsweep -spec campaign.json -workers 8 -out results/
 //	wardsweep -spec campaign.json -workers http://a:8080,http://b:8080 -out results/
-//	wardsweep -spec campaign.json -v            # progress on stderr
+//	wardsweep -spec campaign.json -v            # per-task progress logs on stderr
 //	wardsweep -spec campaign.json -dry-run      # list the expanded tasks
 //
 // Output files (in -out, named after the campaign):
@@ -29,12 +29,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"strings"
 
 	"wardrop"
 	"wardrop/internal/drain"
+	"wardrop/internal/obs"
 )
 
 func main() {
@@ -53,12 +53,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	specPath := fs.String("spec", "", "campaign specification JSON file (required)")
 	workersFlag := fs.String("workers", "", "local worker-pool size (default GOMAXPROCS), or comma-separated wardserve URLs for a distributed run")
 	outDir := fs.String("out", "", "output directory for <name>.jsonl and <name>.csv (default: no files)")
-	verbose := fs.Bool("v", false, "report per-task progress on stderr")
+	verbose := fs.Bool("v", false, "debug-level structured logs (per-task progress included)")
+	logJSON := fs.Bool("logjson", false, "structured logs as JSON lines instead of text")
 	dryRun := fs.Bool("dry-run", false, "expand and list tasks without running them")
 	list := fs.Bool("list", false, "print the registered component catalog and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger := obs.NewLogger(os.Stderr, *verbose, *logJSON)
 	if *list {
 		return wardrop.WriteCatalog(stdout)
 	}
@@ -120,17 +122,24 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}()
 		results = jf
 	}
-	progress := func(done, total int, rec wardrop.SweepRecord) {}
-	if *verbose {
-		progress = func(done, total int, rec wardrop.SweepRecord) {
-			status := "ok"
-			if rec.Error != "" {
-				status = "ERR " + rec.Error
-			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] task %d %s|%s|T=%s|N=%d: %s (%.0fms)\n",
-				done, total, rec.ID, rec.Topology, rec.Policy, rec.Period, rec.Agents, status, rec.WallMS)
+	// Failures surface at Warn (always visible); per-task progress is Debug,
+	// i.e. -v.
+	progress := func(done, total int, rec wardrop.SweepRecord) {
+		if rec.Error != "" {
+			logger.Warn("task failed", "done", done, "total", total, "task", rec.ID,
+				"topology", rec.Topology, "policy", rec.Policy, "period", rec.Period, "agents", rec.Agents,
+				"err", rec.Error)
+			return
 		}
+		logger.Debug("task done", "done", done, "total", total, "task", rec.ID,
+			"topology", rec.Topology, "policy", rec.Policy, "period", rec.Period, "agents", rec.Agents,
+			"wallMs", rec.WallMS)
 	}
+
+	// Every run carries an instrument registry: the pool (local) or the
+	// coordinator (distributed) fills its histograms and the timing summary
+	// below reads them back, replacing the old hand-rolled record scan.
+	reg := wardrop.NewMetricsRegistry()
 
 	// The JSONL stream is canonical (wall time stripped) in both modes, so a
 	// local and a distributed run of the same campaign write byte-identical
@@ -142,18 +151,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			Results:   results,
 			Canonical: true,
 			Progress:  progress,
-		}
-		if *verbose {
-			dopts.Events = func(ev wardrop.DistSweepEvent) {
+			Metrics:   reg,
+			// Coordinator lifecycle events are always logged — a dead node or
+			// a re-homed task is operational signal, not debug chatter.
+			Events: func(ev wardrop.DistSweepEvent) {
 				switch ev.Kind {
 				case "node-dead":
-					fmt.Fprintf(os.Stderr, "wardsweep: worker %s dead (%v), %d tasks re-queued\n", ev.Node, ev.Err, ev.Tasks)
+					logger.Warn("node dead", "node", ev.Node, "tasks", ev.Tasks, "err", ev.Err)
 				case "retry":
-					fmt.Fprintf(os.Stderr, "wardsweep: retrying on %s (attempt %d): %v\n", ev.Node, ev.Attempt, ev.Err)
+					logger.Info("retry", "node", ev.Node, "attempt", ev.Attempt, "err", ev.Err)
 				case "steal":
-					fmt.Fprintf(os.Stderr, "wardsweep: %s stole work from %s\n", ev.Node, ev.From)
+					logger.Debug("steal", "node", ev.Node, "from", ev.From)
 				}
-			}
+			},
 		}
 		res, err = wardrop.RunDistSweep(ctx, campaign, workerURLs, dopts)
 	} else {
@@ -162,6 +172,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			Results:   results,
 			Canonical: true,
 			Progress:  progress,
+			Metrics:   reg,
 		})
 	}
 	// SIGINT cancels the run context; the engine returns the records
@@ -194,7 +205,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	timingSummary(os.Stderr, res.Records)
+	timingSummary(os.Stderr, reg)
 
 	cells := wardrop.AggregateSweep(res.Records)
 	tbl := wardrop.SweepSummaryTable(name, cells)
@@ -274,25 +285,23 @@ func rewriteCanonical(path string, records []wardrop.SweepRecord) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// timingSummary reports the wall-time distribution over the completed tasks
-// on stderr — mean, p95, and the slowest task, the straggler signal of a
-// distributed run (remote wall times are coordinator round trips, queue wait
-// included). Stderr so the deterministic stdout summary stays byte-stable.
-func timingSummary(w io.Writer, records []wardrop.SweepRecord) {
-	if len(records) == 0 {
+// timingSummary reports the run's wall-time distribution on stderr, read back
+// from the instrument registry the run filled: sweep_task_ms for a local pool,
+// dispatch_transport_ms (per-attempt coordinator round trips) plus
+// dispatch_queue_wait_ms for a distributed run. Stderr so the deterministic
+// stdout summary stays byte-stable.
+func timingSummary(w io.Writer, reg *wardrop.MetricsRegistry) {
+	h, label := reg.FindHistogram("sweep_task_ms"), "task"
+	if h == nil {
+		h, label = reg.FindHistogram("dispatch_transport_ms"), "transport"
+	}
+	if h == nil || h.Count() == 0 {
 		return
 	}
-	walls := make([]float64, 0, len(records))
-	total, slowest := 0.0, 0
-	for i, r := range records {
-		walls = append(walls, r.WallMS)
-		total += r.WallMS
-		if r.WallMS > records[slowest].WallMS {
-			slowest = i
-		}
+	fmt.Fprintf(w, "wardsweep: %s timing %d samples: mean %.1fms p50 %.1fms p95 %.1fms max %.1fms\n",
+		label, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Max())
+	if qw := reg.FindHistogram("dispatch_queue_wait_ms"); qw != nil && qw.Count() > 0 {
+		fmt.Fprintf(w, "wardsweep: queue wait: mean %.1fms p95 %.1fms max %.1fms\n",
+			qw.Mean(), qw.Quantile(0.95), qw.Max())
 	}
-	sort.Float64s(walls)
-	p95 := walls[(len(walls)*95)/100]
-	fmt.Fprintf(w, "wardsweep: timing %d tasks: mean %.1fms p95 %.1fms max %.1fms (task %d)\n",
-		len(records), total/float64(len(records)), p95, records[slowest].WallMS, records[slowest].ID)
 }

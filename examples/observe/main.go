@@ -1,0 +1,116 @@
+// Observability: share one metrics registry between your own instruments and
+// an in-process simulation server, scrape it as Prometheus text, and trace a
+// run phase by phase into JSONL spans.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"wardrop"
+)
+
+const scenarioDoc = `{
+  "name": "observe-demo",
+  "topology": {"family": "braess"},
+  "policy": {"kind": "replicator"},
+  "updatePeriod": "safe",
+  "horizon": %g,
+  "recordEvery": 4
+}`
+
+func main() {
+	quick := flag.Bool("quick", false, "tiny horizon for smoke testing")
+	flag.Parse()
+	horizon := 30.0
+	if *quick {
+		horizon = 5
+	}
+
+	// 1. One registry for everything. The server registers its instruments
+	//    (serve_jobs_total, serve_run_ms, …) on it; your own application
+	//    counters live alongside and come out of the same scrape.
+	reg := wardrop.NewMetricsRegistry()
+	demoRuns := reg.Counter("example_demo_runs_total", "scenario posts made by this example")
+
+	srv := wardrop.NewServer(wardrop.ServerConfig{Workers: 2, Metrics: reg})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	}()
+
+	doc := fmt.Sprintf(scenarioDoc, horizon)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(doc))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		demoRuns.Inc()
+	}
+
+	// 2. Scrape the shared registry as Prometheus text exposition — the same
+	//    document `curl 'http://host/metrics?format=prom'` returns against a
+	//    real wardserve. The JSON document (plain /metrics) still works.
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("-- prometheus scrape (excerpt) --")
+	for _, line := range strings.Split(string(prom), "\n") {
+		if strings.HasPrefix(line, "serve_jobs_total") ||
+			strings.HasPrefix(line, "serve_cache_hits_total") ||
+			strings.HasPrefix(line, "example_demo_runs_total") ||
+			strings.HasPrefix(line, "serve_run_ms_count") {
+			fmt.Println(line)
+		}
+	}
+
+	// 3. Trace a run: the tracer is an engine observer, so it rides any run
+	//    path — here the library API; `wardsim -trace out.jsonl` is the same
+	//    mechanism from the command line.
+	inst, err := wardrop.CampaignTopology{Family: "braess"}.Build(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := wardrop.CampaignPolicy{Kind: "replicator"}.Build(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	T, err := wardrop.SafeUpdatePeriodFor(pol, inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracer := wardrop.NewTracer(0)
+	_, err = wardrop.Run(context.Background(), wardrop.Scenario{
+		Instance:     inst,
+		Policy:       pol,
+		UpdatePeriod: T,
+		Horizon:      horizon,
+	}, wardrop.WithObserver(tracer))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteJSONL(&buf); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	fmt.Printf("-- trace: %d spans, first and last --\n", len(lines))
+	fmt.Println(lines[0])
+	fmt.Println(lines[len(lines)-1])
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wardrop/internal/serve"
+)
+
+// Degradation thresholds for the load ramp: a step is degraded when its p99
+// exceeds the single-client baseline by this factor, or when more than this
+// fraction of its requests fail. The ramp stops at the first degraded step —
+// beyond it the numbers measure queueing collapse, not capacity.
+const (
+	loadDegradeP99Factor = 4.0
+	loadDegradeErrRate   = 0.01
+)
+
+// LoadStep is one rung of the concurrent-client ramp: n clients hammering
+// the scenario endpoint for a fixed wall-clock window.
+type LoadStep struct {
+	// Clients is the concurrent client count of this step.
+	Clients int `json:"clients"`
+	// Requests counts completed successful requests; Errors counts transport
+	// failures and non-200 responses.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors,omitempty"`
+	// RequestsPerSec is successful-request throughput over the step window.
+	RequestsPerSec float64 `json:"requestsPerSec"`
+	// P50Ms and P99Ms are exact nearest-rank percentiles over every
+	// successful request's latency.
+	P50Ms float64 `json:"p50Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	// ErrorRate is Errors / (Requests + Errors).
+	ErrorRate float64 `json:"errorRate,omitempty"`
+	// Degraded marks the step that tripped a threshold and ended the ramp.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// LoadSummary is the serveLoad suite of BENCH_kernel.json: the recorded ramp
+// plus the saturation point — the step with the highest throughput, the
+// service's capacity headline.
+type LoadSummary struct {
+	// Workers is the server's worker-pool size the ramp ran against.
+	Workers int `json:"workers"`
+	// StepMs is the wall-clock window each step measured over.
+	StepMs float64 `json:"stepMs"`
+	// Steps is the ramp in client-count order, ending at the first degraded
+	// step (if any tripped).
+	Steps []LoadStep `json:"steps"`
+	// SaturationClients, SaturationRequestsPerSec and P99AtSaturationMs
+	// describe the max-throughput step.
+	SaturationClients        int     `json:"saturationClients"`
+	SaturationRequestsPerSec float64 `json:"saturationRequestsPerSec"`
+	P99AtSaturationMs        float64 `json:"p99AtSaturationMs"`
+}
+
+// LoadSuite ramps concurrent clients against a real HTTP server (TCP
+// loopback, not handler-only) posting the cached benchmark scenario, so the
+// measurement captures the serving path — routing, cache lookup, response
+// encoding — rather than simulation cost. Client counts are tried in order;
+// the ramp stops early at the first step whose p99 or error rate degrades
+// versus the first step's baseline. stepDuration <= 0 selects a 500ms
+// default window.
+func LoadSuite(clients []int, stepDuration time.Duration) (*LoadSummary, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("bench: load suite needs at least one client count")
+	}
+	maxClients := 0
+	for _, n := range clients {
+		if n <= 0 {
+			return nil, fmt.Errorf("bench: bad client count %d", n)
+		}
+		if n > maxClients {
+			maxClients = n
+		}
+	}
+	if stepDuration <= 0 {
+		stepDuration = 500 * time.Millisecond
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	srv := serve.New(serve.Config{Workers: workers, QueueDepth: 4 * maxClients, CacheEntries: 16})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	}()
+
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: maxClients}}
+	url := ts.URL + "/v1/scenarios"
+	doc := fmt.Sprintf(serveScenarioDoc, "load")
+
+	// Warm the result cache: the one full simulation happens here, so every
+	// measured request is a cache hit exercising only the serving path.
+	if err := loadPost(hc, url, doc); err != nil {
+		return nil, err
+	}
+
+	sum := &LoadSummary{Workers: workers, StepMs: float64(stepDuration) / float64(time.Millisecond)}
+	for i, n := range clients {
+		st := runLoadStep(hc, url, doc, n, stepDuration)
+		if i > 0 {
+			base := sum.Steps[0].P99Ms
+			st.Degraded = st.ErrorRate > loadDegradeErrRate ||
+				(base > 0 && st.P99Ms > loadDegradeP99Factor*base)
+		}
+		sum.Steps = append(sum.Steps, st)
+		if st.Degraded {
+			break
+		}
+	}
+
+	sat := 0
+	for i, s := range sum.Steps {
+		if s.RequestsPerSec > sum.Steps[sat].RequestsPerSec {
+			sat = i
+		}
+	}
+	sum.SaturationClients = sum.Steps[sat].Clients
+	sum.SaturationRequestsPerSec = sum.Steps[sat].RequestsPerSec
+	sum.P99AtSaturationMs = sum.Steps[sat].P99Ms
+	return sum, nil
+}
+
+// runLoadStep runs n concurrent clients against url for dur and aggregates
+// their latency samples into one step.
+func runLoadStep(hc *http.Client, url, doc string, n int, dur time.Duration) LoadStep {
+	lats := make([][]float64, n)
+	errs := make([]int, n)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				if err := loadPost(hc, url, doc); err != nil {
+					errs[c]++
+					continue
+				}
+				lats[c] = append(lats[c], float64(time.Since(t0))/float64(time.Millisecond))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all := []float64{}
+	errors := 0
+	for c := 0; c < n; c++ {
+		all = append(all, lats[c]...)
+		errors += errs[c]
+	}
+	sort.Float64s(all)
+	st := LoadStep{
+		Clients:        n,
+		Requests:       len(all),
+		Errors:         errors,
+		RequestsPerSec: float64(len(all)) / elapsed.Seconds(),
+		P50Ms:          nearestRank(all, 0.50),
+		P99Ms:          nearestRank(all, 0.99),
+	}
+	if total := len(all) + errors; total > 0 {
+		st.ErrorRate = float64(errors) / float64(total)
+	} else {
+		// Nothing completed inside the window at all: count it as failure.
+		st.ErrorRate = 1
+	}
+	return st
+}
+
+// loadPost issues one scenario request and fully drains the response, so the
+// connection returns to the keep-alive pool.
+func loadPost(hc *http.Client, url, doc string) error {
+	resp, err := hc.Post(url, "application/json", strings.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bench: load request failed: %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// nearestRank is the same exact percentile the obs histograms report:
+// ceil(p·n) over a sorted sample, clamped to the ends.
+func nearestRank(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadSuiteSmoke runs a two-step miniature ramp and pins the summary
+// invariants: every step records throughput and ordered percentiles, and the
+// saturation point is the max-throughput step.
+func TestLoadSuiteSmoke(t *testing.T) {
+	sum, err := LoadSuite([]int{1, 2}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Steps) == 0 || len(sum.Steps) > 2 {
+		t.Fatalf("steps = %d, want 1..2", len(sum.Steps))
+	}
+	if sum.Workers <= 0 {
+		t.Fatalf("workers = %d", sum.Workers)
+	}
+	best := 0.0
+	for _, s := range sum.Steps {
+		if s.Requests == 0 {
+			t.Fatalf("step %d clients recorded no requests", s.Clients)
+		}
+		if s.RequestsPerSec <= 0 {
+			t.Fatalf("step %d clients: rps = %g", s.Clients, s.RequestsPerSec)
+		}
+		if s.P99Ms < s.P50Ms {
+			t.Fatalf("step %d clients: p99 %g < p50 %g", s.Clients, s.P99Ms, s.P50Ms)
+		}
+		if s.RequestsPerSec > best {
+			best = s.RequestsPerSec
+		}
+	}
+	if sum.SaturationRequestsPerSec != best {
+		t.Fatalf("saturation rps = %g, max step rps = %g", sum.SaturationRequestsPerSec, best)
+	}
+	if sum.SaturationClients == 0 || sum.P99AtSaturationMs <= 0 {
+		t.Fatalf("saturation point incomplete: %+v", sum)
+	}
+}
+
+// TestLoadSuiteRejectsBadInput pins input validation.
+func TestLoadSuiteRejectsBadInput(t *testing.T) {
+	if _, err := LoadSuite(nil, 0); err == nil {
+		t.Error("empty client list accepted")
+	}
+	if _, err := LoadSuite([]int{4, 0}, 0); err == nil {
+		t.Error("zero client count accepted")
+	}
+}
+
+// TestNearestRank pins the exact percentile rule shared with the obs
+// histograms.
+func TestNearestRank(t *testing.T) {
+	sorted := make([]float64, 100)
+	for i := range sorted {
+		sorted[i] = float64(i + 1)
+	}
+	for _, c := range []struct {
+		p, want float64
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100}} {
+		if got := nearestRank(sorted, c.p); got != c.want {
+			t.Errorf("p%g = %g, want %g", c.p*100, got, c.want)
+		}
+	}
+	if got := nearestRank(nil, 0.5); got != 0 {
+		t.Errorf("empty sample = %g, want 0", got)
+	}
+	if got := nearestRank([]float64{7}, 0.01); got != 7 {
+		t.Errorf("single sample low p = %g, want 7", got)
+	}
+}

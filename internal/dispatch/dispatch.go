@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"wardrop/internal/obs"
 	"wardrop/internal/sweep"
 )
 
@@ -77,6 +78,11 @@ type Options struct {
 	// Events, if non-nil, observes coordinator lifecycle events. Called from
 	// worker goroutines; must be safe for concurrent use.
 	Events func(Event)
+	// Metrics, when non-nil, receives the coordinator's instruments:
+	// per-node in-flight gauges, retry/death/re-home/steal counters, and
+	// queue-wait and transport histograms. Share the registry with a serve
+	// or sweep layer to expose everything through one endpoint.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +110,9 @@ type unit struct {
 	body     []byte
 	tasks    []sweep.Task
 	attempts int
+	// enqueuedAt is when the unit last landed on a node queue; the
+	// dequeue-side delta is the queue-wait metric.
+	enqueuedAt time.Time
 }
 
 // Run executes the campaign across the worker fleet and returns the same
@@ -213,6 +222,7 @@ type coordinator struct {
 	workers []string
 	ring    *ring
 	opts    Options
+	met     *metrics
 	recCh   chan sweep.Record
 
 	mu        sync.Mutex
@@ -231,6 +241,7 @@ func newCoordinator(ctx context.Context, workers []string, units []*unit, opts O
 		workers: workers,
 		ring:    newRing(workers),
 		opts:    opts,
+		met:     newDispatchMetrics(opts.Metrics, workers),
 		recCh:   make(chan sweep.Record, 2*len(workers)*opts.Inflight),
 		queues:  make([][]*unit, len(workers)),
 		alive:   make([]bool, len(workers)),
@@ -241,7 +252,9 @@ func newCoordinator(ctx context.Context, workers []string, units []*unit, opts O
 	for i := range co.alive {
 		co.alive[i] = true
 	}
+	now := time.Now()
 	for _, u := range units {
+		u.enqueuedAt = now
 		home := co.ring.owner(u.fp, co.alive)
 		co.queues[home] = append(co.queues[home], u)
 	}
@@ -300,6 +313,7 @@ func (co *coordinator) next(node int) *unit {
 			u := q[0]
 			co.queues[node] = q[1:]
 			co.mu.Unlock()
+			co.met.queueWaitMs.Observe(ms(time.Since(u.enqueuedAt)))
 			return u
 		}
 		if victim := co.longestQueue(node); victim >= 0 {
@@ -307,6 +321,8 @@ func (co *coordinator) next(node int) *unit {
 			u := q[len(q)-1] // steal from the tail: the coldest queued work
 			co.queues[victim] = q[:len(q)-1]
 			co.mu.Unlock()
+			co.met.steals.Inc()
+			co.met.queueWaitMs.Observe(ms(time.Since(u.enqueuedAt)))
 			co.event(Event{Kind: EventSteal, Node: co.workers[node], From: co.workers[victim]})
 			return u
 		}
@@ -336,6 +352,8 @@ func (co *coordinator) requeue(u *unit) {
 	if home < 0 {
 		return
 	}
+	u.enqueuedAt = time.Now()
+	co.met.rehomed.Inc()
 	co.queues[home] = append(co.queues[home], u)
 	co.cond.Broadcast()
 }
@@ -356,13 +374,17 @@ func (co *coordinator) markDead(node int, cause error) {
 	if co.aliveN == 0 {
 		co.err = fmt.Errorf("dispatch: all workers failed (last: %s): %w", co.workers[node], cause)
 	} else {
+		now := time.Now()
 		for _, u := range orphans {
+			u.enqueuedAt = now
 			home := co.ring.owner(u.fp, co.alive)
 			co.queues[home] = append(co.queues[home], u)
 		}
 	}
 	co.cond.Broadcast()
 	co.mu.Unlock()
+	co.met.deaths.Inc()
+	co.met.rehomed.Add(int64(moved))
 	co.event(Event{Kind: EventNodeDead, Node: co.workers[node], Tasks: moved, Err: cause})
 }
 
@@ -390,7 +412,9 @@ func (co *coordinator) runner(node int) {
 		if u == nil {
 			return
 		}
+		co.met.inflight[node].Add(1)
 		co.run(node, u)
+		co.met.inflight[node].Add(-1)
 	}
 }
 
@@ -426,6 +450,7 @@ func (co *coordinator) run(node int, u *unit) {
 				co.complete(u, u.spec.ErrorRecord(err))
 				return
 			}
+			co.met.retries.Inc()
 			co.event(Event{Kind: EventRetry, Node: co.workers[node], Attempt: u.attempts, Err: err})
 			if !co.sleep(backoff(co.opts.Backoff, u.attempts, retryAfter)) {
 				return
@@ -485,6 +510,7 @@ func (co *coordinator) attempt(node int, u *unit) (rec sweep.Record, retryAfter 
 	start := time.Now()
 	resp, err := co.opts.Client.Do(req)
 	if err != nil {
+		co.met.transportMs.Observe(ms(time.Since(start)))
 		if co.ctx.Err() != nil {
 			return rec, 0, vCancelled, co.ctx.Err()
 		}
@@ -492,6 +518,7 @@ func (co *coordinator) attempt(node int, u *unit) (rec sweep.Record, retryAfter 
 	}
 	body, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
+	co.met.transportMs.Observe(ms(time.Since(start)))
 	if readErr != nil {
 		if co.ctx.Err() != nil {
 			return rec, 0, vCancelled, co.ctx.Err()

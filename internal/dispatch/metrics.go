@@ -1,0 +1,47 @@
+package dispatch
+
+import (
+	"fmt"
+	"time"
+
+	"wardrop/internal/obs"
+)
+
+// metrics is the coordinator's instrument bundle. Instruments always exist —
+// with no Options.Metrics registry supplied they land in a private one — so
+// the scheduling paths stay branch-free.
+type metrics struct {
+	reg *obs.Registry
+
+	retries, deaths, rehomed, steals *obs.Counter
+	// inflight is one gauge per node, labelled with the worker URL.
+	inflight []*obs.Gauge
+	// queueWaitMs is enqueue→dequeue per task unit; transportMs the remote
+	// round-trip (queue wait on the worker included) per attempt.
+	queueWaitMs, transportMs *obs.Histogram
+}
+
+func newDispatchMetrics(reg *obs.Registry, workers []string) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &metrics{
+		reg:         reg,
+		retries:     reg.Counter("dispatch_retries_total", "transient rejections retried with backoff"),
+		deaths:      reg.Counter("dispatch_node_deaths_total", "workers declared dead"),
+		rehomed:     reg.Counter("dispatch_rehomed_total", "task units re-homed off dead workers"),
+		steals:      reg.Counter("dispatch_steals_total", "task units stolen by idle workers"),
+		queueWaitMs: reg.Histogram("dispatch_queue_wait_ms", "task-unit wait from enqueue to dequeue, milliseconds", nil),
+		transportMs: reg.Histogram("dispatch_transport_ms", "remote task round-trip, milliseconds", nil),
+		inflight:    make([]*obs.Gauge, len(workers)),
+	}
+	for i, w := range workers {
+		m.inflight[i] = reg.Gauge(
+			fmt.Sprintf("dispatch_inflight{node=%q}", w),
+			"task units in flight on this worker")
+	}
+	return m
+}
+
+// ms converts a duration to float64 milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

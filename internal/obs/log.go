@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the CLIs' shared structured logger: Info level by default,
+// Debug with verbose, text lines for humans or JSON lines for collectors.
+// Using one constructor keeps the field conventions (job id, fingerprint,
+// node URL) consistent across wardserve and wardsweep.
+func NewLogger(w io.Writer, verbose, json bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}

@@ -1,0 +1,332 @@
+// Package obs is the repo's zero-dependency observability core: a typed
+// instrument registry (atomic counters, gauges, fixed-bucket histograms with
+// exact window percentiles) shared by the serving layer, the sweep worker
+// pool and the dispatch coordinator, plus a run tracer built on the engine
+// observer pipeline (trace.go). Instruments are pre-registered once and then
+// updated lock-free (histograms take one short mutex for their percentile
+// window), so hot paths stay allocation-free; exposition is pull-based — the
+// JSON /metrics document is assembled from instrument values by its owner,
+// and WritePrometheus (prom.go) renders the whole registry in Prometheus
+// text format.
+//
+// Instrument names follow Prometheus conventions and may carry a constant
+// label set inline: `sweep_task_ms{worker="3"}`. Instruments sharing a
+// family (the name before '{') are grouped under one # TYPE line.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWindow is the percentile sample window used when a histogram is
+// registered without an explicit window size.
+const DefaultWindow = 512
+
+// DefMsBuckets are the default histogram bucket upper bounds for
+// millisecond latencies, spanning sub-50µs handler hits to 10s jobs.
+var DefMsBuckets = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// kind discriminates registered instruments.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindCounterFunc
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// entry is one registered instrument.
+type entry struct {
+	name string // full name, optional inline labels
+	help string
+	kind kind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64 // CounterFunc / GaugeFunc value source
+	hist    *Histogram
+}
+
+// Registry holds the registered instruments in registration order. All
+// methods are safe for concurrent use; registration is get-or-create, so
+// several components can share one instrument by name.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byName  map[string]*entry
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+// register returns the instrument registered under name, creating it with
+// build on first registration. A name re-registered as a different kind is a
+// programming error and panics.
+func (r *Registry) register(name, help string, k kind, build func(*entry)) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("obs: %q re-registered as %s (was %s)", name, k, e.kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: k}
+	build(e)
+	r.entries = append(r.entries, e)
+	r.byName[name] = e
+	return e
+}
+
+// Counter registers (or finds) the cumulative counter name.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.register(name, help, kindCounter, func(e *entry) { e.counter = &Counter{} })
+	return e.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at exposition
+// time — the bridge for cumulative counters owned elsewhere (an existing
+// atomic a test already pins, a store's census).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounterFunc, func(e *entry) { e.fn = fn })
+}
+
+// Gauge registers (or finds) the gauge name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.register(name, help, kindGauge, func(e *entry) { e.gauge = &Gauge{} })
+	return e.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time (queue depths, cache populations — state owned by its structure).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGaugeFunc, func(e *entry) { e.fn = fn })
+}
+
+// Histogram registers (or finds) the histogram name with the given bucket
+// upper bounds (nil: DefMsBuckets) and the default percentile window.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.HistogramWindow(name, help, buckets, 0)
+}
+
+// HistogramWindow is Histogram with an explicit percentile sample window
+// (<= 0: DefaultWindow).
+func (r *Registry) HistogramWindow(name, help string, buckets []float64, window int) *Histogram {
+	e := r.register(name, help, kindHistogram, func(e *entry) {
+		e.hist = newHistogram(buckets, window)
+	})
+	return e.hist
+}
+
+// FindHistogram returns the histogram registered under name, or nil.
+func (r *Registry) FindHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok && e.kind == kindHistogram {
+		return e.hist
+	}
+	return nil
+}
+
+// snapshot copies the entry list for exposition without holding the lock
+// through value reads (fn sources may take their own locks).
+func (r *Registry) snapshot() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*entry(nil), r.entries...)
+}
+
+// Names returns the registered instrument names in registration order.
+func (r *Registry) Names() []string {
+	es := r.snapshot()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Counter is a cumulative monotonic counter. The zero value is usable.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 instantaneous value. The zero value is usable.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// SetMax ratchets the gauge up to v (a high-water mark).
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v || g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with an exact-percentile sample
+// window: bucket counts and the sum/count/max accumulators are cumulative
+// over the instrument's lifetime (the Prometheus exposition), while Quantile
+// answers exactly — nearest rank over the raw samples — for a sliding window
+// of the most recent observations. Observe allocates nothing.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; the +Inf bucket is implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	maxBits atomic.Uint64
+
+	mu     sync.Mutex
+	window []float64
+	next   int
+	filled int
+}
+
+func newHistogram(bounds []float64, window int) *Histogram {
+	if bounds == nil {
+		bounds = DefMsBuckets
+	}
+	bounds = append([]float64(nil), bounds...)
+	sort.Float64s(bounds)
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	h := &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+		window: make([]float64, window),
+	}
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are short and a scan beats binary search's
+	// branch misses at these sizes; either way, no allocation.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	h.mu.Lock()
+	h.window[h.next] = v
+	h.next = (h.next + 1) % len(h.window)
+	if h.filled < len(h.window) {
+		h.filled++
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the mean observation (0 before the first).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Max returns the largest observation ever recorded (0 before the first).
+func (h *Histogram) Max() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile returns the exact p-quantile (nearest rank) over the sample
+// window. A window not yet full answers over exactly the samples observed so
+// far — never over unwritten zero slots — and an empty histogram answers 0.
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	sample := append([]float64(nil), h.window[:h.filled]...)
+	h.mu.Unlock()
+	if len(sample) == 0 {
+		return 0
+	}
+	sort.Float64s(sample)
+	i := int(p*float64(len(sample))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sample) {
+		i = len(sample) - 1
+	}
+	return sample[i]
+}
+
+// Buckets returns the bucket upper bounds and their per-bucket (not
+// cumulative) counts; the final count is the +Inf overflow bucket.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	bounds = append([]float64(nil), h.bounds...)
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "ignored"); again != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	g.SetMax(7)
+	g.SetMax(3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after SetMax = %g, want 7 (ratchet only up)", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+// TestHistogramBucketBoundaryExactness pins the le semantics: a sample equal
+// to a bound lands in that bound's bucket (le is inclusive), one ulp above
+// lands in the next.
+func TestHistogramBucketBoundaryExactness(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_ms", "", []float64{1, 10, 100})
+	h.Observe(1)                        // le="1"
+	h.Observe(math.Nextafter(1, 2))     // le="10"
+	h.Observe(10)                       // le="10"
+	h.Observe(100)                      // le="100"
+	h.Observe(math.Nextafter(100, 200)) // +Inf
+	h.Observe(-5)                       // le="1" (below the first bound)
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("buckets shape = %d bounds / %d counts", len(bounds), len(counts))
+	}
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d count = %d, want %d (counts %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-(1+1+10+100+100-5)) > 1e-9 {
+		t.Fatalf("sum = %g", got)
+	}
+	if got := h.Max(); got != math.Nextafter(100, 200) {
+		t.Fatalf("max = %g", got)
+	}
+}
+
+// TestQuantileKnownDistributions pins the exact nearest-rank percentiles
+// against hand-computable sample sets, including a window that is only
+// partially filled: unwritten slots must never enter the computation.
+func TestQuantileKnownDistributions(t *testing.T) {
+	r := NewRegistry()
+
+	// 1..100 in a window large enough to hold them all.
+	h := r.HistogramWindow("uniform_ms", "", []float64{50}, 512)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0.50, 50}, {0.95, 95}, {0.99, 99},
+	} {
+		if got := h.Quantile(tc.p); got != tc.want {
+			t.Fatalf("uniform p%g = %g, want %g", tc.p*100, got, tc.want)
+		}
+	}
+
+	// Partially filled window: 3 samples in a 512 window. A naive
+	// implementation averaging the whole ring would report 0s here.
+	p := r.HistogramWindow("partial_ms", "", nil, 512)
+	for _, v := range []float64{30, 10, 20} {
+		p.Observe(v)
+	}
+	if got := p.Quantile(0.50); got != 20 {
+		t.Fatalf("partial p50 = %g, want 20 (zero slots must not dilute the window)", got)
+	}
+	if got := p.Quantile(0.99); got != 30 {
+		t.Fatalf("partial p99 = %g, want 30", got)
+	}
+	if got := p.Quantile(0.01); got != 10 {
+		t.Fatalf("partial p1 = %g, want 10", got)
+	}
+
+	// Single sample: every percentile is that sample.
+	s := r.HistogramWindow("single_ms", "", nil, 8)
+	s.Observe(42)
+	if got := s.Quantile(0.99); got != 42 {
+		t.Fatalf("single-sample p99 = %g, want 42", got)
+	}
+
+	// Wrapped window: 10 slots, 25 observations 1..25 — the window holds
+	// 16..25, so p50 is the 5th of those.
+	wr := r.HistogramWindow("wrap_ms", "", nil, 10)
+	for i := 1; i <= 25; i++ {
+		wr.Observe(float64(i))
+	}
+	if got := wr.Quantile(0.50); got != 20 {
+		t.Fatalf("wrapped p50 = %g, want 20 (window must be the newest 10 samples)", got)
+	}
+
+	// Empty histogram answers 0.
+	e := r.Histogram("empty_ms", "", nil)
+	if got := e.Quantile(0.5); got != 0 {
+		t.Fatalf("empty p50 = %g, want 0", got)
+	}
+}
+
+// TestRegistryConcurrentHammer exercises every instrument type from many
+// goroutines under -race, including concurrent get-or-create registration
+// and exposition.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("dyn", "", func() float64 { return 1 })
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hammer_total", "")
+			g := r.Gauge("hammer_gauge", "")
+			h := r.Histogram("hammer_ms", "", nil)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.SetMax(float64(i))
+				h.Observe(float64(i % 100))
+				if i%500 == 0 {
+					_ = h.Quantile(0.99)
+					_ = r.Names()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hammer_total", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	h := r.FindHistogram("hammer_ms")
+	if h == nil || h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %v", h)
+	}
+	if got := r.Counter("hammer_gauge_missing", "").Value(); got != 0 {
+		t.Fatalf("fresh counter = %d", got)
+	}
+}
+
+// TestObserveAllocationFree pins the registry hot paths at zero allocations.
+func TestObserveAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "")
+	g := r.Gauge("alloc_gauge", "")
+	h := r.Histogram("alloc_ms", "", nil)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(1.5)
+	}); n > 0 {
+		t.Fatalf("hot path allocates %g per op, want 0", n)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// splitName separates an instrument name into its metric family and its
+// inline constant label set: `sweep_task_ms{worker="3"}` → ("sweep_task_ms",
+// `worker="3"`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// joinLabels merges an inline label set with one extra label (the histogram
+// le bound) into a rendered {...} block; both parts may be empty.
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a help string for the # HELP line.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus text
+// exposition format, in registration order. Instruments sharing a family get
+// one # HELP/# TYPE header (the first registration's help text wins);
+// histograms render cumulative le buckets plus _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	seen := make(map[string]bool)
+	for _, e := range r.snapshot() {
+		family, labels := splitName(e.name)
+		if !seen[family] {
+			seen[family] = true
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, escapeHelp(e.help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, e.kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", family, joinLabels(labels, ""), e.counter.Value())
+		case kindCounterFunc, kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", family, joinLabels(labels, ""), formatValue(e.fn()))
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", family, joinLabels(labels, ""), formatValue(e.gauge.Value()))
+		case kindHistogram:
+			err = writePromHistogram(w, family, labels, e.hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, family, labels string, h *Histogram) error {
+	bounds, counts := h.Buckets()
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatValue(bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, joinLabels(labels, `le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, joinLabels(labels, ""), formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", family, joinLabels(labels, ""), h.Count())
+	return err
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the exact text exposition — header grouping,
+// label merging, cumulative buckets, value formatting — against a golden
+// file. Regenerate with `go test ./internal/obs -run Golden -update`.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	jobs := r.Counter("serve_jobs_total", "jobs run to completion")
+	jobs.Add(42)
+	r.Counter(`dispatch_retries_total{reason="node-dead"}`, "tasks retried").Add(3)
+	r.Counter(`dispatch_retries_total{reason="transient"}`, "ignored second help").Add(1)
+	g := r.Gauge("serve_jobs_running", "jobs currently executing")
+	g.Set(2)
+	r.GaugeFunc("serve_cache_entries", "scenario cache population", func() float64 { return 17 })
+	h := r.Histogram("serve_run_ms", "engine run latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	r.Histogram(`sweep_task_ms{worker="0"}`, "per-worker task latency", []float64{10}).Observe(4)
+	r.Histogram(`sweep_task_ms{worker="1"}`, "", []float64{10}).Observe(25)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

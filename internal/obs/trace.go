@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"wardrop/internal/dynamics"
+)
+
+// Span kinds: a bulletin-board phase start, or a point event replayed from a
+// timeline (edge blocks, capacity patches, segment boundaries).
+const (
+	SpanPhase = "phase"
+	SpanEvent = "event"
+)
+
+// Span is one traced observation of a run — one JSONL line of a trace dump
+// and the payload of a wardserve `{"span":…}` stream line.
+type Span struct {
+	// Kind is SpanPhase or SpanEvent.
+	Kind string `json:"kind"`
+	// Phase is the phase index (phase spans; 0 for events).
+	Phase int `json:"phase"`
+	// Time is the simulated time of the observation.
+	Time float64 `json:"t"`
+	// Phi is the potential Φ at the phase start (phase spans).
+	Phi float64 `json:"phi"`
+	// Residual is |Φ − Φ_prev| between consecutive phase starts — the
+	// convergence signal; 0 on the first phase and on events.
+	Residual float64 `json:"residual"`
+	// WallNs is the wall-clock nanoseconds since the previous span (for the
+	// first span, since the tracer was created): the per-phase cost as seen
+	// from the observer pipeline, queue and evaluation included.
+	WallNs int64 `json:"wallNs"`
+	// Unsatisfied and AtEquilibrium mirror the engine's (δ,ε) round
+	// accounting when it is enabled.
+	Unsatisfied   float64 `json:"unsatisfied,omitempty"`
+	AtEquilibrium bool    `json:"atEquilibrium,omitempty"`
+	// Label describes an event span ("block edge 3", "segment t=12.5").
+	Label string `json:"label,omitempty"`
+}
+
+// Tracer records per-phase spans of a simulation run into a bounded ring.
+// It implements dynamics.Observer, so it attaches to any engine through the
+// standard observer pipeline (engine.WithObserver); timeline events are
+// marked through MarkEvent by whoever replays them. When the ring is full
+// the oldest spans are overwritten (Dropped counts them), so a tracer on an
+// unbounded service run holds bounded memory. ObservePhase allocates
+// nothing, keeping instrumented runs inside the engines' zero-allocs-per-
+// phase contract.
+//
+// A tracer is locked per span, so one tracer must not be shared by
+// concurrent runs; its accumulated spans survive the run for Spans and
+// WriteJSONL.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	filled  int
+	dropped int64
+	last    time.Time
+	prevPhi float64
+	started bool
+	onSpan  func(Span)
+}
+
+// DefaultTraceCapacity is the span ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// NewTracer builds a tracer whose ring holds capacity spans (<= 0:
+// DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]Span, capacity), last: time.Now()}
+}
+
+// OnSpan installs a callback invoked with every recorded span (streaming
+// consumers: wardserve's NDJSON job streams). The callback runs under the
+// tracer's lock on the observing goroutine; keep it short. Install before
+// the run starts.
+func (t *Tracer) OnSpan(fn func(Span)) { t.onSpan = fn }
+
+// ObservePhase records a phase span. It never stops the run.
+func (t *Tracer) ObservePhase(info dynamics.PhaseInfo) bool {
+	now := time.Now()
+	t.mu.Lock()
+	sp := Span{
+		Kind:          SpanPhase,
+		Phase:         info.Index,
+		Time:          info.Time,
+		Phi:           info.Potential,
+		WallNs:        now.Sub(t.last).Nanoseconds(),
+		Unsatisfied:   info.Unsatisfied,
+		AtEquilibrium: info.AtEquilibrium,
+	}
+	if t.started {
+		sp.Residual = math.Abs(info.Potential - t.prevPhi)
+	}
+	t.started = true
+	t.prevPhi = info.Potential
+	t.last = now
+	t.pushLocked(sp)
+	t.mu.Unlock()
+	return false
+}
+
+// MarkEvent records an event span (timeline event replays, segment
+// boundaries) at simulated time tm.
+func (t *Tracer) MarkEvent(label string, tm float64) {
+	now := time.Now()
+	t.mu.Lock()
+	t.pushLocked(Span{Kind: SpanEvent, Time: tm, WallNs: now.Sub(t.last).Nanoseconds(), Label: label})
+	t.last = now
+	t.mu.Unlock()
+}
+
+// pushLocked appends a span, overwriting the oldest when full; callers hold
+// t.mu.
+func (t *Tracer) pushLocked(sp Span) {
+	if t.filled == len(t.ring) {
+		t.dropped++
+	} else {
+		t.filled++
+	}
+	t.ring[t.next] = sp
+	t.next = (t.next + 1) % len(t.ring)
+	if t.onSpan != nil {
+		t.onSpan(sp)
+	}
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.filled)
+	start := t.next - t.filled
+	for i := 0; i < t.filled; i++ {
+		out = append(out, t.ring[((start+i)%len(t.ring)+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Dropped reports how many spans were overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset clears the ring and the residual baseline so the tracer can serve
+// another run.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next, t.filled, t.dropped = 0, 0, 0
+	t.started = false
+	t.last = time.Now()
+}
+
+// WriteJSONL writes the retained spans as JSON lines, oldest first — the
+// `wardsim -trace out.jsonl` dump format.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, sp := range t.Spans() {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -10,6 +10,9 @@ import (
 	"io"
 	"net/http"
 
+	"strconv"
+
+	"wardrop/internal/obs"
 	"wardrop/internal/scenario"
 	"wardrop/internal/sweep"
 )
@@ -41,6 +44,10 @@ func parseSpec[T any](w http.ResponseWriter, r *http.Request, parse func(io.Read
 	}
 	return v, true
 }
+
+// maxTraceSpans caps the per-job tracer ring a client may request; the ring
+// is preallocated, so an unbounded ?trace=N would be a memory lever.
+const maxTraceSpans = 1 << 16
 
 // submitStatus maps a submission failure to its HTTP status.
 func submitStatus(err error) int {
@@ -151,13 +158,21 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cfg.Catalog())
 }
 
+// handleMetrics answers GET /metrics. The default body is the JSON Metrics
+// document; ?format=prom renders the full instrument registry in Prometheus
+// text exposition format instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		_ = s.met.reg.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 }
 
 // MetricsSnapshot assembles the current Metrics document.
 func (s *Server) MetricsSnapshot() Metrics {
-	hits, misses := s.met.cacheHits.Load(), s.met.cacheMisses.Load()
+	hits, misses := s.met.cacheHits.Value(), s.met.cacheMisses.Value()
 	rate := 0.0
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
@@ -165,22 +180,22 @@ func (s *Server) MetricsSnapshot() Metrics {
 	p50, p99 := s.met.percentiles()
 	st := s.cache.StoreStats()
 	return Metrics{
-		JobsRun:         s.met.jobsRun.Load(),
-		JobsFailed:      s.met.jobsFailed.Load(),
+		JobsRun:         s.met.jobsRun.Value(),
+		JobsFailed:      s.met.jobsFailed.Value(),
 		EngineRuns:      s.engineRuns.Load(),
 		CacheHits:       hits,
 		CacheMisses:     misses,
 		CacheHitRate:    rate,
 		CacheEntries:    s.cache.Len(),
-		StoreHits:       s.met.storeHits.Load(),
-		StorePuts:       s.met.storePuts.Load(),
-		StoreErrors:     s.met.storeErrors.Load(),
+		StoreHits:       s.met.storeHits.Value(),
+		StorePuts:       s.met.storePuts.Value(),
+		StoreErrors:     s.met.storeErrors.Value(),
 		StoreObjects:    st.Objects,
 		StoreBytes:      st.Bytes,
 		QueueDepth:      len(s.queue),
 		QueueCapacity:   s.cfg.QueueDepth,
 		QueueSaturation: float64(len(s.queue)) / float64(s.cfg.QueueDepth),
-		QueueHighWater:  s.met.queueHighWater.Load(),
+		QueueHighWater:  int64(s.met.queueHighWater.Value()),
 		StoreProbe:      s.storeProbe(),
 		JobsRunning:     s.met.jobsRunning(),
 		Workers:         s.cfg.Workers,
@@ -207,6 +222,21 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Fingerprint", fp)
 	async := r.URL.Query().Get("mode") == "job"
+	// ?trace=N attaches a span tracer (ring capacity N) to the run; each
+	// recorded span is streamed as a {"span":…} NDJSON line. A request
+	// answered from the cache ran no engine and therefore carries no spans.
+	trace := 0
+	if t := r.URL.Query().Get("trace"); t != "" {
+		n, err := strconv.Atoi(t)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("serve: trace must be a non-negative integer"))
+			return
+		}
+		if n > maxTraceSpans {
+			n = maxTraceSpans
+		}
+		trace = n
+	}
 	if body, tier, ok := s.cacheGet(kindScenario, fp); ok {
 		if !async {
 			w.Header().Set("X-Cache", tier)
@@ -226,6 +256,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 		// and is cancelled only by server shutdown.
 		j := s.newJob(kindScenario, fp, context.Background())
 		j.spec = spec
+		j.trace = trace
 		s.register(j)
 		if err := s.submit(j); err != nil {
 			j.fail(err)
@@ -244,6 +275,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	// slot; the job is left failed for the audit trail.
 	j := s.newJob(kindScenario, fp, r.Context())
 	j.spec = spec
+	j.trace = trace
 	s.register(j)
 	if err := s.submit(j); err != nil {
 		j.fail(err)

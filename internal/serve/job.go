@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"wardrop/internal/obs"
 	"wardrop/internal/scenario"
 	"wardrop/internal/sweep"
 	"wardrop/internal/timeline"
@@ -57,6 +58,7 @@ type streamLine struct {
 	Sample    *scenario.TrajectorySample `json:"sample,omitempty"`
 	Event     *timeline.AppliedEvent     `json:"event,omitempty"`
 	Record    *sweep.Record              `json:"record,omitempty"`
+	Span      *obs.Span                  `json:"span,omitempty"`
 	Result    json.RawMessage            `json:"result,omitempty"`
 	Error     string                     `json:"error,omitempty"`
 	Truncated bool                       `json:"truncated,omitempty"`
@@ -78,6 +80,11 @@ type job struct {
 	ctx         context.Context
 	cancel      context.CancelFunc
 	created     time.Time
+	// enqueued is when submit placed the job on the queue (zero for jobs
+	// born done); trace, when positive, attaches a span tracer with that
+	// ring capacity to the run and streams {"span":…} lines.
+	enqueued time.Time
+	trace    int
 
 	mu     sync.Mutex
 	state  JobState

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the response status for the access log while keeping
+// http.Flusher visible — the NDJSON job streams flush per line and must not
+// lose that through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer's Flusher, if any.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps next with structured per-request logging: method, path,
+// status, duration, and — when the handler set one — the spec fingerprint,
+// so a log line joins directly against cache keys and job resources. Requests
+// log at Debug except server errors (5xx), which log at Warn; a nil logger
+// returns next unwrapped.
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"durationMs", ms(time.Since(start)),
+		}
+		if fp := sw.Header().Get("X-Fingerprint"); fp != "" {
+			attrs = append(attrs, "fingerprint", fp)
+		}
+		level := slog.LevelDebug
+		if status >= http.StatusInternalServerError {
+			level = slog.LevelWarn
+		}
+		logger.Log(r.Context(), level, "request", attrs...)
+	})
+}

@@ -1,15 +1,16 @@
 package serve
 
 import (
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"wardrop/internal/obs"
 )
 
 // Metrics is the JSON body of GET /metrics: the service's cumulative
 // counters plus run-latency percentiles over a sliding window of recent
-// jobs.
+// jobs. The document is assembled from the server's obs.Registry — the same
+// instruments `GET /metrics?format=prom` exposes in Prometheus text format —
+// and its shape is pinned byte-for-byte by the serve tests.
 type Metrics struct {
 	// JobsRun counts jobs executed by the worker pool (cache hits are not
 	// jobs); JobsFailed the subset that ended failed (bad specs, panics,
@@ -58,72 +59,62 @@ type Metrics struct {
 	RunLatencyMsP99 float64 `json:"runLatencyMsP99"`
 }
 
-// metrics aggregates the service counters. Latencies go into a fixed-size
-// ring so the percentile cost is bounded regardless of uptime.
+// metrics holds the server's instruments, pre-registered in one obs.Registry
+// so the hot paths only touch atomics. The run-latency window lives inside
+// the serve_run_ms histogram; Quantile answers exactly over the filled part
+// of the window, never over unwritten slots.
 type metrics struct {
-	jobsRun, jobsFailed               atomic.Int64
-	cacheHits, cacheMisses            atomic.Int64
-	storeHits, storePuts, storeErrors atomic.Int64
-	queueHighWater                    atomic.Int64
-	running                           atomic.Int64
+	reg *obs.Registry
 
-	mu   sync.Mutex
-	ring []float64 // job latencies, milliseconds
-	next int
-	n    int
+	jobsRun, jobsFailed               *obs.Counter
+	cacheHits, cacheMisses            *obs.Counter
+	storeHits, storePuts, storeErrors *obs.Counter
+	queueHighWater                    *obs.Gauge
+	running                           *obs.Gauge
+
+	// Per-stage job timings: time spent waiting for a worker, executing the
+	// engine, and looking a fingerprint up through the cache tiers.
+	runMs, queueWaitMs, cacheLookupMs *obs.Histogram
 }
 
-func newMetrics(window int) *metrics {
+func newMetrics(window int, reg *obs.Registry) *metrics {
 	if window <= 0 {
 		window = 512
 	}
-	return &metrics{ring: make([]float64, window)}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &metrics{
+		reg:            reg,
+		jobsRun:        reg.Counter("serve_jobs_total", "jobs executed by the worker pool"),
+		jobsFailed:     reg.Counter("serve_jobs_failed_total", "jobs that ended failed"),
+		cacheHits:      reg.Counter("serve_cache_hits_total", "result-cache hits across both tiers"),
+		cacheMisses:    reg.Counter("serve_cache_misses_total", "result-cache misses that scheduled work"),
+		storeHits:      reg.Counter("serve_store_hits_total", "cache hits served from the durable store"),
+		storePuts:      reg.Counter("serve_store_puts_total", "result documents written through to the store"),
+		storeErrors:    reg.Counter("serve_store_errors_total", "durable-store read/write failures"),
+		queueHighWater: reg.Gauge("serve_queue_high_water", "deepest the job queue has ever been"),
+		running:        reg.Gauge("serve_jobs_running", "jobs currently executing"),
+		runMs:          reg.HistogramWindow("serve_run_ms", "job wall-clock latency, milliseconds", nil, window),
+		queueWaitMs:    reg.Histogram("serve_queue_wait_ms", "time jobs wait for a worker, milliseconds", nil),
+		cacheLookupMs:  reg.Histogram("serve_cache_lookup_ms", "fingerprint lookup latency across cache tiers, milliseconds", nil),
+	}
 }
+
+// ms converts a duration to float64 milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // jobsRunning reports the number of jobs currently executing.
-func (m *metrics) jobsRunning() int64 { return m.running.Load() }
+func (m *metrics) jobsRunning() int64 { return int64(m.running.Value()) }
 
 // noteQueueDepth ratchets the queue high-water mark up to depth.
-func (m *metrics) noteQueueDepth(depth int64) {
-	for {
-		cur := m.queueHighWater.Load()
-		if depth <= cur || m.queueHighWater.CompareAndSwap(cur, depth) {
-			return
-		}
-	}
-}
+func (m *metrics) noteQueueDepth(depth int64) { m.queueHighWater.SetMax(float64(depth)) }
 
 // observe records one job's wall-clock latency.
-func (m *metrics) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.ring[m.next] = ms
-	m.next = (m.next + 1) % len(m.ring)
-	if m.n < len(m.ring) {
-		m.n++
-	}
-}
+func (m *metrics) observe(d time.Duration) { m.runMs.Observe(ms(d)) }
 
 // percentiles returns the p50/p99 job latency over the window using the
 // nearest-rank rule.
 func (m *metrics) percentiles() (p50, p99 float64) {
-	m.mu.Lock()
-	sample := append([]float64(nil), m.ring[:m.n]...)
-	m.mu.Unlock()
-	if len(sample) == 0 {
-		return 0, 0
-	}
-	sort.Float64s(sample)
-	rank := func(p float64) float64 {
-		i := int(p*float64(len(sample))+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(sample) {
-			i = len(sample) - 1
-		}
-		return sample[i]
-	}
-	return rank(0.50), rank(0.99)
+	return m.runMs.Quantile(0.50), m.runMs.Quantile(0.99)
 }

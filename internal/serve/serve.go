@@ -28,6 +28,7 @@ import (
 	"wardrop/internal/dynamics"
 	"wardrop/internal/engine"
 	"wardrop/internal/flow"
+	"wardrop/internal/obs"
 	"wardrop/internal/scenario"
 	"wardrop/internal/store"
 	"wardrop/internal/sweep"
@@ -77,6 +78,11 @@ type Config struct {
 	// Catalog supplies the /v1/catalog listing (default: every component
 	// registry, mirroring the root Catalog() aggregation).
 	Catalog func() []catalog.Description
+	// Metrics, when non-nil, is the obs.Registry the server registers its
+	// instruments in (default: a private registry). Share one registry to
+	// expose several components — the server, a dispatch coordinator, a
+	// sweep pool — through one /metrics endpoint.
+	Metrics *obs.Registry
 	// Store, when non-nil, is the durable second cache tier: every cached
 	// result document is written through to it, and LRU misses consult it
 	// before scheduling work, so results survive restarts (and can be shared
@@ -146,11 +152,25 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		cache:     newTieredCache(cfg.CacheEntries, cfg.Store),
-		met:       newMetrics(cfg.LatencyWindow),
+		met:       newMetrics(cfg.LatencyWindow, cfg.Metrics),
 		instCache: sweep.NewInstanceCache(),
 		queue:     make(chan *job, cfg.QueueDepth),
 		jobs:      make(map[string]*job),
 	}
+	// Live-state instruments read their owners at exposition time; the
+	// cumulative engine-run counter stays on the server's atomic (EngineRuns
+	// is pinned by the cache tests) and is bridged into the registry.
+	reg := s.met.reg
+	reg.CounterFunc("serve_engine_runs_total", "simulation runs executed on behalf of jobs",
+		func() float64 { return float64(s.engineRuns.Load()) })
+	reg.GaugeFunc("serve_queue_depth", "jobs waiting for a worker",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("serve_queue_capacity", "job queue bound",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	reg.GaugeFunc("serve_cache_entries", "in-memory result-cache population",
+		func() float64 { return float64(s.cache.Len()) })
+	reg.GaugeFunc("serve_workers", "worker pool size",
+		func() float64 { return float64(s.cfg.Workers) })
 	s.routes()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -185,6 +205,11 @@ func (s *Server) newJob(kind, fingerprint string, parent context.Context) *job {
 // counter the cache tests pin: a repeated identical request must not move
 // it.
 func (s *Server) EngineRuns() int64 { return s.engineRuns.Load() }
+
+// Registry returns the server's instrument registry — the source of both
+// /metrics expositions and the place to register further instruments that
+// should appear alongside the server's own.
+func (s *Server) Registry() *obs.Registry { return s.met.reg }
 
 // Close drains the server: no new jobs are accepted, queued and running
 // jobs finish, workers exit. If ctx expires first, every live job is
@@ -260,6 +285,9 @@ func (s *Server) submit(j *job) error {
 	if s.draining {
 		return ErrDraining
 	}
+	// Stamped before the send: a worker may pick the job up the instant it
+	// lands on the queue.
+	j.enqueued = time.Now()
 	select {
 	case s.queue <- j:
 		s.met.noteQueueDepth(int64(len(s.queue)))
@@ -289,6 +317,9 @@ func (s *Server) worker() {
 // own job, never the worker or the process.
 func (s *Server) runJob(j *job, ws *flow.Workspace) {
 	start := time.Now()
+	if !j.enqueued.IsZero() {
+		s.met.queueWaitMs.Observe(ms(start.Sub(j.enqueued)))
+	}
 	s.met.running.Add(1)
 	defer s.met.running.Add(-1)
 	defer func() {
@@ -337,8 +368,22 @@ func (s *Server) runScenario(j *job, ws *flow.Workspace) error {
 			return false
 		})))
 	}
+	// ?trace=N attaches a Tracer and streams each recorded span as a
+	// {"span":…} line — the per-phase cost and convergence residual of the
+	// run, live over the job's NDJSON stream.
+	var tracer *obs.Tracer
+	if j.trace > 0 {
+		tracer = obs.NewTracer(j.trace)
+		tracer.OnSpan(func(sp obs.Span) {
+			j.appendLine(streamLine{Span: &sp})
+		})
+		opts = append(opts, engine.WithObserver(tracer))
+	}
 	s.engineRuns.Add(1)
 	res, events, err := j.spec.Run(j.ctx, func(ev timeline.AppliedEvent) {
+		if tracer != nil {
+			tracer.MarkEvent(ev.Action, ev.Time)
+		}
 		j.appendLine(streamLine{Event: &ev})
 	}, opts...)
 	if err != nil {
@@ -372,9 +417,12 @@ func (s *Server) cacheAdd(kind, fp string, body []byte) {
 }
 
 // cacheGet looks a fingerprint up through the cache tiers, maintaining the
-// hit/miss counters. The returned tier is the X-Cache value for a hit.
+// hit/miss counters and the lookup-latency histogram. The returned tier is
+// the X-Cache value for a hit.
 func (s *Server) cacheGet(kind, fp string) (body []byte, tier string, ok bool) {
+	lookupStart := time.Now()
 	body, tier, err := s.cache.Get(kind, fp)
+	s.met.cacheLookupMs.Observe(ms(time.Since(lookupStart)))
 	if err != nil {
 		s.met.storeErrors.Add(1)
 	}

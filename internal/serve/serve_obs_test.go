@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wardrop/internal/obs"
+)
+
+// TestMetricsPrometheusExposition runs a job and scrapes ?format=prom: the
+// registry exposition must carry the same counters as the JSON document plus
+// the per-stage histograms.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	postJSON(t, ts.URL+"/v1/scenarios", pigouQuickDoc)
+	postJSON(t, ts.URL+"/v1/scenarios", pigouQuickDoc) // cache hit
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != obs.PrometheusContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, obs.PrometheusContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE serve_jobs_total counter",
+		"serve_jobs_total 1",
+		"serve_cache_hits_total 1",
+		"serve_cache_misses_total 1",
+		"serve_engine_runs_total 1",
+		"# TYPE serve_run_ms histogram",
+		"serve_run_ms_count 1",
+		"serve_queue_wait_ms_count 1",
+		"# TYPE serve_cache_lookup_ms histogram",
+		"serve_jobs_running 0",
+		"serve_queue_depth 0",
+		"serve_workers 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prom exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// The JSON document must agree with the instruments backing it.
+	var m Metrics
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.JobsRun != 1 || m.CacheHits != 1 || m.CacheMisses != 1 {
+		t.Fatalf("JSON metrics diverged from registry: %+v", m)
+	}
+	if m.RunLatencyMsP99 < m.RunLatencyMsP50 || m.RunLatencyMsP50 <= 0 {
+		t.Fatalf("latency percentiles p50=%g p99=%g", m.RunLatencyMsP50, m.RunLatencyMsP99)
+	}
+}
+
+// TestSharedRegistryConfig pins that a caller-supplied registry receives the
+// server's instruments (the cross-component wiring wardserve uses).
+func TestSharedRegistryConfig(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, _ := newTestServer(t, Config{Workers: 1, Metrics: reg})
+	if s.Registry() != reg {
+		t.Fatal("server must register into the supplied registry")
+	}
+	if reg.FindHistogram("serve_run_ms") == nil {
+		t.Fatal("serve_run_ms not registered in the shared registry")
+	}
+}
+
+// TestScenarioTraceStreamsSpans submits ?mode=job&trace=64 and expects
+// {"span":…} lines on the NDJSON stream alongside samples and the result.
+func TestScenarioTraceStreamsSpans(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/scenarios?mode=job&trace=64", pigouTrajDoc)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.Get(ts.URL + st.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	spans, results := 0, 0
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		var line struct {
+			Span   *obs.Span       `json:"span"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("stream line %q: %v", sc.Text(), err)
+		}
+		if line.Span != nil {
+			spans++
+			if line.Span.Kind != obs.SpanPhase {
+				t.Fatalf("unexpected span kind %q", line.Span.Kind)
+			}
+		}
+		if line.Result != nil {
+			results++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// pigouTrajDoc runs 40 phases with a 64-capacity ring: every phase span
+	// must arrive.
+	if spans < 40 {
+		t.Fatalf("streamed %d spans, want >= 40", spans)
+	}
+	if results != 1 {
+		t.Fatalf("streamed %d result lines, want 1", results)
+	}
+
+	// An invalid trace parameter is a client error, not a scheduled job.
+	resp, _ = postJSON(t, ts.URL+"/v1/scenarios?trace=bogus", pigouQuickDoc)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trace=bogus status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestAccessLogMiddleware pins the structured access log: fingerprint field
+// on spec routes, Flusher passthrough for streams, nil-logger passthrough.
+func TestAccessLogMiddleware(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	ts := httptest.NewServer(AccessLog(logger, s))
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/v1/scenarios", pigouQuickDoc)
+	var logged struct {
+		Msg         string  `json:"msg"`
+		Method      string  `json:"method"`
+		Path        string  `json:"path"`
+		Status      int     `json:"status"`
+		DurationMs  float64 `json:"durationMs"`
+		Fingerprint string  `json:"fingerprint"`
+	}
+	line, _, _ := strings.Cut(buf.String(), "\n")
+	if err := json.Unmarshal([]byte(line), &logged); err != nil {
+		t.Fatalf("access log line %q: %v", line, err)
+	}
+	if logged.Msg != "request" || logged.Method != "POST" || logged.Path != "/v1/scenarios" ||
+		logged.Status != http.StatusOK || logged.Fingerprint == "" {
+		t.Fatalf("access log line = %+v", logged)
+	}
+
+	if got := AccessLog(nil, s); got != http.Handler(s) {
+		t.Fatal("nil logger must return the handler unwrapped")
+	}
+
+	rec := httptest.NewRecorder()
+	AccessLog(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := w.(http.Flusher); !ok {
+			t.Error("middleware must preserve http.Flusher for NDJSON streams")
+		}
+		w.WriteHeader(http.StatusTeapot)
+	})).ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d, want 418", rec.Code)
+	}
+}

@@ -8,12 +8,14 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"wardrop/internal/dynamics"
 	"wardrop/internal/engine"
 	"wardrop/internal/flow"
+	"wardrop/internal/obs"
 	"wardrop/internal/policy"
 	"wardrop/internal/solver"
 	"wardrop/internal/timeline"
@@ -98,6 +100,10 @@ type Options struct {
 	// completed count, the total and the record. Called from the collector
 	// goroutine only, so it needs no locking.
 	Progress func(done, total int, rec Record)
+	// Metrics, when non-nil, receives the pool's task-latency histograms:
+	// one aggregate `sweep_task_ms` plus a per-worker
+	// `sweep_task_ms{worker="N"}` for straggler spotting.
+	Metrics *obs.Registry
 }
 
 // RunResult is a completed (or cleanly interrupted) engine run.
@@ -161,10 +167,23 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 	// campaign size.
 	recCh := make(chan Record, 2*workers)
 
+	// Task-latency instruments: an aggregate histogram plus one per worker,
+	// pre-registered here so the pool loop only touches atomics.
+	var taskMs *obs.Histogram
+	workerMs := make([]*obs.Histogram, workers)
+	if opts.Metrics != nil {
+		taskMs = opts.Metrics.Histogram("sweep_task_ms", "task wall-clock latency across the pool, milliseconds", nil)
+		for w := range workerMs {
+			workerMs[w] = opts.Metrics.Histogram(
+				fmt.Sprintf("sweep_task_ms{worker=%q}", strconv.Itoa(w)),
+				"task wall-clock latency on this worker, milliseconds", nil)
+		}
+	}
+
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// One evaluation workspace per worker, reused across every task
 			// it runs: after the first task on each topology shape, a
@@ -176,6 +195,10 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 					// Cancelled mid-simulation: the task did not complete,
 					// so it (and its duplicates) gets no record.
 					return
+				}
+				if taskMs != nil {
+					taskMs.Observe(rec.WallMS)
+					workerMs[w].Observe(rec.WallMS)
 				}
 				// Plain send: the collector drains recCh until it closes
 				// (even after cancellation), so this cannot deadlock — and
@@ -192,7 +215,7 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*RunResult, error) {
 					recCh <- dup
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()

@@ -1,0 +1,49 @@
+package wardrop
+
+import (
+	"log/slog"
+	"net/http"
+
+	"wardrop/internal/obs"
+	"wardrop/internal/serve"
+)
+
+// Observability ---------------------------------------------------------------
+//
+// The obs layer is the repo's zero-dependency observability core: one typed
+// instrument registry shared by the serving layer, the sweep pool and the
+// dispatch coordinator, plus a span tracer riding the engine observer
+// pipeline. See the README "Observability" section for the metrics catalog
+// and the trace JSONL schema.
+
+// MetricsRegistry is a typed instrument registry: atomic counters, gauges
+// and fixed-bucket histograms with exact window percentiles, exposable as
+// Prometheus text via WritePrometheus. Pass one registry as
+// ServerConfig.Metrics / SweepOptions.Metrics / DistSweepOptions.Metrics to
+// expose several components through one endpoint — see NewMetricsRegistry.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty instrument registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Tracer records per-phase spans of a simulation run into a bounded ring.
+// It implements the engine Observer interface: attach with
+// WithObserver(tracer), then dump the spans with WriteJSONL or stream them
+// live via OnSpan.
+type Tracer = obs.Tracer
+
+// Span is one traced observation — a phase start or a replayed timeline
+// event — and one JSONL line of a trace dump.
+type Span = obs.Span
+
+// NewTracer builds a tracer whose ring holds capacity spans (<= 0: a 4096
+// default). When the ring is full the oldest spans are overwritten, so a
+// tracer on an unbounded run holds bounded memory.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// ServerAccessLog wraps an http.Handler (typically a Server) with structured
+// per-request logging: method, path, status, duration and, where a handler
+// set one, the spec fingerprint. A nil logger returns next unwrapped.
+func ServerAccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return serve.AccessLog(logger, next)
+}
